@@ -1,0 +1,55 @@
+// Ablation: utility-weight sensitivity (alpha_cc / alpha_b / alpha_d of
+// Eq. 1/2). The paper fixes equal thirds; this sweep shows how the
+// Table 1 scenario responds when the scheduler over- or under-weights
+// communication cost, interference, or fragmentation.
+#include <cstdio>
+
+#include "exp/scenarios.hpp"
+#include "metrics/table.hpp"
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace gts;
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = exp::table1_jobs(model, minsky);
+
+  struct WeightSpec {
+    const char* name;
+    sched::UtilityWeights weights;
+  };
+  const WeightSpec specs[] = {
+      {"equal thirds (paper)", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"comm only", {1.0, 0.0, 0.0}},
+      {"interference only", {0.0, 1.0, 0.0}},
+      {"fragmentation only", {0.0, 0.0, 1.0}},
+      {"comm heavy", {0.6, 0.2, 0.2}},
+      {"interference heavy", {0.2, 0.6, 0.2}},
+      {"fragmentation heavy", {0.2, 0.2, 0.6}},
+  };
+
+  metrics::Table table({"weights", "policy", "cumulative time(s)",
+                        "SLO violations", "mean wait(s)", "worst QoS"});
+  for (const WeightSpec& spec : specs) {
+    for (const sched::Policy policy :
+         {sched::Policy::kTopoAware, sched::Policy::kTopoAwareP}) {
+      const auto report =
+          exp::run_policy(policy, jobs, minsky, model, spec.weights);
+      const auto slowdowns = report.recorder.sorted_qos_slowdowns();
+      table.add_row({spec.name, std::string(sched::to_string(policy)),
+                     util::format_double(report.recorder.makespan(), 1),
+                     std::to_string(report.recorder.slo_violations()),
+                     util::format_double(report.recorder.mean_waiting_time(), 1),
+                     util::format_double(
+                         slowdowns.empty() ? 0.0 : slowdowns.front(), 2)});
+    }
+  }
+  std::fputs(table
+                 .render("Ablation: Eq. 1/2 weight sensitivity on the "
+                         "Table 1 scenario")
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: application breakdown — GPU computation vs communication as a
+// percentage of execution time, pack (P2P) vs spread (no P2P), for
+// AlexNet / CaffeRef / GoogLeNet across the four batch classes.
+//
+// Paper anchors: AlexNet compute ~1 s per 40 iterations at tiny batches
+// and ~66 s at big ones, communication ~2 s throughout; communication
+// dominates at tiny batches and vanishes relative to compute at big ones.
+#include <cstdio>
+
+#include "exp/figures.hpp"
+#include "metrics/table.hpp"
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace gts;
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  const auto rows = exp::fig3_breakdown(model, minsky, /*iterations=*/40);
+
+  metrics::Table table({"NN", "batch", "placement", "compute(s)", "comm(s)",
+                        "compute%", "comm%"});
+  for (const auto& row : rows) {
+    table.add_row({std::string(jobgraph::to_string(row.nn)),
+                   std::string(jobgraph::to_string(row.batch)),
+                   row.pack ? "pack(P2P)" : "spread(no-P2P)",
+                   util::format_double(row.compute_s, 2),
+                   util::format_double(row.comm_s, 2),
+                   util::format_double(100.0 * row.compute_fraction, 1),
+                   util::format_double(100.0 * row.comm_fraction, 1)});
+  }
+  std::fputs(table
+                 .render("Fig. 3: % of execution time, 40 iterations, "
+                         "2-GPU data-parallel jobs")
+                 .c_str(),
+             stdout);
+  std::printf("\nCSV:\n%s", table.csv().c_str());
+  return 0;
+}

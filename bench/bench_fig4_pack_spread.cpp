@@ -1,0 +1,49 @@
+// Figure 4: pack (P2P) vs spread (no-P2P) speedup per batch size on the
+// NVLink Minsky machine. Speedup > 1 means pack wins.
+//
+// Paper anchors: AlexNet ~1.30x at batch 1-2, converging to ~1.0 from
+// batch 16; CaffeRef slightly below AlexNet; GoogLeNet nearly flat.
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "exp/figures.hpp"
+#include "metrics/chart.hpp"
+#include "metrics/table.hpp"
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace gts;
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto rows = exp::fig4_pack_vs_spread(model, minsky);
+
+  metrics::Table table({"NN", "batch", "pack(s)", "spread(s)", "speedup"});
+  std::vector<metrics::Series> series(
+      static_cast<size_t>(jobgraph::kNeuralNetCount));
+  for (int nn = 0; nn < jobgraph::kNeuralNetCount; ++nn) {
+    series[static_cast<size_t>(nn)].name =
+        std::string(jobgraph::to_string(static_cast<jobgraph::NeuralNet>(nn)));
+  }
+  for (const auto& row : rows) {
+    table.add_row({std::string(jobgraph::to_string(row.nn)),
+                   std::to_string(row.batch_size),
+                   util::format_double(row.pack_time, 1),
+                   util::format_double(row.spread_time, 1),
+                   util::format_double(row.speedup, 3)});
+    // Log2 x-axis so the batch sweep spreads evenly, as in the paper.
+    series[static_cast<size_t>(row.nn)].points.push_back(
+        {std::log2(static_cast<double>(row.batch_size)), row.speedup});
+  }
+  std::fputs(
+      table.render("Fig. 4: pack vs spread speedup (4000 iterations)").c_str(),
+      stdout);
+  metrics::ChartOptions options;
+  options.x_label = "log2(batch size per GPU)";
+  options.y_label = "speedup (spread/pack)";
+  std::fputs(metrics::line_chart(series, options).c_str(), stdout);
+  std::printf("\nCSV:\n%s", table.csv().c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5: NVLink bandwidth usage over time for AlexNet at batch sizes
+// 1, 4, 64, 128 (2-GPU pack placement on the Minsky machine).
+//
+// Paper anchors: small batches saturate the link with ~40 GB/s bursts;
+// big batches idle near ~6 GB/s with rare spikes.
+#include <cstdio>
+#include <vector>
+
+#include "exp/figures.hpp"
+#include "metrics/chart.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace gts;
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  const int batches[] = {1, 4, 64, 128};
+  std::vector<metrics::Series> series;
+  metrics::Table table({"batch", "mean GB/s", "p95 GB/s", "peak GB/s"});
+  for (const int batch : batches) {
+    const auto points =
+        exp::fig5_bandwidth_series(model, minsky, batch, 250.0, 0.5);
+    metrics::Series s;
+    s.name = "batch " + std::to_string(batch);
+    std::vector<double> values;
+    for (const auto& p : points) {
+      s.points.push_back({p.t, p.gbps});
+      values.push_back(p.gbps);
+    }
+    const metrics::Summary summary = metrics::summarize(values);
+    table.add_row({std::to_string(batch),
+                   util::format_double(summary.mean, 1),
+                   util::format_double(summary.p95, 1),
+                   util::format_double(summary.max, 1)});
+    series.push_back(std::move(s));
+  }
+  std::fputs(
+      table.render("Fig. 5: NVLink bandwidth usage for AlexNet (250 s run)")
+          .c_str(),
+      stdout);
+  metrics::ChartOptions options;
+  options.x_label = "time (s)";
+  options.y_label = "NVLink bandwidth (GB/s)";
+  std::fputs(metrics::line_chart(series, options).c_str(), stdout);
+  return 0;
+}

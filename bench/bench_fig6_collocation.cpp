@@ -1,0 +1,43 @@
+// Figure 6: collocation slowdown matrix — two 2-GPU AlexNet jobs sharing
+// the Minsky machine (each packed on its own socket) vs running solo.
+//
+// Paper anchors: tiny|tiny ~30%, tiny|big ~24%, small|big ~21%,
+// big|big ~0%.
+#include <cstdio>
+
+#include "exp/figures.hpp"
+#include "metrics/table.hpp"
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace gts;
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  metrics::Table table({"suffering \\ co-runner", "tiny", "small", "medium",
+                        "big"});
+  for (int mine = 0; mine < jobgraph::kBatchClassCount; ++mine) {
+    std::vector<std::string> row;
+    row.push_back(std::string(
+        jobgraph::to_string(static_cast<jobgraph::BatchClass>(mine))));
+    for (int other = 0; other < jobgraph::kBatchClassCount; ++other) {
+      const double slowdown = exp::fig6_collocation_slowdown(
+          model, minsky, static_cast<jobgraph::BatchClass>(mine),
+          static_cast<jobgraph::BatchClass>(other));
+      row.push_back(util::format_double(slowdown, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(
+      table
+          .render("Fig. 6: fractional slowdown of job A when collocated "
+                  "with job B (both AlexNet, 2 GPUs each)")
+          .c_str(),
+      stdout);
+  std::printf(
+      "\nPaper anchors: tiny|tiny ~0.30, tiny|big ~0.24, small|big ~0.21, "
+      "big|big ~0.00\n");
+  return 0;
+}

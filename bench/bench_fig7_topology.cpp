@@ -1,0 +1,35 @@
+// Figures 1 & 7: the physical GPU topology graphs.
+//
+// Builds the IBM Power8 "Minsky" and NVIDIA DGX-1 topologies (plus the
+// PCI-e comparison machine and a small cluster), prints their structure,
+// level weights, GPU distance matrices, and the nvidia-smi-style
+// connectivity matrix the discovery path consumes.
+#include <cstdio>
+#include <string>
+
+#include "topo/builders.hpp"
+#include "topo/discovery.hpp"
+
+namespace {
+
+void show(const std::string& title, const gts::topo::TopologyGraph& graph) {
+  std::printf("==== %s ====\n", title.c_str());
+  std::fputs(graph.describe().c_str(), stdout);
+  std::printf("-- nvidia-smi topo --matrix (synthesized) --\n%s\n",
+              gts::topo::discovery::render_matrix(graph).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace gts::topo::builders;
+  std::printf("Fig. 1 / Fig. 7 reproduction: physical topology graphs\n\n");
+  show("IBM Power8 S822LC 'Minsky' (2 sockets x 2 P100, dual NVLink)",
+       power8_minsky());
+  show("Power8 PCI-e Gen3 + K80 comparison machine (Section 3.2)",
+       power8_pcie());
+  show("NVIDIA DGX-1 (8 P100, hybrid cube-mesh NVLink)", dgx1());
+  show("Cluster of 3 Minsky machines (simulation substrate)",
+       cluster(3, MachineShape::kPower8Minsky));
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Microbenchmarks of the mapping machinery: Fiduccia-Mattheyses
+// bipartitioning, the hierarchical physical bipartition, the full DRB
+// mapping (complexity Theta(|E_A| * log2 |V_P|), Section 5.5.3), and the
+// topology shortest-path layer it sits on.
+#include <benchmark/benchmark.h>
+
+#include "partition/drb.hpp"
+#include "partition/fm.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gts;
+
+partition::FmGraph random_graph(int vertices, double density,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  partition::FmGraph graph;
+  graph.vertex_count = vertices;
+  for (int i = 0; i < vertices; ++i) {
+    for (int j = i + 1; j < vertices; ++j) {
+      if (rng.uniform() < density) {
+        graph.edges.push_back({i, j, rng.uniform(0.5, 5.0)});
+      }
+    }
+  }
+  return graph;
+}
+
+void BM_FmBipartition(benchmark::State& state) {
+  const int vertices = static_cast<int>(state.range(0));
+  const partition::FmGraph graph = random_graph(vertices, 0.3, 99);
+  std::vector<int> initial(static_cast<size_t>(vertices));
+  for (int i = 0; i < vertices; ++i) initial[static_cast<size_t>(i)] = i % 2;
+  for (auto _ : state) {
+    auto result = partition::fm_bipartition(graph, initial);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(graph.edges.size()));
+}
+BENCHMARK(BM_FmBipartition)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+/// Pack-preferring callbacks with negligible cost, isolating DRB itself.
+class CheapCallbacks : public partition::DrbCallbacks {
+ public:
+  double task_utility(int, int side,
+                      const partition::BipartitionView& view) const override {
+    const auto& gpus = side == 0 ? view.gpus0 : view.gpus1;
+    const auto& tasks = side == 0 ? view.tasks0 : view.tasks1;
+    return static_cast<double>(tasks.size()) * 10.0 +
+           static_cast<double>(gpus.size());
+  }
+};
+
+void BM_DrbMap(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      machines, topo::builders::MachineShape::kPower8Minsky);
+  std::vector<int> available(static_cast<size_t>(topology.gpu_count()));
+  for (int g = 0; g < topology.gpu_count(); ++g) {
+    available[static_cast<size_t>(g)] = g;
+  }
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(4, 4.0);
+  const CheapCallbacks callbacks;
+  for (auto _ : state) {
+    auto result = partition::drb_map(job, available, topology, callbacks);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(topology.gpu_count());
+}
+BENCHMARK(BM_DrbMap)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Complexity();
+
+void BM_PhysicalBipartition(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      machines, topo::builders::MachineShape::kPower8Minsky);
+  std::vector<int> gpus(static_cast<size_t>(topology.gpu_count()));
+  for (int g = 0; g < topology.gpu_count(); ++g) {
+    gpus[static_cast<size_t>(g)] = g;
+  }
+  for (auto _ : state) {
+    auto side = partition::physical_bipartition(gpus, topology);
+    benchmark::DoNotOptimize(side);
+  }
+}
+BENCHMARK(BM_PhysicalBipartition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_GpuPathLookup(benchmark::State& state) {
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      static_cast<int>(state.range(0)),
+      topo::builders::MachineShape::kPower8Minsky);
+  (void)topology.gpu_distance(0, 1);  // warm the cache
+  const int n = topology.gpu_count();
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % n;
+    const int b = (i * 7 + 1) % n;
+    if (a != b) {
+      benchmark::DoNotOptimize(topology.gpu_distance(a, b));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_GpuPathLookup)->Arg(1)->Arg(100)->Arg(1000);
+
+void BM_DijkstraMinsky(benchmark::State& state) {
+  const topo::TopologyGraph topology = topo::builders::power8_minsky();
+  for (auto _ : state) {
+    auto path = topology.shortest_path(topology.gpu_node(0),
+                                       topology.gpu_node(3));
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_DijkstraMinsky);
+
+}  // namespace
+
+BENCHMARK_MAIN();

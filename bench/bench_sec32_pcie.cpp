@@ -1,0 +1,46 @@
+// Section 3.2 (prose): NVLink vs PCI-e Gen3 machines.
+//
+// "AlexNet with a batch equals one the speedup is ~1.27x with NVLink, and
+//  ~1.24x with PCI-e. For a batch size equals two, the speedup drops from
+//  ~1.30x with NVLink to ~1.21x with PCI-e. For a batch size equals eight,
+//  the speedup decreases from ~1.20x to only ~1.1x."
+#include <cstdio>
+
+#include "exp/figures.hpp"
+#include "metrics/table.hpp"
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace gts;
+  const topo::TopologyGraph nvlink_machine = topo::builders::power8_minsky();
+  const topo::TopologyGraph pcie_machine = topo::builders::power8_pcie();
+  const perf::DlWorkloadModel p100(perf::CalibrationParams::paper_minsky());
+  const perf::DlWorkloadModel k80(perf::CalibrationParams::paper_k80());
+
+  const auto nvlink_rows = exp::fig4_pack_vs_spread(p100, nvlink_machine);
+  const auto pcie_rows = exp::fig4_pack_vs_spread(k80, pcie_machine);
+
+  metrics::Table table(
+      {"NN", "batch", "NVLink speedup", "PCI-e speedup", "delta"});
+  for (size_t i = 0; i < nvlink_rows.size(); ++i) {
+    const auto& nv = nvlink_rows[i];
+    const auto& pc = pcie_rows[i];
+    table.add_row({std::string(jobgraph::to_string(nv.nn)),
+                   std::to_string(nv.batch_size),
+                   util::format_double(nv.speedup, 3),
+                   util::format_double(pc.speedup, 3),
+                   util::format_double(nv.speedup - pc.speedup, 3)});
+  }
+  std::fputs(table
+                 .render("Section 3.2: pack-vs-spread speedup, NVLink P100 "
+                         "machine vs PCI-e Gen3 K80 machine")
+                 .c_str(),
+             stdout);
+  std::printf(
+      "\nPaper anchors (AlexNet): batch 1: 1.27 vs 1.24 | batch 2: 1.30 vs "
+      "1.21 | batch 8: 1.20 vs 1.10\n");
+  std::printf("CSV:\n%s", table.csv().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Topology explorer: build the canonical machines (Power8 Minsky, PCI-e
+// variant, DGX-1) or a generated cluster, print their structure, distance
+// matrices and routing properties, and demonstrate discovery from
+// nvidia-smi / numactl style text.
+#include <cstdio>
+#include <string>
+
+#include "perf/model.hpp"
+#include "topo/builders.hpp"
+#include "topo/discovery.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace gts;
+
+void explore(const topo::TopologyGraph& graph) {
+  std::fputs(graph.describe().c_str(), stdout);
+
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  std::printf("\nPair routing (path class, effective bandwidth):\n");
+  const int n = std::min(graph.gpu_count(), 8);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      std::printf("  GPU%d <-> GPU%d: %-20s %5.1f GB/s %s\n", a, b,
+                  std::string(perf::to_string(model.classify_path(graph, a, b)))
+                      .c_str(),
+                  model.effective_bandwidth(graph, a, b, nullptr),
+                  graph.gpu_path(a, b).peer_to_peer ? "[P2P]" : "");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("shape", "minsky | pcie | dgx1 | cluster", "minsky");
+  cli.add_option("machines", "machine count for --shape cluster", "2");
+  cli.add_flag("discover", "run the nvidia-smi/numactl discovery demo");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+
+  using topo::builders::MachineShape;
+  const std::string shape = cli.get("shape");
+  topo::TopologyGraph graph;
+  if (shape == "minsky") {
+    graph = topo::builders::power8_minsky();
+  } else if (shape == "pcie") {
+    graph = topo::builders::power8_pcie();
+  } else if (shape == "dgx1") {
+    graph = topo::builders::dgx1();
+  } else if (shape == "cluster") {
+    graph = topo::builders::cluster(
+        static_cast<int>(cli.get_int("machines")),
+        MachineShape::kPower8Minsky);
+  } else {
+    std::fprintf(stderr, "unknown shape '%s'\n", shape.c_str());
+    return 1;
+  }
+  explore(graph);
+
+  if (cli.has("discover")) {
+    std::printf("\n--- discovery demo: matrix rendered from the graph, "
+                "then re-parsed ---\n");
+    const std::string matrix = topo::discovery::render_matrix(graph);
+    std::fputs(matrix.c_str(), stdout);
+    const char* numactl =
+        "available: 2 nodes (0-1)\n"
+        "node 0 cpus: 0 1 2 3 4 5 6 7\n"
+        "node 1 cpus: 8 9 10 11 12 13 14 15\n";
+    const auto rediscovered = topo::discovery::build_machine(matrix, numactl);
+    if (rediscovered) {
+      std::printf("\nround-tripped topology:\n%s",
+                  rediscovered->describe().c_str());
+    } else {
+      std::printf("\ndiscovery failed: %s\n",
+                  rediscovered.error().message.c_str());
+    }
+  }
+  return 0;
+}

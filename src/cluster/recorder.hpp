@@ -1,0 +1,107 @@
+// Metrics recorder: the simulated stand-in for the prototype's telemetry
+// (nvprof, nvidia-smi nvlink counters, Perfmon2 DRAM counters).
+//
+// Records the per-job lifecycle (Fig. 8/9 timelines, QoS slowdowns,
+// waiting times, SLO violations) and piecewise time series of aggregate
+// P2P vs host-routed link bandwidth and of mean running-job utility.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/state.hpp"
+
+namespace gts::cluster {
+
+struct JobRecord {
+  int id = 0;
+  jobgraph::NeuralNet nn = jobgraph::NeuralNet::kAlexNet;
+  jobgraph::BatchClass batch = jobgraph::BatchClass::kTiny;
+  int num_gpus = 1;
+  double min_utility = 0.0;
+  double arrival = 0.0;
+  double start = -1.0;  // placement time, -1 while queued
+  double end = -1.0;    // completion time, -1 while running
+  std::vector<int> gpus;
+  double placement_utility = 0.0;
+  bool p2p = false;
+  /// Ideal (best-placement, solo) completion time from the profile.
+  double best_solo_time = 0.0;
+
+  bool placed() const noexcept { return start >= 0.0; }
+  bool finished() const noexcept { return end >= 0.0; }
+  double waiting_time() const { return placed() ? start - arrival : -1.0; }
+  double execution_time() const { return finished() ? end - start : -1.0; }
+
+  /// Fractional slowdown vs the ideal run, placement effects only
+  /// (Fig. 8e "JOB'S QOS").
+  double qos_slowdown() const {
+    if (!finished() || best_solo_time <= 0.0) return 0.0;
+    return std::max(0.0, execution_time() / best_solo_time - 1.0);
+  }
+  /// Slowdown including scheduler queue time (Fig. 8f).
+  double qos_wait_slowdown() const {
+    if (!finished() || best_solo_time <= 0.0) return 0.0;
+    return std::max(0.0, (end - arrival) / best_solo_time - 1.0);
+  }
+  /// SLO violated when the job was forced onto a placement below its
+  /// declared minimum utility.
+  bool slo_violated() const {
+    return placed() && placement_utility + 1e-9 < min_utility;
+  }
+};
+
+struct SeriesPoint {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+class Recorder {
+ public:
+  void on_submit(const jobgraph::JobRequest& request);
+  void on_place(int job_id, double t, const std::vector<int>& gpus,
+                double utility, bool p2p);
+  void on_finish(int job_id, double t);
+
+  /// Appends one sample of the aggregate bandwidth (P2P and host-routed,
+  /// GB/s) and mean running-job utility series. Call at every state change.
+  void sample(const ClusterState& state, double t);
+
+  const std::vector<JobRecord>& records() const noexcept { return records_; }
+  JobRecord* find(int job_id);
+  const JobRecord* find(int job_id) const;
+
+  const std::vector<SeriesPoint>& p2p_bandwidth() const noexcept {
+    return p2p_bw_;
+  }
+  const std::vector<SeriesPoint>& host_bandwidth() const noexcept {
+    return host_bw_;
+  }
+  const std::vector<SeriesPoint>& mean_utility() const noexcept {
+    return mean_utility_;
+  }
+
+  // --- summary -------------------------------------------------------------
+  /// Time the last job finished ("cumulative execution time", Section 5.2.2).
+  double makespan() const;
+  int slo_violations() const;
+  /// QoS slowdowns sorted descending (the Fig. 8e/9e/10/11 curves).
+  std::vector<double> sorted_qos_slowdowns() const;
+  std::vector<double> sorted_qos_wait_slowdowns() const;
+  double mean_waiting_time() const;
+
+  /// Multi-line ASCII GPU-occupancy timeline (Fig. 8a-d style).
+  std::string render_timeline(const topo::TopologyGraph& topology,
+                              double t_end, int columns = 72) const;
+
+ private:
+  std::vector<JobRecord> records_;
+  std::unordered_map<int, size_t> index_;  // job id -> records_ position
+  std::vector<SeriesPoint> p2p_bw_;
+  std::vector<SeriesPoint> host_bw_;
+  std::vector<SeriesPoint> mean_utility_;
+};
+
+}  // namespace gts::cluster

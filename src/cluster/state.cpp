@@ -1,0 +1,313 @@
+#include "cluster/state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace gts::cluster {
+
+ClusterState::ClusterState(const topo::TopologyGraph& topology,
+                           const perf::DlWorkloadModel& model)
+    : topology_(&topology),
+      model_(&model),
+      owner_(static_cast<size_t>(topology.gpu_count()), -1),
+      flows_(static_cast<size_t>(topology.link_count()), 0),
+      jobs_by_machine_(static_cast<size_t>(topology.machine_count())),
+      host_bw_used_(static_cast<size_t>(topology.machine_count()), 0.0) {}
+
+void ClusterState::set_execution_noise(double sigma, std::uint64_t seed) {
+  noise_sigma_ = sigma;
+  noise_rng_.reseed(seed);
+}
+
+void ClusterState::index_job(const RunningJob& job, bool insert) {
+  const std::vector<int> machines = machines_of(job.gpus);
+  // A multi-machine job's bandwidth demand is split evenly across its
+  // machines; single-node jobs (the common case) charge one machine.
+  const double demand = job.request.profile.host_bw_demand_gbps /
+                        static_cast<double>(machines.size());
+  for (const int machine : machines) {
+    std::vector<int>& list = jobs_by_machine_[static_cast<size_t>(machine)];
+    if (insert) {
+      list.insert(std::upper_bound(list.begin(), list.end(), job.request.id),
+                  job.request.id);
+      host_bw_used_[static_cast<size_t>(machine)] += demand;
+    } else {
+      list.erase(std::remove(list.begin(), list.end(), job.request.id),
+                 list.end());
+      host_bw_used_[static_cast<size_t>(machine)] =
+          std::max(0.0, host_bw_used_[static_cast<size_t>(machine)] - demand);
+    }
+  }
+}
+
+std::vector<int> ClusterState::free_gpus() const {
+  std::vector<int> gpus;
+  for (int g = 0; g < topology_->gpu_count(); ++g) {
+    if (gpu_free(g)) gpus.push_back(g);
+  }
+  return gpus;
+}
+
+std::vector<int> ClusterState::free_gpus_of_machine(int machine) const {
+  std::vector<int> gpus;
+  for (const int g : topology_->gpus_of_machine(machine)) {
+    if (gpu_free(g)) gpus.push_back(g);
+  }
+  return gpus;
+}
+
+int ClusterState::free_gpu_count() const {
+  return static_cast<int>(
+      std::count(owner_.begin(), owner_.end(), -1));
+}
+
+void ClusterState::add_flows(const RunningJob& job, int delta) {
+  for (const jobgraph::CommEdge& edge : job.request.comm_graph.edges()) {
+    const int gpu_a = job.gpus[static_cast<size_t>(edge.a)];
+    const int gpu_b = job.gpus[static_cast<size_t>(edge.b)];
+    for (const topo::LinkId link : topology_->gpu_path(gpu_a, gpu_b).links) {
+      flows_[static_cast<size_t>(link)] += delta;
+      assert(flows_[static_cast<size_t>(link)] >= 0);
+    }
+  }
+}
+
+void ClusterState::place(const jobgraph::JobRequest& request,
+                         std::vector<int> gpus, double now,
+                         double placement_utility) {
+  assert(static_cast<int>(gpus.size()) == request.num_gpus);
+  bank_progress(now);
+
+  RunningJob job;
+  job.request = request;
+  job.gpus = std::move(gpus);
+  job.start_time = now;
+  job.last_update = now;
+  job.placement_utility = placement_utility;
+  if (noise_sigma_ > 0.0) {
+    job.noise_factor = std::exp(noise_rng_.normal(0.0, noise_sigma_));
+  }
+  job.p2p = true;
+  for (const jobgraph::CommEdge& edge : job.request.comm_graph.edges()) {
+    if (!topology_
+             ->gpu_path(job.gpus[static_cast<size_t>(edge.a)],
+                        job.gpus[static_cast<size_t>(edge.b)])
+             .peer_to_peer) {
+      job.p2p = false;
+      break;
+    }
+  }
+  for (const int gpu : job.gpus) {
+    assert(gpu_free(gpu) && "placement on busy GPU");
+    owner_[static_cast<size_t>(gpu)] = request.id;
+  }
+  add_flows(job, +1);
+  index_job(job, /*insert=*/true);
+  const std::vector<int> touched = machines_of(job.gpus);
+  if (touched.size() > 1) any_multi_machine_job_ = true;
+  jobs_.emplace(request.id, std::move(job));
+  recompute_rates(now, &touched);
+}
+
+void ClusterState::remove(int job_id, double now) {
+  const auto it = jobs_.find(job_id);
+  assert(it != jobs_.end());
+  bank_progress(now);
+  add_flows(it->second, -1);
+  index_job(it->second, /*insert=*/false);
+  const std::vector<int> touched = machines_of(it->second.gpus);
+  for (const int gpu : it->second.gpus) {
+    owner_[static_cast<size_t>(gpu)] = -1;
+  }
+  jobs_.erase(it);
+  recompute_rates(now, &touched);
+}
+
+const RunningJob* ClusterState::find(int job_id) const {
+  const auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void ClusterState::bank_progress(double now) {
+  for (auto& [id, job] : jobs_) {
+    const double elapsed = now - job.last_update;
+    if (elapsed > 0.0) {
+      job.progress_iterations += job.rate * elapsed;
+      job.progress_iterations =
+          std::min(job.progress_iterations,
+                   static_cast<double>(job.request.iterations));
+    }
+    job.last_update = now;
+  }
+}
+
+perf::LinkFlows ClusterState::flows_excluding(int job_id) const {
+  perf::LinkFlows flows = flows_;
+  const RunningJob* job = find(job_id);
+  if (job != nullptr) {
+    for (const jobgraph::CommEdge& edge : job->request.comm_graph.edges()) {
+      const int gpu_a = job->gpus[static_cast<size_t>(edge.a)];
+      const int gpu_b = job->gpus[static_cast<size_t>(edge.b)];
+      for (const topo::LinkId link :
+           topology_->gpu_path(gpu_a, gpu_b).links) {
+        --flows[static_cast<size_t>(link)];
+      }
+    }
+  }
+  return flows;
+}
+
+std::vector<int> ClusterState::machines_of(std::span<const int> gpus) const {
+  std::set<int> machines;
+  for (const int gpu : gpus) machines.insert(topology_->machine_of_gpu(gpu));
+  return {machines.begin(), machines.end()};
+}
+
+std::vector<perf::CoRunner> ClusterState::co_runners(
+    std::span<const int> gpus, int exclude_job_id) const {
+  // (machine, socket) pairs the placement touches.
+  std::set<std::pair<int, int>> sockets;
+  std::set<int> machines;
+  for (const int gpu : gpus) {
+    machines.insert(topology_->machine_of_gpu(gpu));
+    sockets.insert({topology_->machine_of_gpu(gpu),
+                    topology_->socket_of_gpu(gpu)});
+  }
+  // Candidate co-runners come from the per-machine index so the scan cost
+  // is proportional to the touched machines, not the whole cluster.
+  std::set<int> candidate_ids;
+  for (const int machine : machines) {
+    for (const int id : jobs_by_machine_[static_cast<size_t>(machine)]) {
+      candidate_ids.insert(id);
+    }
+  }
+  std::vector<perf::CoRunner> out;
+  for (const int id : candidate_ids) {
+    if (id == exclude_job_id) continue;
+    const RunningJob& job = jobs_.at(id);
+    bool shares_socket = false;
+    for (const int gpu : job.gpus) {
+      if (sockets.count({topology_->machine_of_gpu(gpu),
+                         topology_->socket_of_gpu(gpu)}) > 0) {
+        shares_socket = true;
+        break;
+      }
+    }
+    out.push_back({job.request.profile.batch, shares_socket});
+  }
+  return out;
+}
+
+double ClusterState::fragmentation() const {
+  // Eq. 5: average over sockets of freeGPUs/totalGPUs.
+  double total = 0.0;
+  int sockets = 0;
+  for (int machine = 0; machine < topology_->machine_count(); ++machine) {
+    const int socket_count = topology_->sockets_of_machine(machine);
+    for (int socket = 0; socket < socket_count; ++socket) {
+      const std::vector<int> gpus = topology_->gpus_of_socket(machine, socket);
+      if (gpus.empty()) continue;
+      const int free = static_cast<int>(
+          std::count_if(gpus.begin(), gpus.end(),
+                        [&](int g) { return gpu_free(g); }));
+      total += static_cast<double>(free) / static_cast<double>(gpus.size());
+      ++sockets;
+    }
+  }
+  return sockets == 0 ? 0.0 : total / sockets;
+}
+
+double ClusterState::fragmentation_of_machine(int machine) const {
+  double total = 0.0;
+  int sockets = 0;
+  const int socket_count = topology_->sockets_of_machine(machine);
+  for (int socket = 0; socket < socket_count; ++socket) {
+    const std::vector<int> gpus = topology_->gpus_of_socket(machine, socket);
+    if (gpus.empty()) continue;
+    const int free = static_cast<int>(std::count_if(
+        gpus.begin(), gpus.end(), [&](int g) { return gpu_free(g); }));
+    total += static_cast<double>(free) / static_cast<double>(gpus.size());
+    ++sockets;
+  }
+  return sockets == 0 ? 0.0 : total / sockets;
+}
+
+double ClusterState::fragmentation_after(std::span<const int> gpus) const {
+  // Temporarily mark, compute, restore — const_cast-free via copy of the
+  // small owner vector.
+  double total = 0.0;
+  int sockets = 0;
+  for (int machine = 0; machine < topology_->machine_count(); ++machine) {
+    const int socket_count = topology_->sockets_of_machine(machine);
+    for (int socket = 0; socket < socket_count; ++socket) {
+      const std::vector<int> socket_gpus =
+          topology_->gpus_of_socket(machine, socket);
+      if (socket_gpus.empty()) continue;
+      int free = 0;
+      for (const int g : socket_gpus) {
+        const bool newly_taken =
+            std::find(gpus.begin(), gpus.end(), g) != gpus.end();
+        if (gpu_free(g) && !newly_taken) ++free;
+      }
+      total +=
+          static_cast<double>(free) / static_cast<double>(socket_gpus.size());
+      ++sockets;
+    }
+  }
+  return sockets == 0 ? 0.0 : total / sockets;
+}
+
+perf::IterationBreakdown ClusterState::predict_iteration(
+    const jobgraph::JobRequest& request, std::span<const int> gpus) const {
+  const std::vector<perf::CoRunner> co = co_runners(gpus, request.id);
+  return model_->iteration(request, gpus, *topology_, &flows_, co);
+}
+
+perf::IterationBreakdown ClusterState::current_iteration(
+    const RunningJob& job) const {
+  const perf::LinkFlows foreign = flows_excluding(job.request.id);
+  const std::vector<perf::CoRunner> co = co_runners(job.gpus, job.request.id);
+  return model_->iteration(job.request, job.gpus, *topology_, &foreign, co);
+}
+
+void ClusterState::recompute_rates(double now,
+                                   const std::vector<int>* touched_machines) {
+  const auto update = [&](RunningJob& job) {
+    assert(job.last_update == now || job.rate == 0.0);
+    (void)now;
+    const perf::IterationBreakdown step = current_iteration(job);
+    const double iter = step.total_s * job.noise_factor;
+    job.rate = iter > 0.0 ? 1.0 / iter : 0.0;
+  };
+  if (touched_machines != nullptr && !any_multi_machine_job_) {
+    std::set<int> ids;
+    for (const int machine : *touched_machines) {
+      for (const int id : jobs_by_machine_[static_cast<size_t>(machine)]) {
+        ids.insert(id);
+      }
+    }
+    for (const int id : ids) update(jobs_.at(id));
+    return;
+  }
+  for (auto& [id, job] : jobs_) update(job);
+}
+
+std::optional<std::pair<int, double>> ClusterState::next_completion(
+    double now) const {
+  std::optional<std::pair<int, double>> best;
+  for (const auto& [id, job] : jobs_) {
+    if (job.rate <= 0.0) continue;
+    const double pending = now - job.last_update;
+    const double done = job.progress_iterations + job.rate * pending;
+    const double remaining =
+        static_cast<double>(job.request.iterations) - done;
+    const double finish = now + std::max(0.0, remaining) / job.rate;
+    if (!best || finish < best->second) best = {id, finish};
+  }
+  return best;
+}
+
+}  // namespace gts::cluster

@@ -1,0 +1,154 @@
+// Cluster state: GPU allocations, per-link traffic flows, and the
+// progress of running jobs under time-varying conditions.
+//
+// Jobs execute at a rate of 1 / iteration_time, where iteration_time comes
+// from the performance model and depends on everything else running (link
+// sharing + machine interference). Whenever the set of running jobs
+// changes, the state first banks each job's progress at the old rate, then
+// recomputes rates; completion estimates are therefore exact piecewise
+// integration, not approximations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "jobgraph/jobgraph.hpp"
+#include "perf/model.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gts::cluster {
+
+struct RunningJob {
+  jobgraph::JobRequest request;
+  std::vector<int> gpus;          // one global GPU id per task
+  double start_time = 0.0;
+  double progress_iterations = 0.0;
+  double last_update = 0.0;       // time progress was last banked
+  double rate = 0.0;              // iterations per second, current regime
+  double placement_utility = 0.0; // utility the scheduler attributed
+  bool p2p = false;               // all communicating pairs have P2P paths
+  /// Execution-speed multiplier drawn at placement when noise is enabled
+  /// (cloud variability, Section 4.2); 1.0 = deterministic.
+  double noise_factor = 1.0;
+
+  double remaining_iterations() const {
+    return static_cast<double>(request.iterations) - progress_iterations;
+  }
+};
+
+class ClusterState {
+ public:
+  ClusterState(const topo::TopologyGraph& topology,
+               const perf::DlWorkloadModel& model);
+
+  /// Enables lognormal execution noise: each placed job's iteration time
+  /// is multiplied by exp(sigma * N(0,1)), drawn deterministically from
+  /// `seed`. Models the cloud variability the paper cites as the reason
+  /// profiles need only be "high-quality", not optimal; the schedulers
+  /// keep predicting with the noise-free model.
+  void set_execution_noise(double sigma, std::uint64_t seed = 1234);
+
+  const topo::TopologyGraph& topology() const noexcept { return *topology_; }
+  const perf::DlWorkloadModel& model() const noexcept { return *model_; }
+
+  // --- allocation ----------------------------------------------------------
+  bool gpu_free(int gpu) const { return owner_[static_cast<size_t>(gpu)] < 0; }
+  /// Job id occupying `gpu`, or -1.
+  int gpu_owner(int gpu) const { return owner_[static_cast<size_t>(gpu)]; }
+  std::vector<int> free_gpus() const;
+  std::vector<int> free_gpus_of_machine(int machine) const;
+  int free_gpu_count() const;
+  int running_job_count() const { return static_cast<int>(jobs_.size()); }
+
+  /// Places a job: banks progress of affected jobs, allocates GPUs,
+  /// registers link flows, recomputes rates. `gpus` must all be free.
+  void place(const jobgraph::JobRequest& request, std::vector<int> gpus,
+             double now, double placement_utility = 0.0);
+
+  /// Removes a finished/cancelled job and recomputes the others' rates.
+  void remove(int job_id, double now);
+
+  const RunningJob* find(int job_id) const;
+  const std::map<int, RunningJob>& running_jobs() const { return jobs_; }
+
+  // --- execution model -----------------------------------------------------
+  /// Advances every job's progress to `now` at its current rate.
+  void bank_progress(double now);
+
+  /// (job id, absolute completion time) of the job finishing next, given
+  /// current rates; nullopt when nothing runs.
+  std::optional<std::pair<int, double>> next_completion(double now) const;
+
+  /// Link flow counts from all running jobs (index = LinkId).
+  const perf::LinkFlows& link_flows() const noexcept { return flows_; }
+
+  /// Flow counts excluding one job — what that job sees as foreign flows.
+  perf::LinkFlows flows_excluding(int job_id) const;
+
+  /// Running jobs (excluding `exclude_job_id`) sharing any machine with a
+  /// hypothetical placement on `gpus`, with same-socket contention flagged.
+  std::vector<perf::CoRunner> co_runners(std::span<const int> gpus,
+                                         int exclude_job_id) const;
+
+  /// Machines a GPU list touches (sorted, unique).
+  std::vector<int> machines_of(std::span<const int> gpus) const;
+
+  // --- Eq. 5 fragmentation -------------------------------------------------
+  /// Average free fraction across all sockets of the cluster.
+  double fragmentation() const;
+  /// Average free fraction across the sockets of one machine.
+  double fragmentation_of_machine(int machine) const;
+  /// Fragmentation if `gpus` were additionally allocated (whole cluster).
+  double fragmentation_after(std::span<const int> gpus) const;
+
+  /// Predicted iteration time for a hypothetical placement of `request`
+  /// on `gpus` given everything currently running (used by schedulers for
+  /// Eq. 4 interference estimates).
+  perf::IterationBreakdown predict_iteration(
+      const jobgraph::JobRequest& request, std::span<const int> gpus) const;
+
+  /// Current iteration breakdown of a *running* job.
+  perf::IterationBreakdown current_iteration(const RunningJob& job) const;
+
+ /// Job ids currently occupying GPUs on `machine` (ascending).
+  const std::vector<int>& jobs_of_machine(int machine) const {
+    return jobs_by_machine_[static_cast<size_t>(machine)];
+  }
+
+  /// Host-bandwidth demand (GB/s) of the jobs on `machine` (Section 4.3's
+  /// t_bw accounting; capacity is model().params().host_bw_capacity_gbps).
+  double host_bw_used(int machine) const {
+    return host_bw_used_[static_cast<size_t>(machine)];
+  }
+  /// True when `machine` can additionally absorb `demand_gbps`.
+  bool host_bw_available(int machine, double demand_gbps) const {
+    return host_bw_used(machine) + demand_gbps <=
+           model_->params().host_bw_capacity_gbps + 1e-9;
+  }
+
+ private:
+  /// Recomputes rates for every job, or — when `touched_machines` is given
+  /// and no multi-machine job is involved — only for jobs on those
+  /// machines (interference and link sharing are machine-local for
+  /// single-node jobs, which keeps large-cluster updates O(1 machine)).
+  void recompute_rates(double now,
+                       const std::vector<int>* touched_machines = nullptr);
+  void add_flows(const RunningJob& job, int delta);
+  void index_job(const RunningJob& job, bool insert);
+
+  const topo::TopologyGraph* topology_;
+  const perf::DlWorkloadModel* model_;
+  std::vector<int> owner_;    // per GPU: job id or -1
+  perf::LinkFlows flows_;     // per link: number of comm flows
+  std::map<int, RunningJob> jobs_;  // ordered for deterministic iteration
+  std::vector<std::vector<int>> jobs_by_machine_;
+  std::vector<double> host_bw_used_;  // per machine, GB/s
+  bool any_multi_machine_job_ = false;
+  double noise_sigma_ = 0.0;
+  util::Rng noise_rng_{1234};
+};
+
+}  // namespace gts::cluster

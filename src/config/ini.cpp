@@ -1,0 +1,119 @@
+#include "config/ini.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace gts::config {
+
+util::Expected<Ini> Ini::parse(std::string_view text) {
+  Ini ini;
+  std::string section;
+  int line_number = 0;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_number;
+    std::string_view line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 2) {
+        return util::Error{
+            util::fmt("ini: line {}: malformed section header", line_number)};
+      }
+      section = std::string(util::trim(line.substr(1, line.size() - 2)));
+      // Ensure the section exists even if empty.
+      ini.values_[section];
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Error{
+          util::fmt("ini: line {}: expected 'key = value'", line_number)};
+    }
+    const std::string key(util::trim(line.substr(0, eq)));
+    const std::string value(util::trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return util::Error{util::fmt("ini: line {}: empty key", line_number)};
+    }
+    ini.values_[section][key] = value;
+  }
+  return ini;
+}
+
+util::Expected<Ini> Ini::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Error{util::fmt("cannot open {}", path)};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto result = parse(buffer.str());
+  if (!result) return result.error().with_context(path);
+  return result;
+}
+
+bool Ini::has(const std::string& section, const std::string& key) const {
+  const auto s = values_.find(section);
+  return s != values_.end() && s->second.count(key) > 0;
+}
+
+std::optional<std::string> Ini::get(const std::string& section,
+                                    const std::string& key) const {
+  const auto s = values_.find(section);
+  if (s == values_.end()) return std::nullopt;
+  const auto k = s->second.find(key);
+  if (k == s->second.end()) return std::nullopt;
+  return k->second;
+}
+
+std::string Ini::get_or(const std::string& section, const std::string& key,
+                        std::string fallback) const {
+  return get(section, key).value_or(std::move(fallback));
+}
+
+long long Ini::get_int(const std::string& section, const std::string& key,
+                       long long fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  return util::parse_int(*value).value_or(fallback);
+}
+
+double Ini::get_double(const std::string& section, const std::string& key,
+                       double fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  return util::parse_double(*value).value_or(fallback);
+}
+
+bool Ini::get_bool(const std::string& section, const std::string& key,
+                   bool fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  const std::string lower = util::to_lower(util::trim(*value));
+  if (lower == "true" || lower == "yes" || lower == "on" || lower == "1") {
+    return true;
+  }
+  if (lower == "false" || lower == "no" || lower == "off" || lower == "0") {
+    return false;
+  }
+  return fallback;
+}
+
+std::vector<std::string> Ini::sections() const {
+  std::vector<std::string> names;
+  for (const auto& [name, keys] : values_) names.push_back(name);
+  return names;
+}
+
+std::string Ini::write() const {
+  std::ostringstream os;
+  for (const auto& [section, keys] : values_) {
+    if (!section.empty()) os << '[' << section << "]\n";
+    for (const auto& [key, value] : keys) {
+      os << key << " = " << value << '\n';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gts::config

@@ -1,0 +1,56 @@
+// Minimal INI parser for the paper's configuration files (Appendix A.3):
+// the system reads `etc/configs/sys-config.ini` plus one
+// `etc/configs/<algo-name>-config.ini` per scheduling algorithm.
+//
+// Supported: [sections], key = value pairs, '#' and ';' comments, blank
+// lines. Keys outside any section land in the "" section. Values keep
+// inner whitespace but are trimmed at the ends.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace gts::config {
+
+class Ini {
+ public:
+  /// Parses INI text; duplicate keys keep the last value.
+  static util::Expected<Ini> parse(std::string_view text);
+  static util::Expected<Ini> parse_file(const std::string& path);
+
+  bool has(const std::string& section, const std::string& key) const;
+  /// Raw string lookup; nullopt when absent.
+  std::optional<std::string> get(const std::string& section,
+                                 const std::string& key) const;
+  std::string get_or(const std::string& section, const std::string& key,
+                     std::string fallback) const;
+  long long get_int(const std::string& section, const std::string& key,
+                    long long fallback) const;
+  double get_double(const std::string& section, const std::string& key,
+                    double fallback) const;
+  /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+  bool get_bool(const std::string& section, const std::string& key,
+                bool fallback) const;
+
+  /// Sections present, in sorted order.
+  std::vector<std::string> sections() const;
+
+  /// Serializes back to INI text (round-trips through parse()).
+  std::string write() const;
+
+  void set(const std::string& section, const std::string& key,
+           std::string value) {
+    values_[section][key] = std::move(value);
+  }
+
+ private:
+  // section -> key -> value
+  std::map<std::string, std::map<std::string, std::string>> values_;
+};
+
+}  // namespace gts::config

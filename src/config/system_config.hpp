@@ -1,0 +1,75 @@
+// The paper's configuration workflow (Appendix A.3):
+//
+//   * `etc/configs/sys-config.ini` selects simulation vs prototype mode,
+//     the machine shape / cluster size, and the workload source (a JSON
+//     manifest or the Section 5.3 generator with its arrival rate and
+//     distribution parameters);
+//   * one `etc/configs/<algo>-config.ini` per scheduling algorithm ("if
+//     many are provided, the system will execute multiple runs configured
+//     with different schedule algorithms"), carrying the policy and its
+//     utility weights;
+//   * "to execute the system is only required to run the main file" — the
+//     `gts_system` example binary plays that role.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/ini.hpp"
+#include "sched/scheduler.hpp"
+#include "topo/builders.hpp"
+#include "trace/generator.hpp"
+#include "util/expected.hpp"
+
+namespace gts::config {
+
+/// Parsed sys-config.ini.
+struct SystemConfig {
+  bool simulation = true;
+  /// "minsky" | "pcie" | "dgx1".
+  std::string machine_shape = "minsky";
+  int machines = 1;
+  /// Path to a JSON workload manifest; empty means "use the generator".
+  std::string workload_manifest;
+  trace::GeneratorOptions generator;
+  /// Lognormal execution-noise sigma (0 disables).
+  double noise_sigma = 0.0;
+
+  static util::Expected<SystemConfig> from_ini(const Ini& ini);
+  Ini to_ini() const;
+};
+
+/// Parsed <algo>-config.ini.
+struct AlgoConfig {
+  std::string name;  // file stem, e.g. "topo-aware-p"
+  sched::Policy policy = sched::Policy::kTopoAwareP;
+  sched::UtilityWeights weights{};
+
+  static util::Expected<AlgoConfig> from_ini(const std::string& name,
+                                             const Ini& ini);
+  Ini to_ini() const;
+};
+
+/// Resolves the machine shape string.
+util::Expected<topo::builders::MachineShape> parse_machine_shape(
+    const std::string& name);
+
+/// Builds the topology a SystemConfig describes.
+util::Expected<topo::TopologyGraph> build_topology(const SystemConfig& config);
+
+/// Loads sys-config.ini plus every *-config.ini algorithm file given.
+struct LoadedConfiguration {
+  SystemConfig system;
+  std::vector<AlgoConfig> algorithms;
+};
+util::Expected<LoadedConfiguration> load_configuration(
+    const std::string& sys_config_path,
+    const std::vector<std::string>& algo_config_paths);
+
+/// Writes the sample configuration files the paper ships ("samples of all
+/// configuration files and workload manifest are provided in the source
+/// code") into `directory`. Returns the paths written.
+util::Expected<std::vector<std::string>> write_sample_configs(
+    const std::string& directory);
+
+}  // namespace gts::config

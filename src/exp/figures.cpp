@@ -1,0 +1,118 @@
+#include "exp/figures.hpp"
+
+#include <cmath>
+
+#include "perf/profile.hpp"
+
+namespace gts::exp {
+
+namespace {
+
+jobgraph::JobRequest two_gpu_job(jobgraph::NeuralNet nn, int batch_size,
+                                 long long iterations = 4000) {
+  return jobgraph::JobRequest::make_dl(/*id=*/0, /*arrival=*/0.0, nn,
+                                       batch_size, /*num_gpus=*/2,
+                                       /*min_utility=*/0.0, iterations);
+}
+
+}  // namespace
+
+std::vector<BreakdownRow> fig3_breakdown(const perf::DlWorkloadModel& model,
+                                         const topo::TopologyGraph& topology,
+                                         long long iterations) {
+  std::vector<BreakdownRow> rows;
+  const std::vector<int> pack = perf::pack_placement(topology, 2);
+  const std::vector<int> spread = perf::spread_placement(topology, 2);
+  for (int n = 0; n < jobgraph::kNeuralNetCount; ++n) {
+    const auto nn = static_cast<jobgraph::NeuralNet>(n);
+    for (int b = 0; b < jobgraph::kBatchClassCount; ++b) {
+      const auto batch = static_cast<jobgraph::BatchClass>(b);
+      const jobgraph::JobRequest job = two_gpu_job(
+          nn, jobgraph::representative_batch_size(batch), iterations);
+      for (const bool is_pack : {true, false}) {
+        const perf::IterationBreakdown step =
+            model.iteration(job, is_pack ? pack : spread, topology);
+        BreakdownRow row;
+        row.nn = nn;
+        row.batch = batch;
+        row.pack = is_pack;
+        row.compute_s = step.compute_s * static_cast<double>(iterations);
+        row.comm_s = step.comm_s * static_cast<double>(iterations);
+        const double total = row.compute_s + row.comm_s;
+        row.compute_fraction = total > 0.0 ? row.compute_s / total : 0.0;
+        row.comm_fraction = total > 0.0 ? row.comm_s / total : 0.0;
+        rows.push_back(row);
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<SpeedupRow> fig4_pack_vs_spread(
+    const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology) {
+  std::vector<SpeedupRow> rows;
+  const std::vector<int> pack = perf::pack_placement(topology, 2);
+  const std::vector<int> spread = perf::spread_placement(topology, 2);
+  for (int n = 0; n < jobgraph::kNeuralNetCount; ++n) {
+    const auto nn = static_cast<jobgraph::NeuralNet>(n);
+    for (const int batch_size : jobgraph::kBatchSweep) {
+      const jobgraph::JobRequest job = two_gpu_job(nn, batch_size);
+      SpeedupRow row;
+      row.nn = nn;
+      row.batch_size = batch_size;
+      row.pack_time = model.completion_time(job, pack, topology);
+      row.spread_time = model.completion_time(job, spread, topology);
+      row.speedup = row.pack_time > 0.0 ? row.spread_time / row.pack_time : 0.0;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::vector<BandwidthPoint> fig5_bandwidth_series(
+    const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology,
+    int batch_size, double duration_s, double dt) {
+  // Instantaneous NVLink counter samples: during the blocking gradient
+  // exchange the link runs at the pair's effective bandwidth; during
+  // compute only the (overlapped) H2D input stream flows.
+  const std::vector<int> pack = perf::pack_placement(topology, 2);
+  const jobgraph::JobRequest job =
+      two_gpu_job(jobgraph::NeuralNet::kAlexNet, batch_size);
+  const perf::IterationBreakdown step = model.iteration(job, pack, topology);
+  const double iter = step.total_s;
+  const double grad_gbps = step.effective_bw_gbps;
+  const double h2d_gb = model.bytes_per_iteration_gb(job) -
+                        model.params()
+                            .nn[static_cast<size_t>(jobgraph::NeuralNet::kAlexNet)]
+                            .grad_volume_gb;
+  const double h2d_gbps =
+      step.compute_s > 0.0 ? h2d_gb / step.compute_s : 0.0;
+
+  std::vector<BandwidthPoint> series;
+  for (double t = 0.0; t < duration_s; t += dt) {
+    const double phase = std::fmod(t, iter);
+    const double gbps = phase < step.comm_s ? grad_gbps : h2d_gbps;
+    series.push_back({t, gbps});
+  }
+  return series;
+}
+
+double fig6_collocation_slowdown(const perf::DlWorkloadModel& model,
+                                 const topo::TopologyGraph& topology,
+                                 jobgraph::BatchClass mine,
+                                 jobgraph::BatchClass other) {
+  // Two 2-GPU AlexNet jobs, each packed on its own socket (the canonical
+  // collocation the machine admits); job A's slowdown vs running solo.
+  const std::vector<int> gpus_a = topology.gpus_of_socket(0, 0);
+  const jobgraph::JobRequest job_a = two_gpu_job(
+      jobgraph::NeuralNet::kAlexNet,
+      jobgraph::representative_batch_size(mine));
+  const double solo = model.iteration(job_a, gpus_a, topology).total_s;
+
+  const perf::CoRunner co[] = {{other, /*same_socket=*/false}};
+  const double colloc =
+      model.iteration(job_a, gpus_a, topology, nullptr, co).total_s;
+  return solo > 0.0 ? colloc / solo - 1.0 : 0.0;
+}
+
+}  // namespace gts::exp

@@ -1,0 +1,57 @@
+// Data producers for the characterization figures (Section 3): one
+// function per figure, returning plain rows the benches render and the
+// tests assert on.
+#pragma once
+
+#include <vector>
+
+#include "jobgraph/jobgraph.hpp"
+#include "perf/model.hpp"
+#include "topo/topology.hpp"
+
+namespace gts::exp {
+
+/// Fig. 3: execution-time breakdown of a 2-GPU job, pack vs spread.
+struct BreakdownRow {
+  jobgraph::NeuralNet nn;
+  jobgraph::BatchClass batch;
+  bool pack = true;
+  double compute_s = 0.0;  // per 40 iterations, matching the paper's prose
+  double comm_s = 0.0;
+  double compute_fraction = 0.0;
+  double comm_fraction = 0.0;
+};
+std::vector<BreakdownRow> fig3_breakdown(const perf::DlWorkloadModel& model,
+                                         const topo::TopologyGraph& topology,
+                                         long long iterations = 40);
+
+/// Fig. 4 / Section 3.2: pack-vs-spread speedup per batch size.
+struct SpeedupRow {
+  jobgraph::NeuralNet nn;
+  int batch_size = 1;
+  double pack_time = 0.0;
+  double spread_time = 0.0;
+  double speedup = 0.0;  // spread / pack; > 1 means pack wins
+};
+std::vector<SpeedupRow> fig4_pack_vs_spread(
+    const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology);
+
+/// Fig. 5: NVLink bandwidth usage over time for AlexNet with a given batch
+/// size; instantaneous link-counter samples every `dt` seconds.
+struct BandwidthPoint {
+  double t = 0.0;
+  double gbps = 0.0;
+};
+std::vector<BandwidthPoint> fig5_bandwidth_series(
+    const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology,
+    int batch_size, double duration_s = 250.0, double dt = 1.0);
+
+/// Fig. 6: collocation slowdown of job A (2-GPU AlexNet, batch class a)
+/// when a second 2-GPU AlexNet with batch class b shares the machine,
+/// each packed on its own socket. Returns the fractional slowdown of A.
+double fig6_collocation_slowdown(const perf::DlWorkloadModel& model,
+                                 const topo::TopologyGraph& topology,
+                                 jobgraph::BatchClass mine,
+                                 jobgraph::BatchClass other);
+
+}  // namespace gts::exp

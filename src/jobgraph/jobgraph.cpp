@@ -1,0 +1,83 @@
+#include "jobgraph/jobgraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gts::jobgraph {
+
+JobGraph JobGraph::all_to_all(int task_count, double weight) {
+  JobGraph graph(task_count);
+  if (weight <= 0.0) return graph;
+  for (int a = 0; a < task_count; ++a) {
+    for (int b = a + 1; b < task_count; ++b) {
+      graph.add_edge(a, b, weight);
+    }
+  }
+  return graph;
+}
+
+JobGraph JobGraph::ring(int task_count, double weight) {
+  JobGraph graph(task_count);
+  if (weight <= 0.0 || task_count < 2) return graph;
+  for (int a = 0; a < task_count; ++a) {
+    const int b = (a + 1) % task_count;
+    if (task_count == 2 && a == 1) break;  // avoid duplicate 0-1 edge
+    graph.add_edge(std::min(a, b), std::max(a, b), weight);
+  }
+  return graph;
+}
+
+void JobGraph::add_edge(int a, int b, double weight) {
+  assert(a >= 0 && a < task_count_ && b >= 0 && b < task_count_ && a != b);
+  edges_.push_back({std::min(a, b), std::max(a, b), weight});
+}
+
+double JobGraph::edge_weight(int a, int b) const noexcept {
+  const int lo = std::min(a, b);
+  const int hi = std::max(a, b);
+  for (const CommEdge& edge : edges_) {
+    if (edge.a == lo && edge.b == hi) return edge.weight;
+  }
+  return 0.0;
+}
+
+double JobGraph::total_weight() const noexcept {
+  double total = 0.0;
+  for (const CommEdge& edge : edges_) total += edge.weight;
+  return total;
+}
+
+double JobGraph::weight_to_group(int task,
+                                 const std::vector<int>& group) const {
+  double total = 0.0;
+  for (const CommEdge& edge : edges_) {
+    const int other = edge.a == task ? edge.b : (edge.b == task ? edge.a : -1);
+    if (other < 0) continue;
+    if (std::find(group.begin(), group.end(), other) != group.end()) {
+      total += edge.weight;
+    }
+  }
+  return total;
+}
+
+JobRequest JobRequest::make_dl(int id, double arrival_time, NeuralNet nn,
+                               int batch_size, int num_gpus,
+                               double min_utility, long long iterations) {
+  JobRequest request;
+  request.id = id;
+  request.arrival_time = arrival_time;
+  request.num_gpus = num_gpus;
+  request.iterations = iterations;
+  request.min_utility = min_utility;
+
+  JobProfile& profile = request.profile;
+  profile.nn = nn;
+  profile.batch_size = batch_size;
+  profile.batch = classify_batch_size(batch_size);
+  profile.comm_weight = comm_weight(profile.batch);
+
+  request.comm_graph = JobGraph::all_to_all(num_gpus, profile.comm_weight);
+  return request;
+}
+
+}  // namespace gts::jobgraph

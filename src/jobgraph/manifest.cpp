@@ -1,0 +1,120 @@
+#include "jobgraph/manifest.hpp"
+
+#include "util/strings.hpp"
+
+namespace gts::jobgraph {
+
+namespace {
+
+json::Value comm_graph_to_json(const JobRequest& request) {
+  // If the graph matches the canonical all-to-all with the profile weight,
+  // keep the manifest compact; otherwise list edges explicitly.
+  const JobGraph canonical = JobGraph::all_to_all(
+      request.num_gpus, request.profile.comm_weight);
+  bool is_canonical =
+      canonical.edge_count() == request.comm_graph.edge_count();
+  if (is_canonical) {
+    for (const CommEdge& edge : request.comm_graph.edges()) {
+      if (edge.weight != request.profile.comm_weight) {
+        is_canonical = false;
+        break;
+      }
+    }
+  }
+  json::Value graph;
+  if (is_canonical) {
+    graph.set("pattern", "all_to_all");
+    return graph;
+  }
+  json::Array edges;
+  for (const CommEdge& edge : request.comm_graph.edges()) {
+    edges.push_back(json::Array{edge.a, edge.b, edge.weight});
+  }
+  graph.set("edges", std::move(edges));
+  return graph;
+}
+
+}  // namespace
+
+json::Value to_manifest(const JobRequest& request) {
+  json::Value value;
+  value.set("id", request.id);
+  value.set("arrival_time", request.arrival_time);
+  value.set("nn", std::string(to_string(request.profile.nn)));
+  value.set("batch_size", request.profile.batch_size);
+  value.set("num_gpus", request.num_gpus);
+  value.set("min_utility", request.min_utility);
+  value.set("iterations", request.iterations);
+  value.set("single_node", request.profile.single_node);
+  value.set("anti_collocate", request.profile.anti_collocate);
+  value.set("comm_graph", comm_graph_to_json(request));
+  return value;
+}
+
+util::Expected<JobRequest> from_manifest(const json::Value& value) {
+  if (!value.is_object()) return util::Error{"manifest: job is not an object"};
+  const auto nn = neural_net_from_string(value.at("nn").as_string());
+  if (!nn) {
+    return util::Error{
+        util::fmt("manifest: unknown nn '{}'", value.at("nn").as_string())};
+  }
+  const int batch_size = static_cast<int>(value.at("batch_size").as_int(1));
+  if (batch_size < 1) return util::Error{"manifest: batch_size must be >= 1"};
+  const int num_gpus = static_cast<int>(value.at("num_gpus").as_int(1));
+  if (num_gpus < 1) return util::Error{"manifest: num_gpus must be >= 1"};
+
+  JobRequest request = JobRequest::make_dl(
+      static_cast<int>(value.at("id").as_int()),
+      value.at("arrival_time").as_number(), *nn, batch_size, num_gpus,
+      value.at("min_utility").as_number(),
+      value.at("iterations").as_int(4000));
+  request.profile.single_node = value.at("single_node").as_bool(true);
+  request.profile.anti_collocate = value.at("anti_collocate").as_bool(false);
+
+  const json::Value& graph = value.at("comm_graph");
+  if (graph.contains("edges")) {
+    JobGraph explicit_graph(num_gpus);
+    for (const json::Value& edge : graph.at("edges").as_array()) {
+      const json::Array& triple = edge.as_array();
+      if (triple.size() != 3) {
+        return util::Error{"manifest: comm_graph edge must be [a, b, weight]"};
+      }
+      const int a = static_cast<int>(triple[0].as_int());
+      const int b = static_cast<int>(triple[1].as_int());
+      if (a < 0 || a >= num_gpus || b < 0 || b >= num_gpus || a == b) {
+        return util::Error{"manifest: comm_graph edge endpoints out of range"};
+      }
+      explicit_graph.add_edge(a, b, triple[2].as_number());
+    }
+    request.comm_graph = std::move(explicit_graph);
+  }
+  return request;
+}
+
+util::Expected<std::vector<JobRequest>> load_manifest_file(
+    const std::string& path) {
+  auto document = json::parse_file(path);
+  if (!document) return document.error();
+  std::vector<JobRequest> jobs;
+  if (document->is_array()) {
+    for (const json::Value& entry : document->as_array()) {
+      auto job = from_manifest(entry);
+      if (!job) return job.error().with_context(path);
+      jobs.push_back(std::move(*job));
+    }
+  } else {
+    auto job = from_manifest(*document);
+    if (!job) return job.error().with_context(path);
+    jobs.push_back(std::move(*job));
+  }
+  return jobs;
+}
+
+util::Status save_manifest_file(const std::vector<JobRequest>& jobs,
+                                const std::string& path) {
+  json::Array array;
+  for (const JobRequest& job : jobs) array.push_back(to_manifest(job));
+  return json::write_file(json::Value(std::move(array)), path, {.indent = 2});
+}
+
+}  // namespace gts::jobgraph

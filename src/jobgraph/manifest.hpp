@@ -1,0 +1,46 @@
+// JSON manifest (de)serialization for job requests.
+//
+// The paper's prototype "continuously loads JSON files containing the
+// necessary information about the submitted jobs" and builds a manifest per
+// job (Section 5.1). This module defines that manifest format:
+//
+// {
+//   "id": 3,
+//   "arrival_time": 25.33,
+//   "nn": "AlexNet",
+//   "batch_size": 4,
+//   "num_gpus": 2,
+//   "min_utility": 0.5,
+//   "iterations": 4000,
+//   "single_node": true,
+//   "anti_collocate": false,
+//   "comm_graph": {"pattern": "all_to_all"}           // or explicit edges:
+//   "comm_graph": {"edges": [[0,1,4.0], [1,2,4.0]]}
+// }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jobgraph/jobgraph.hpp"
+#include "json/json.hpp"
+#include "util/expected.hpp"
+
+namespace gts::jobgraph {
+
+/// Serializes a request into its manifest JSON value.
+json::Value to_manifest(const JobRequest& request);
+
+/// Parses one manifest object.
+util::Expected<JobRequest> from_manifest(const json::Value& value);
+
+/// Parses a manifest file holding either one job object or an array of
+/// job objects (a whole workload).
+util::Expected<std::vector<JobRequest>> load_manifest_file(
+    const std::string& path);
+
+/// Writes a workload as a JSON array manifest.
+util::Status save_manifest_file(const std::vector<JobRequest>& jobs,
+                                const std::string& path);
+
+}  // namespace gts::jobgraph

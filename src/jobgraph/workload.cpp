@@ -1,0 +1,77 @@
+#include "jobgraph/workload.hpp"
+
+#include "util/strings.hpp"
+
+namespace gts::jobgraph {
+
+std::string_view to_string(NeuralNet nn) noexcept {
+  switch (nn) {
+    case NeuralNet::kAlexNet:
+      return "AlexNet";
+    case NeuralNet::kCaffeRef:
+      return "CaffeRef";
+    case NeuralNet::kGoogLeNet:
+      return "GoogLeNet";
+  }
+  return "?";
+}
+
+std::string_view to_string(BatchClass batch) noexcept {
+  switch (batch) {
+    case BatchClass::kTiny:
+      return "tiny";
+    case BatchClass::kSmall:
+      return "small";
+    case BatchClass::kMedium:
+      return "medium";
+    case BatchClass::kBig:
+      return "big";
+  }
+  return "?";
+}
+
+std::optional<NeuralNet> neural_net_from_string(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "alexnet" || lower == "a") return NeuralNet::kAlexNet;
+  if (lower == "cafferef" || lower == "c") return NeuralNet::kCaffeRef;
+  if (lower == "googlenet" || lower == "g") return NeuralNet::kGoogLeNet;
+  return std::nullopt;
+}
+
+std::optional<BatchClass> batch_class_from_string(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "tiny") return BatchClass::kTiny;
+  if (lower == "small") return BatchClass::kSmall;
+  if (lower == "medium") return BatchClass::kMedium;
+  if (lower == "big") return BatchClass::kBig;
+  return std::nullopt;
+}
+
+int representative_batch_size(BatchClass batch) noexcept {
+  switch (batch) {
+    case BatchClass::kTiny:
+      return 1;
+    case BatchClass::kSmall:
+      return 4;
+    case BatchClass::kMedium:
+      return 16;
+    case BatchClass::kBig:
+      return 64;
+  }
+  return 1;
+}
+
+BatchClass classify_batch_size(int batch_size) noexcept {
+  if (batch_size <= 2) return BatchClass::kTiny;
+  if (batch_size <= 8) return BatchClass::kSmall;
+  if (batch_size <= 32) return BatchClass::kMedium;
+  return BatchClass::kBig;
+}
+
+double comm_weight(BatchClass batch) noexcept {
+  // Section 5.1: "for different batch sizes, different weights are used,
+  // ranging from 4 to 1, where 4 represents the smallest batch size".
+  return 4.0 - static_cast<double>(batch);
+}
+
+}  // namespace gts::jobgraph

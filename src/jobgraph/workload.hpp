@@ -1,0 +1,43 @@
+// Deep-learning workload taxonomy used across the reproduction (Section 2).
+//
+// The paper evaluates three Caffe NN models — AlexNet, CaffeRef and
+// GoogLeNet — each at per-GPU batch sizes from 1 to 128, grouped into four
+// qualitative classes (tiny, small, medium, big). The batch class drives
+// the job's communication weight in the job graph: the prototype maps the
+// smallest batch to weight 4 and the largest to weight 1 (Section 5.1).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gts::jobgraph {
+
+enum class NeuralNet : int { kAlexNet = 0, kCaffeRef = 1, kGoogLeNet = 2 };
+inline constexpr int kNeuralNetCount = 3;
+
+enum class BatchClass : int { kTiny = 0, kSmall = 1, kMedium = 2, kBig = 3 };
+inline constexpr int kBatchClassCount = 4;
+
+std::string_view to_string(NeuralNet nn) noexcept;
+std::string_view to_string(BatchClass batch) noexcept;
+std::optional<NeuralNet> neural_net_from_string(std::string_view name);
+std::optional<BatchClass> batch_class_from_string(std::string_view name);
+
+/// Representative per-GPU batch size for a class; Fig. 5 samples batch
+/// sizes 1/4/64/128, and Fig. 4 shows pack == spread from ~16 upwards, so
+/// the class boundaries are {1, 4, 16, 64}.
+int representative_batch_size(BatchClass batch) noexcept;
+
+/// Batch class of an arbitrary per-GPU batch size (1..128).
+BatchClass classify_batch_size(int batch_size) noexcept;
+
+/// Communication weight for the job graph edges (Section 5.1): 4 for the
+/// smallest batch class down to 1 for the largest.
+double comm_weight(BatchClass batch) noexcept;
+
+/// All batch sizes swept by the characterization experiments (Fig. 4).
+inline constexpr std::array<int, 8> kBatchSweep = {1, 2, 4, 8, 16, 32, 64, 128};
+
+}  // namespace gts::jobgraph

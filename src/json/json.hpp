@@ -1,0 +1,125 @@
+// Minimal JSON value model, recursive-descent parser, and writer.
+//
+// The paper's prototype "continuously loads JSON files containing the
+// necessary information about the submitted jobs" (Section 5.1); gts_trace
+// preserves that manifest-driven workflow, so the library carries its own
+// dependency-free JSON implementation.
+//
+// Supported: objects, arrays, strings (with \uXXXX escapes, BMP only),
+// numbers (doubles), booleans, null. Trailing commas and comments are
+// rejected, mirroring strict RFC 8259 behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace gts::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps object keys ordered, making writer output deterministic.
+using Object = std::map<std::string, Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// A JSON document node with value semantics.
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}                 // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}               // NOLINT
+  Value(double n) : type_(Type::kNumber), number_(n) {}         // NOLINT
+  Value(int n) : Value(static_cast<double>(n)) {}               // NOLINT
+  Value(long long n) : Value(static_cast<double>(n)) {}         // NOLINT
+  Value(std::size_t n) : Value(static_cast<double>(n)) {}       // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}    // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? number_ : fallback;
+  }
+  long long as_int(long long fallback = 0) const noexcept {
+    return is_number() ? static_cast<long long>(number_) : fallback;
+  }
+  const std::string& as_string() const noexcept {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+  const Array& as_array() const noexcept {
+    static const Array kEmpty;
+    return is_array() ? array_ : kEmpty;
+  }
+  const Object& as_object() const noexcept {
+    static const Object kEmpty;
+    return is_object() ? object_ : kEmpty;
+  }
+  Array& mutable_array() {
+    if (!is_array()) *this = Value(Array{});
+    return array_;
+  }
+  Object& mutable_object() {
+    if (!is_object()) *this = Value(Object{});
+    return object_;
+  }
+
+  /// Object member lookup; returns a shared null Value when absent or when
+  /// this node is not an object.
+  const Value& at(const std::string& key) const noexcept;
+  bool contains(const std::string& key) const noexcept {
+    return is_object() && object_.count(key) > 0;
+  }
+  /// Inserts/overwrites an object member (converts this node to an object).
+  void set(const std::string& key, Value value) {
+    mutable_object()[key] = std::move(value);
+  }
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document. Errors carry 1-based line/column info.
+util::Expected<Value> parse(std::string_view text);
+
+struct WriteOptions {
+  /// Pretty-print with this indent width; 0 means compact single-line.
+  int indent = 0;
+};
+
+/// Serializes a Value; round-trips through parse().
+std::string write(const Value& value, const WriteOptions& options = {});
+
+/// Convenience: reads and parses a file.
+util::Expected<Value> parse_file(const std::string& path);
+
+/// Convenience: serializes to a file, returning false on I/O failure.
+util::Status write_file(const Value& value, const std::string& path,
+                        const WriteOptions& options = {});
+
+}  // namespace gts::json

@@ -1,0 +1,98 @@
+#include "metrics/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gts::metrics {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+}
+
+std::string line_chart(std::span<const Series> series,
+                       const ChartOptions& options) {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -y_min;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (!(x_min <= x_max) || !(y_min <= y_max)) return "(empty chart)\n";
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // A touch of headroom keeps the top row readable.
+  y_max += (y_max - y_min) * 0.05;
+
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), ' '));
+
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& [x, y] : series[si].points) {
+      const int col = static_cast<int>((x - x_min) / (x_max - x_min) * (w - 1));
+      const int row = static_cast<int>((y - y_min) / (y_max - y_min) * (h - 1));
+      const int r = h - 1 - std::clamp(row, 0, h - 1);
+      grid[static_cast<size_t>(r)][static_cast<size_t>(std::clamp(col, 0, w - 1))] =
+          glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  os << util::format_double(y_max, 1) << " +"
+     << std::string(static_cast<size_t>(w), '-') << "+\n";
+  for (const std::string& row : grid) {
+    os << std::string(util::format_double(y_max, 1).size(), ' ') << " |" << row
+       << "|\n";
+  }
+  const std::string y_lo = util::format_double(y_min, 1);
+  os << y_lo << std::string(util::format_double(y_max, 1).size() >= y_lo.size()
+                                ? util::format_double(y_max, 1).size() - y_lo.size()
+                                : 0,
+                            ' ')
+     << " +" << std::string(static_cast<size_t>(w), '-') << "+\n";
+  os << "   x: [" << util::format_double(x_min, 1) << ", "
+     << util::format_double(x_max, 1) << "]";
+  if (!options.x_label.empty()) os << " " << options.x_label;
+  os << "\n";
+  for (size_t si = 0; si < series.size(); ++si) {
+    os << "   '" << kGlyphs[si % sizeof(kGlyphs)] << "' " << series[si].name
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string bar_chart(std::span<const std::pair<std::string, double>> bars,
+                      int width) {
+  double max_v = 0.0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_v = std::max(max_v, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, value] : bars) {
+    const int len =
+        max_v > 0.0
+            ? static_cast<int>(std::round(value / max_v * width))
+            : 0;
+    os << label << std::string(label_width - label.size(), ' ') << " |"
+       << std::string(static_cast<size_t>(std::max(0, len)), '#') << " "
+       << util::format_double(value, 3) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gts::metrics

@@ -1,0 +1,33 @@
+// ASCII charts: line chart for time series (Fig. 5 style) and bar chart
+// for ordered value lists (Fig. 8e/10/11 slowdown curves).
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gts::metrics {
+
+struct ChartOptions {
+  int width = 72;   // plot columns
+  int height = 16;  // plot rows
+  std::string x_label;
+  std::string y_label;
+};
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Multi-series scatter/line chart; each series gets a distinct glyph.
+std::string line_chart(std::span<const Series> series,
+                       const ChartOptions& options = {});
+
+/// Horizontal bar chart of labelled values.
+std::string bar_chart(std::span<const std::pair<std::string, double>> bars,
+                      int width = 50);
+
+}  // namespace gts::metrics

@@ -1,0 +1,72 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gts::metrics {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 *
+      static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = static_cast<int>(values.size());
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = min_value(values);
+  s.max = max_value(values);
+  std::vector<double> copy(values.begin(), values.end());
+  s.p50 = percentile(copy, 50.0);
+  s.p95 = percentile(copy, 95.0);
+  return s;
+}
+
+std::vector<int> histogram(std::span<const double> values, double lo,
+                           double hi, int bins) {
+  std::vector<int> counts(static_cast<size_t>(std::max(1, bins)), 0);
+  if (values.empty() || hi <= lo) return counts;
+  const double width = (hi - lo) / bins;
+  for (const double v : values) {
+    int bin = static_cast<int>((v - lo) / width);
+    bin = std::clamp(bin, 0, bins - 1);
+    ++counts[static_cast<size_t>(bin)];
+  }
+  return counts;
+}
+
+}  // namespace gts::metrics

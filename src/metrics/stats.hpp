@@ -1,0 +1,33 @@
+// Descriptive statistics used by the benches and tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gts::metrics {
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);  // sample stddev (n-1)
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+struct Summary {
+  int count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+Summary summarize(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// values clamp into the edge buckets.
+std::vector<int> histogram(std::span<const double> values, double lo,
+                           double hi, int bins);
+
+}  // namespace gts::metrics

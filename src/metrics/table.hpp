@@ -1,0 +1,29 @@
+// ASCII table renderer for the bench binaries' paper-style outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gts::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with aligned columns, a header separator, and `title` above.
+  std::string render(const std::string& title = "") const;
+
+  /// The same data as CSV (for offline plotting).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gts::metrics

@@ -1,0 +1,78 @@
+#include "perf/params.hpp"
+
+namespace gts::perf {
+
+std::string_view to_string(PathClass path_class) noexcept {
+  switch (path_class) {
+    case PathClass::kPeerToPeer:
+      return "p2p";
+    case PathClass::kSameSocketHost:
+      return "same-socket-host";
+    case PathClass::kCrossSocketNvlinkHost:
+      return "cross-socket-nvlink";
+    case PathClass::kCrossSocketPcieHost:
+      return "cross-socket-pcie";
+    case PathClass::kCrossMachine:
+      return "cross-machine";
+  }
+  return "?";
+}
+
+namespace {
+
+CalibrationParams base_params() {
+  CalibrationParams p;
+
+  // AlexNet: Fig. 3 anchors. compute(1) = 25 ms, compute(128) = 1.65 s per
+  // iteration; gradient exchange 50 ms per iteration at 40 GB/s pack.
+  auto& alexnet = p.nn[static_cast<size_t>(jobgraph::NeuralNet::kAlexNet)];
+  alexnet.compute_base_s = 0.0122;
+  alexnet.compute_per_sample_s = 0.0128;
+  alexnet.grad_volume_gb = 2.0;
+  alexnet.h2d_per_sample_gb = 0.075;
+
+  // CaffeRef is AlexNet-derived: slightly heavier compute, slightly less
+  // traffic (Fig. 4 shows a marginally lower speedup curve).
+  auto& cafferef = p.nn[static_cast<size_t>(jobgraph::NeuralNet::kCaffeRef)];
+  cafferef.compute_base_s = 0.0140;
+  cafferef.compute_per_sample_s = 0.0150;
+  cafferef.grad_volume_gb = 1.70;
+  cafferef.h2d_per_sample_gb = 0.075;
+
+  // GoogLeNet: Inception modules cut inter-GPU traffic by an order of
+  // magnitude; compute per sample is heavier (22 layers).
+  auto& googlenet =
+      p.nn[static_cast<size_t>(jobgraph::NeuralNet::kGoogLeNet)];
+  googlenet.compute_base_s = 0.0300;
+  googlenet.compute_per_sample_s = 0.0310;
+  googlenet.grad_volume_gb = 0.20;
+  googlenet.h2d_per_sample_gb = 0.075;
+
+  // Fig. 6 matrix: interference[mine][other]. Rows/cols ordered
+  // tiny, small, medium, big. Anchors: tiny|tiny=0.30, tiny|big=0.24,
+  // small|big=0.21, big|big~0. Intermediate cells interpolated.
+  p.interference = {{
+      {{0.30, 0.28, 0.26, 0.24}},  // tiny suffers
+      {{0.26, 0.24, 0.22, 0.21}},  // small suffers
+      {{0.12, 0.10, 0.08, 0.06}},  // medium suffers
+      {{0.03, 0.02, 0.01, 0.00}},  // big suffers
+  }};
+  return p;
+}
+
+}  // namespace
+
+CalibrationParams CalibrationParams::paper_minsky() {
+  CalibrationParams p = base_params();
+  p.compute_scale = 1.0;
+  return p;
+}
+
+CalibrationParams CalibrationParams::paper_k80() {
+  CalibrationParams p = base_params();
+  // K80-era GPUs are roughly half the throughput of P100.
+  p.compute_scale = 2.0;
+  return p;
+}
+
+}  // namespace gts::perf

@@ -1,0 +1,99 @@
+// Calibration parameters of the DL workload performance model.
+//
+// This module is the substitution for the paper's physical testbed (IBM
+// Power8 "Minsky" + Tesla P100 + Caffe/NCCL). Every constant below is
+// fitted against numbers the paper reports:
+//
+//   * Fig. 3: AlexNet 40-iteration compute time ~1 s at batch 1 and ~66 s
+//     at batch 128; communication time ~2 s regardless of batch size.
+//   * Fig. 4: pack-vs-spread speedup ~1.30x at batch 1-2 decaying to ~1.0
+//     from batch 16; GoogLeNet nearly flat (its Inception modules shrink
+//     inter-GPU traffic).
+//   * Fig. 5: NVLink bandwidth bursts ~40 GB/s at batch 1 vs ~6 GB/s at
+//     batch 128.
+//   * Fig. 6: collocation slowdown matrix (tiny+tiny ~30%, tiny vs big
+//     ~24%, small vs big ~21%, big+big ~0).
+//   * Section 3.2 prose: on the PCI-e Gen3 + K80 machine the speedups are
+//     1.24x/1.21x/1.1x at batch 1/2/8 (vs 1.27x/1.30x/1.20x with NVLink).
+//
+// The model form: per-iteration time = compute(nn, batch)
+//                                    + gradient_volume / effective_bw(path)
+// with effective bandwidth = path bottleneck x an efficiency class factor,
+// and a multiplicative interference factor for machine-shared co-runners.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "jobgraph/workload.hpp"
+
+namespace gts::perf {
+
+/// Per-NN compute & traffic constants.
+struct NnParams {
+  /// Per-iteration GPU compute time: base + per_sample * batch (seconds).
+  double compute_base_s = 0.0;
+  double compute_per_sample_s = 0.0;
+  /// Effective inter-GPU gradient exchange volume per iteration (GB). This
+  /// is an *effective* volume: it folds NCCL rounds, staging copies and
+  /// launch overheads into one number fitted to Fig. 3's ~2 s / 40 iters.
+  double grad_volume_gb = 0.0;
+  /// Host-to-device input traffic per sample (GB); it overlaps compute (no
+  /// time cost) but shows up in link byte counters (Fig. 5).
+  double h2d_per_sample_gb = 0.0;
+};
+
+/// Effective-bandwidth multiplier per routing-path class. P2P paths run at
+/// the link bottleneck; host-routed paths pay staging copies.
+struct PathEfficiency {
+  double peer_to_peer = 1.0;
+  double same_socket_host = 0.90;        // via one socket root (PCI-e PHB)
+  double cross_socket_nvlink_host = 0.86;  // NVLink H2D legs + SMP bus
+  double cross_socket_pcie_host = 0.70;    // PCI-e H2D legs + SMP bus
+  double cross_machine = 0.50;             // network + both hosts
+};
+
+/// Routing-path classes distinguished by the model.
+enum class PathClass {
+  kPeerToPeer,
+  kSameSocketHost,
+  kCrossSocketNvlinkHost,
+  kCrossSocketPcieHost,
+  kCrossMachine,
+};
+std::string_view to_string(PathClass path_class) noexcept;
+
+struct CalibrationParams {
+  std::array<NnParams, jobgraph::kNeuralNetCount> nn{};
+
+  PathEfficiency efficiency{};
+
+  /// interference[mine][other]: fractional slowdown a job with batch class
+  /// `mine` suffers when one job with batch class `other` shares the
+  /// machine (the Fig. 6 matrix). Multiple co-runners compose
+  /// multiplicatively: factor = prod(1 + s).
+  std::array<std::array<double, jobgraph::kBatchClassCount>,
+             jobgraph::kBatchClassCount>
+      interference{};
+
+  /// Extra multiplier on the matrix slowdown when two jobs share a CPU
+  /// socket (they contend on the socket's memory bus and host links, not
+  /// just machine-wide resources). 1.0 disables the distinction.
+  double socket_interference_boost = 1.25;
+
+  /// GPU compute-time multiplier for the machine generation (1.0 = P100;
+  /// the K80 comparison machine is ~2x slower).
+  double compute_scale = 1.0;
+
+  /// Host memory-bandwidth capacity per machine (GB/s), for the Section
+  /// 4.3 capacity constraint t_bw <= p_bw (two Power8 sockets with 256 GB
+  /// DRAM each sustain roughly 115 GB/s per socket).
+  double host_bw_capacity_gbps = 230.0;
+
+  /// Calibrated to the paper's NVLink Minsky + P100 testbed.
+  static CalibrationParams paper_minsky();
+  /// Calibrated to the PCI-e Gen3 + K80 comparison machine (Section 3.2).
+  static CalibrationParams paper_k80();
+};
+
+}  // namespace gts::perf

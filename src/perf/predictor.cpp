@@ -1,0 +1,158 @@
+#include "perf/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "perf/profile.hpp"
+
+namespace gts::perf {
+
+void ProfilePredictor::observe(ProfileObservation observation) {
+  observations_.push_back(std::move(observation));
+}
+
+ProfilePredictor ProfilePredictor::from_model_sweep(
+    const DlWorkloadModel& model, const topo::TopologyGraph& topology,
+    std::vector<int> batch_sizes) {
+  ProfilePredictor predictor;
+  for (int n = 0; n < jobgraph::kNeuralNetCount; ++n) {
+    const auto nn = static_cast<jobgraph::NeuralNet>(n);
+    for (const int batch : batch_sizes) {
+      for (const int gpus : {1, 2}) {
+        for (const bool packed : {true, false}) {
+          if (gpus == 1 && !packed) continue;  // meaningless for one GPU
+          const std::vector<int> placement =
+              packed ? pack_placement(topology, gpus)
+                     : spread_placement(topology, gpus);
+          if (static_cast<int>(placement.size()) != gpus) continue;
+          const jobgraph::JobRequest job = jobgraph::JobRequest::make_dl(
+              0, 0.0, nn, batch, gpus, 0.0, 1);
+          ProfileObservation observation;
+          observation.nn = nn;
+          observation.batch_size = batch;
+          observation.num_gpus = gpus;
+          observation.packed = packed;
+          observation.iteration_time_s =
+              model.iteration(job, placement, topology).total_s;
+          const auto batch_class = jobgraph::classify_batch_size(batch);
+          for (int other = 0; other < jobgraph::kBatchClassCount; ++other) {
+            observation.collocation_slowdown[static_cast<size_t>(other)] =
+                model.params()
+                    .interference[static_cast<size_t>(batch_class)]
+                                 [static_cast<size_t>(other)];
+          }
+          predictor.observe(std::move(observation));
+        }
+      }
+    }
+  }
+  return predictor;
+}
+
+std::vector<const ProfileObservation*> ProfilePredictor::best_group(
+    jobgraph::NeuralNet nn, int num_gpus, bool packed) const {
+  // Group distance: NN mismatch is worst (different compute/traffic
+  // regime), then GPU-count mismatch, then placement mismatch.
+  long long best_distance = std::numeric_limits<long long>::max();
+  for (const ProfileObservation& o : observations_) {
+    const long long distance =
+        (o.nn != nn ? 100 : 0) + std::abs(o.num_gpus - num_gpus) * 10 +
+        (o.packed != packed ? 1 : 0);
+    best_distance = std::min(best_distance, distance);
+  }
+  std::vector<const ProfileObservation*> group;
+  for (const ProfileObservation& o : observations_) {
+    const long long distance =
+        (o.nn != nn ? 100 : 0) + std::abs(o.num_gpus - num_gpus) * 10 +
+        (o.packed != packed ? 1 : 0);
+    if (distance == best_distance) group.push_back(&o);
+  }
+  std::sort(group.begin(), group.end(),
+            [](const ProfileObservation* a, const ProfileObservation* b) {
+              return a->batch_size < b->batch_size;
+            });
+  return group;
+}
+
+std::optional<double> ProfilePredictor::predict_iteration_time(
+    jobgraph::NeuralNet nn, int batch_size, int num_gpus,
+    bool packed) const {
+  if (observations_.empty()) return std::nullopt;
+  const auto group = best_group(nn, num_gpus, packed);
+  if (group.empty()) return std::nullopt;
+  if (group.size() == 1) return group.front()->iteration_time_s;
+
+  // Piecewise linear interpolation in batch size (iteration time is
+  // affine in batch for these workloads, so plain linear interpolation is
+  // exact between observed points and the edge slope extrapolates).
+  const auto below = std::partition_point(
+      group.begin(), group.end(), [&](const ProfileObservation* o) {
+        return o->batch_size <= batch_size;
+      });
+  const ProfileObservation* lo;
+  const ProfileObservation* hi;
+  if (below == group.begin()) {
+    lo = group[0];
+    hi = group[1];
+  } else if (below == group.end()) {
+    lo = group[group.size() - 2];
+    hi = group[group.size() - 1];
+  } else {
+    lo = *(below - 1);
+    hi = *below;
+  }
+  if (hi->batch_size == lo->batch_size) return lo->iteration_time_s;
+  const double slope = (hi->iteration_time_s - lo->iteration_time_s) /
+                       static_cast<double>(hi->batch_size - lo->batch_size);
+  return lo->iteration_time_s +
+         slope * static_cast<double>(batch_size - lo->batch_size);
+}
+
+std::optional<std::array<double, jobgraph::kBatchClassCount>>
+ProfilePredictor::predict_collocation(jobgraph::NeuralNet nn,
+                                      int batch_size) const {
+  if (observations_.empty()) return std::nullopt;
+  // Nearest observation by (nn, |log batch distance|).
+  const ProfileObservation* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const ProfileObservation& o : observations_) {
+    const double distance =
+        (o.nn != nn ? 100.0 : 0.0) +
+        std::fabs(std::log2(static_cast<double>(o.batch_size)) -
+                  std::log2(static_cast<double>(std::max(1, batch_size))));
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = &o;
+    }
+  }
+  return best->collocation_slowdown;
+}
+
+double ProfilePredictor::validation_error(
+    const DlWorkloadModel& model, const topo::TopologyGraph& topology) const {
+  double total_error = 0.0;
+  int count = 0;
+  for (int n = 0; n < jobgraph::kNeuralNetCount; ++n) {
+    const auto nn = static_cast<jobgraph::NeuralNet>(n);
+    for (const int batch : jobgraph::kBatchSweep) {
+      for (const bool packed : {true, false}) {
+        const std::vector<int> placement =
+            packed ? pack_placement(topology, 2)
+                   : spread_placement(topology, 2);
+        const jobgraph::JobRequest job =
+            jobgraph::JobRequest::make_dl(0, 0.0, nn, batch, 2, 0.0, 1);
+        const double truth =
+            model.iteration(job, placement, topology).total_s;
+        const auto predicted =
+            predict_iteration_time(nn, batch, 2, packed);
+        if (!predicted || truth <= 0.0) continue;
+        total_error += std::fabs(*predicted - truth) / truth;
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : total_error / count;
+}
+
+}  // namespace gts::perf

@@ -1,0 +1,79 @@
+// Performance prediction for unknown jobs (Section 4.2).
+//
+// The paper's profiles come from historical runs; for configurations
+// never profiled it points to prediction models ("decision tree [14, 37]
+// or statistical clustering [8, 22, 28]") fed by previous executions, and
+// notes that "because of the cloud's high variability, our model does not
+// need to be optimal; high-quality decisions will be accurate enough".
+//
+// ProfilePredictor implements that: it stores profiled observations and
+// answers queries for unseen (NN, batch, GPUs, placement) configurations
+// by piecewise log-linear interpolation over batch size within the most
+// similar profiled group — a transparent nearest-neighbour scheme in the
+// spirit of the cited statistical approaches.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "jobgraph/workload.hpp"
+#include "perf/model.hpp"
+#include "topo/topology.hpp"
+
+namespace gts::perf {
+
+/// One historical measurement: a configuration and what it cost.
+struct ProfileObservation {
+  jobgraph::NeuralNet nn = jobgraph::NeuralNet::kAlexNet;
+  int batch_size = 1;
+  int num_gpus = 1;
+  bool packed = true;  // pack vs spread placement
+  double iteration_time_s = 0.0;
+  /// Fractional slowdown when collocated with one job per batch class.
+  std::array<double, jobgraph::kBatchClassCount> collocation_slowdown{};
+};
+
+class ProfilePredictor {
+ public:
+  /// Records one historical execution.
+  void observe(ProfileObservation observation);
+  int observation_count() const {
+    return static_cast<int>(observations_.size());
+  }
+
+  /// Bootstraps the predictor from a coarse sweep over `model` — the
+  /// paper's "injecting artificial load / combinatorial collocation"
+  /// profiling pass, run at the given batch sizes only.
+  static ProfilePredictor from_model_sweep(
+      const DlWorkloadModel& model, const topo::TopologyGraph& topology,
+      std::vector<int> batch_sizes = {1, 8, 64});
+
+  /// Predicted solo iteration time for a configuration (seconds).
+  /// Interpolates log-linearly in batch size among observations of the
+  /// same (nn, gpus, packed) group; degrades to the nearest group when no
+  /// exact group exists. Returns nullopt only when nothing was observed.
+  std::optional<double> predict_iteration_time(jobgraph::NeuralNet nn,
+                                               int batch_size, int num_gpus,
+                                               bool packed) const;
+
+  /// Predicted collocation-slowdown row for a configuration.
+  std::optional<std::array<double, jobgraph::kBatchClassCount>>
+  predict_collocation(jobgraph::NeuralNet nn, int batch_size) const;
+
+  /// Mean absolute relative error of iteration-time predictions against a
+  /// ground-truth model over a validation sweep; used by tests and the
+  /// profiler example to report predictor quality.
+  double validation_error(const DlWorkloadModel& model,
+                          const topo::TopologyGraph& topology) const;
+
+ private:
+  /// Observations of the best-matching group for a query, sorted by batch.
+  std::vector<const ProfileObservation*> best_group(jobgraph::NeuralNet nn,
+                                                    int num_gpus,
+                                                    bool packed) const;
+
+  std::vector<ProfileObservation> observations_;
+};
+
+}  // namespace gts::perf

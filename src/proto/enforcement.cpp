@@ -1,0 +1,38 @@
+#include "proto/enforcement.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace gts::proto {
+
+EnforcementPlan make_enforcement_plan(const topo::TopologyGraph& topology,
+                                      const std::vector<int>& gpus) {
+  EnforcementPlan plan;
+  plan.environment.push_back("CUDA_DEVICE_ORDER=PCI_BUS_ID");
+
+  std::ostringstream visible;
+  std::set<int> sockets;
+  bool single_machine = true;
+  int machine = -1;
+  for (size_t i = 0; i < gpus.size(); ++i) {
+    if (i > 0) visible << ",";
+    visible << topology.node(topology.gpu_node(gpus[i])).local_gpu;
+    sockets.insert(topology.socket_of_gpu(gpus[i]));
+    const int m = topology.machine_of_gpu(gpus[i]);
+    if (machine >= 0 && m != machine) single_machine = false;
+    machine = m;
+  }
+  plan.environment.push_back("CUDA_VISIBLE_DEVICES=" + visible.str());
+
+  // "applications with only GPUs in the same socket are bound to the
+  // socket using numactl" (Section 5.1).
+  if (single_machine && sockets.size() == 1) {
+    const int socket = *sockets.begin();
+    std::ostringstream cmd;
+    cmd << "numactl --cpunodebind=" << socket << " --membind=" << socket;
+    plan.command_prefix = cmd.str();
+  }
+  return plan;
+}
+
+}  // namespace gts::proto

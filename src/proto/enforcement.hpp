@@ -1,0 +1,30 @@
+// Placement enforcement (Section 5.1).
+//
+// The paper's prototype enforces decisions by exporting
+// CUDA_DEVICE_ORDER=PCI_BUS_ID, exposing only the allocated GPUs through
+// CUDA_VISIBLE_DEVICES, and binding single-socket jobs with numactl to
+// avoid remote NUMA accesses. We generate exactly that launch recipe for
+// every placement — on a real machine the strings below are the command
+// environment; in the simulation they are recorded for inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace gts::proto {
+
+struct EnforcementPlan {
+  /// Environment assignments, e.g. "CUDA_DEVICE_ORDER=PCI_BUS_ID".
+  std::vector<std::string> environment;
+  /// Command prefix, e.g. "numactl --cpunodebind=0 --membind=0".
+  std::string command_prefix;
+};
+
+/// Builds the launch recipe for a job placed on `gpus` (machine-local GPU
+/// indices are used for CUDA_VISIBLE_DEVICES, as the prototype does).
+EnforcementPlan make_enforcement_plan(const topo::TopologyGraph& topology,
+                                      const std::vector<int>& gpus);
+
+}  // namespace gts::proto

@@ -1,0 +1,43 @@
+#include "proto/runtime.hpp"
+
+#include "jobgraph/manifest.hpp"
+#include "perf/profile.hpp"
+
+namespace gts::proto {
+
+PrototypeRun PrototypeRuntime::run(const PrototypeConfig& config,
+                                   std::vector<jobgraph::JobRequest> jobs) const {
+  // Ensure profiles exist (manifest-loaded jobs arrive unprofiled).
+  for (jobgraph::JobRequest& job : jobs) {
+    if (job.profile.solo_time_pack <= 0.0) {
+      perf::fill_profile(job, model_, topology_);
+    }
+  }
+
+  const std::unique_ptr<sched::Scheduler> scheduler =
+      sched::make_scheduler(config.policy, config.weights);
+
+  sched::DriverOptions options;
+  options.utility_weights = config.weights;
+  sched::Driver driver(topology_, model_, *scheduler, options);
+
+  PrototypeRun run;
+  run.policy_name = scheduler->name();
+  run.report = driver.run(jobs);
+  for (const cluster::JobRecord& record : run.report.recorder.records()) {
+    if (record.placed()) {
+      run.enforcements.emplace_back(
+          record.id, make_enforcement_plan(topology_, record.gpus));
+    }
+  }
+  return run;
+}
+
+util::Expected<PrototypeRun> PrototypeRuntime::run_manifest(
+    const PrototypeConfig& config, const std::string& path) const {
+  auto jobs = jobgraph::load_manifest_file(path);
+  if (!jobs) return jobs.error();
+  return run(config, std::move(*jobs));
+}
+
+}  // namespace gts::proto

@@ -1,0 +1,57 @@
+// Prototype runtime (Sections 5.1 / 5.2 and the paper's appendix).
+//
+// Reproduces the prototype's workflow end to end:
+//   1. load job manifests (JSON files, Section 5.1),
+//   2. discover the topology (builders or nvidia-smi-style text fixtures),
+//   3. run the chosen scheduling algorithm against the machine,
+//   4. enforce each decision (CUDA_VISIBLE_DEVICES / numactl recipe),
+//   5. track executions and collect statistics.
+// The single difference from the paper is that "running a Caffe instance"
+// is the calibrated performance model instead of a physical Power8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proto/enforcement.hpp"
+#include "sched/driver.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gts::proto {
+
+struct PrototypeConfig {
+  sched::Policy policy = sched::Policy::kTopoAwareP;
+  sched::UtilityWeights weights{};
+  /// Appendix A.3: the system runs in simulation mode or as the real
+  /// prototype; here the "real" mode only changes reporting (the execution
+  /// substrate is always the model).
+  bool simulation = true;
+};
+
+struct PrototypeRun {
+  sched::DriverReport report;
+  /// Enforcement recipe per placed job (job id order of placement events).
+  std::vector<std::pair<int, EnforcementPlan>> enforcements;
+  std::string policy_name;
+};
+
+class PrototypeRuntime {
+ public:
+  PrototypeRuntime(const topo::TopologyGraph& topology,
+                   const perf::DlWorkloadModel& model)
+      : topology_(topology), model_(model) {}
+
+  /// Runs a workload under one policy.
+  PrototypeRun run(const PrototypeConfig& config,
+                   std::vector<jobgraph::JobRequest> jobs) const;
+
+  /// Loads a manifest file and runs it (the prototype's main loop input).
+  util::Expected<PrototypeRun> run_manifest(const PrototypeConfig& config,
+                                            const std::string& path) const;
+
+ private:
+  const topo::TopologyGraph& topology_;
+  const perf::DlWorkloadModel& model_;
+};
+
+}  // namespace gts::proto

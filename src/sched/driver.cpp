@@ -1,0 +1,148 @@
+#include "sched/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace gts::sched {
+
+Driver::Driver(const topo::TopologyGraph& topology,
+               const perf::DlWorkloadModel& model, Scheduler& scheduler,
+               DriverOptions options)
+    : topology_(topology),
+      model_(model),
+      scheduler_(scheduler),
+      options_(options),
+      shared_utility_(options.utility_weights),
+      state_(topology, model) {
+  if (options_.noise_sigma > 0.0) {
+    state_.set_execution_noise(options_.noise_sigma, options_.noise_seed);
+  }
+}
+
+bool Driver::job_can_ever_fit(const jobgraph::JobRequest& request) const {
+  // Section 4.3: a job demanding more host bandwidth than any machine
+  // offers can never satisfy t_bw <= p_bw.
+  if (request.profile.host_bw_demand_gbps >
+      model_.params().host_bw_capacity_gbps *
+          (request.profile.single_node ? 1.0 : topology_.machine_count())) {
+    return false;
+  }
+  if (request.profile.anti_collocate) {
+    return request.num_gpus <= topology_.machine_count();
+  }
+  if (request.profile.single_node) {
+    for (int machine = 0; machine < topology_.machine_count(); ++machine) {
+      if (static_cast<int>(topology_.gpus_of_machine(machine).size()) >=
+          request.num_gpus) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return request.num_gpus <= topology_.gpu_count();
+}
+
+DriverReport Driver::run(std::vector<jobgraph::JobRequest> jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const jobgraph::JobRequest& a,
+                      const jobgraph::JobRequest& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  for (const jobgraph::JobRequest& job : jobs) {
+    report_.recorder.on_submit(job);
+    if (!job_can_ever_fit(job)) {
+      ++report_.rejected_jobs;
+      GTS_LOG_WARN("driver", "job ", job.id, " can never fit; rejected");
+      continue;
+    }
+    engine_.schedule_at(job.arrival_time,
+                        [this, job]() { on_arrival(job); });
+  }
+  engine_.run();
+  report_.end_time = report_.recorder.makespan();
+  return std::move(report_);
+}
+
+void Driver::on_arrival(const jobgraph::JobRequest& request) {
+  queue_.push_back({request, ~0ULL});
+  scheduling_pass();
+}
+
+void Driver::on_completion_event() {
+  completion_event_ = sim::kInvalidEvent;
+  const double now = engine_.now();
+  state_.bank_progress(now);
+  // Finish every job whose remaining work reached zero (ties possible).
+  std::vector<int> done;
+  for (const auto& [id, job] : state_.running_jobs()) {
+    if (job.remaining_iterations() <= 1e-6) done.push_back(id);
+  }
+  for (const int id : done) {
+    state_.remove(id, now);
+    report_.recorder.on_finish(id, now);
+  }
+  if (!done.empty()) ++capacity_version_;
+  scheduling_pass();
+}
+
+void Driver::arm_completion_event() {
+  if (completion_event_ != sim::kInvalidEvent) {
+    engine_.cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (const auto next = state_.next_completion(engine_.now())) {
+    completion_event_ = engine_.schedule_at(
+        next->second, [this]() { on_completion_event(); });
+  }
+}
+
+void Driver::scheduling_pass() {
+  const double now = engine_.now();
+
+  // Algorithm 1: offer queued jobs oldest-first while resources remain.
+  bool placed_any = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (state_.free_gpu_count() == 0) break;
+    if (it->attempted_version == capacity_version_) {
+      // Already declined at this capacity state; nothing has freed since.
+      if (scheduler_.blocking_queue()) break;
+      ++it;
+      continue;
+    }
+    const jobgraph::JobRequest& request = it->request;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<Placement> placement = scheduler_.place(request, state_);
+    const auto t1 = std::chrono::steady_clock::now();
+    report_.decision_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    ++report_.decision_count;
+
+    if (!placement) {
+      it->attempted_version = capacity_version_;
+      if (scheduler_.blocking_queue()) break;  // strict FIFO head blocking
+      ++it;
+      continue;
+    }
+    double utility = placement->utility;
+    if (options_.evaluate_utility && utility == 0.0) {
+      utility =
+          shared_utility_.placement_utility(request, placement->gpus, state_);
+    }
+    state_.place(request, placement->gpus, now, utility);
+    const cluster::RunningJob* running = state_.find(request.id);
+    report_.recorder.on_place(request.id, now, placement->gpus, utility,
+                              running != nullptr && running->p2p);
+    it = queue_.erase(it);
+    placed_any = true;
+  }
+  if (options_.record_series) {
+    report_.recorder.sample(state_, now);
+  }
+  (void)placed_any;
+  arm_completion_event();
+}
+
+}  // namespace gts::sched

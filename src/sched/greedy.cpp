@@ -1,0 +1,101 @@
+#include "sched/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gts::sched {
+
+namespace {
+
+/// Machines able to host the whole job, honoring the single-node
+/// constraint; for multi-node-capable jobs a single machine is still
+/// preferred, falling back to the global free list.
+std::optional<Placement> place_on_machine_gpus(std::vector<int> gpus,
+                                               int num_gpus) {
+  if (static_cast<int>(gpus.size()) < num_gpus) return std::nullopt;
+  gpus.resize(static_cast<size_t>(num_gpus));
+  Placement placement;
+  placement.gpus = std::move(gpus);
+  return placement;
+}
+
+}  // namespace
+
+std::optional<Placement> FcfsScheduler::place(
+    const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  const topo::TopologyGraph& topology = state.topology();
+  // First machine that fits, lowest GPU ids first.
+  for (int machine = 0; machine < topology.machine_count(); ++machine) {
+    std::vector<int> free = state.free_gpus_of_machine(machine);
+    std::sort(free.begin(), free.end());
+    if (auto placement = place_on_machine_gpus(std::move(free),
+                                               request.num_gpus)) {
+      return placement;
+    }
+  }
+  if (!request.profile.single_node) {
+    std::vector<int> free = state.free_gpus();
+    std::sort(free.begin(), free.end());
+    return place_on_machine_gpus(std::move(free), request.num_gpus);
+  }
+  return std::nullopt;
+}
+
+std::optional<Placement> BestFitScheduler::place(
+    const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  const topo::TopologyGraph& topology = state.topology();
+
+  // Tightest machine that fits.
+  int best_machine = -1;
+  int best_free = std::numeric_limits<int>::max();
+  for (int machine = 0; machine < topology.machine_count(); ++machine) {
+    const int free =
+        static_cast<int>(state.free_gpus_of_machine(machine).size());
+    if (free >= request.num_gpus && free < best_free) {
+      best_free = free;
+      best_machine = machine;
+    }
+  }
+  if (best_machine < 0) {
+    if (!request.profile.single_node) {
+      std::vector<int> free = state.free_gpus();
+      std::sort(free.begin(), free.end());
+      return place_on_machine_gpus(std::move(free), request.num_gpus);
+    }
+    return std::nullopt;
+  }
+
+  // Inside the machine: GPUs from the most-used sockets first (bin
+  // packing over domains), ties by socket id then GPU id.
+  struct SocketLoad {
+    int socket;
+    int free;
+    std::vector<int> free_gpus;
+  };
+  std::vector<SocketLoad> sockets;
+  const int socket_count = topology.sockets_of_machine(best_machine);
+  for (int socket = 0; socket < socket_count; ++socket) {
+    SocketLoad load{socket, 0, {}};
+    for (const int gpu : topology.gpus_of_socket(best_machine, socket)) {
+      if (state.gpu_free(gpu)) {
+        load.free_gpus.push_back(gpu);
+      }
+    }
+    load.free = static_cast<int>(load.free_gpus.size());
+    if (load.free > 0) sockets.push_back(std::move(load));
+  }
+  std::stable_sort(sockets.begin(), sockets.end(),
+                   [](const SocketLoad& a, const SocketLoad& b) {
+                     return a.free < b.free;  // most used (fewest free) first
+                   });
+  std::vector<int> gpus;
+  for (const SocketLoad& load : sockets) {
+    for (const int gpu : load.free_gpus) {
+      if (static_cast<int>(gpus.size()) >= request.num_gpus) break;
+      gpus.push_back(gpu);
+    }
+  }
+  return place_on_machine_gpus(std::move(gpus), request.num_gpus);
+}
+
+}  // namespace gts::sched

@@ -1,0 +1,256 @@
+#include "sched/topo_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace gts::sched {
+
+namespace {
+
+/// Algorithm 3's U(task, Py): evaluates the three utility factors for
+/// routing one task to one side of the current physical bipartition, using
+/// only information available mid-recursion (side GPU sets and the tasks
+/// already routed).
+class TaskUtility final : public partition::DrbCallbacks {
+ public:
+  TaskUtility(const jobgraph::JobRequest& request,
+              const cluster::ClusterState& state, const UtilityModel& model)
+      : request_(request),
+        state_(state),
+        model_(model),
+        comm_weight_(normalized_comm_weight(request)) {}
+
+  double task_utility(int task, int side,
+                      const partition::BipartitionView& view) const override {
+    const std::vector<int>& side_gpus = side == 0 ? view.gpus0 : view.gpus1;
+    const std::vector<int>& side_tasks = side == 0 ? view.tasks0 : view.tasks1;
+    const std::vector<int>& other_gpus = side == 0 ? view.gpus1 : view.gpus0;
+    const std::vector<int>& other_tasks = side == 0 ? view.tasks1 : view.tasks0;
+    if (side_gpus.empty()) return 0.0;
+
+    const double u_comm =
+        comm_utility(task, side_gpus, side_tasks, other_gpus, other_tasks);
+    const double u_interference = interference_utility(side_gpus);
+    const double u_frag =
+        fragmentation_utility(side_gpus, static_cast<int>(side_tasks.size()));
+    return model_.combine(u_comm, u_interference, u_frag, comm_weight_);
+  }
+
+ private:
+  /// getCommCost(): expected distance from `task` to its communication
+  /// partners. Same-side partners cost the side's mean internal distance;
+  /// cross-side partners the mean distance across the cut; unrouted
+  /// partners are optimistically assumed co-located.
+  double comm_utility(int task, const std::vector<int>& side_gpus,
+                      const std::vector<int>& side_tasks,
+                      const std::vector<int>& other_gpus,
+                      const std::vector<int>& other_tasks) const {
+    double weighted_distance = 0.0;
+    double total_weight = 0.0;
+    const double d_intra = mean_internal_distance(side_gpus);
+    const double d_cross = mean_cross_distance(side_gpus, other_gpus);
+    for (const jobgraph::CommEdge& edge : request_.comm_graph.edges()) {
+      const int partner =
+          edge.a == task ? edge.b : (edge.b == task ? edge.a : -1);
+      if (partner < 0) continue;
+      const bool on_other =
+          std::find(other_tasks.begin(), other_tasks.end(), partner) !=
+          other_tasks.end();
+      (void)side_tasks;  // same-side and unrouted partners both cost d_intra
+      weighted_distance += edge.weight * (on_other ? d_cross : d_intra);
+      total_weight += edge.weight;
+    }
+    if (total_weight <= 0.0) return 1.0;
+    const double mean_distance = weighted_distance / total_weight;
+    return mean_distance > 0.0 ? std::min(1.0, 1.0 / mean_distance) : 1.0;
+  }
+
+  /// getInter(): 1 / predicted co-runner slowdown factor on this side.
+  double interference_utility(const std::vector<int>& side_gpus) const {
+    const std::vector<perf::CoRunner> co =
+        state_.co_runners(side_gpus, request_.id);
+    const double factor =
+        state_.model().interference_factor(request_.profile.batch, co);
+    return factor > 0.0 ? 1.0 / factor : 1.0;
+  }
+
+  /// getFragmentation(): Eq. 5 over the machines this side touches, after
+  /// hypothetically consuming (routed tasks + this task) GPUs from it.
+  double fragmentation_utility(const std::vector<int>& side_gpus,
+                               int tasks_already_routed) const {
+    const topo::TopologyGraph& topology = state_.topology();
+    std::set<int> machines;
+    for (const int gpu : side_gpus) {
+      machines.insert(topology.machine_of_gpu(gpu));
+    }
+    int total = 0;
+    int free_now = 0;
+    for (const int machine : machines) {
+      const int socket_count = topology.sockets_of_machine(machine);
+      for (int socket = 0; socket < socket_count; ++socket) {
+        for (const int gpu : topology.gpus_of_socket(machine, socket)) {
+          ++total;
+          if (state_.gpu_free(gpu)) ++free_now;
+        }
+      }
+    }
+    if (total == 0) return 1.0;
+    const int free_after =
+        std::max(0, free_now - tasks_already_routed - 1);
+    const double omega =
+        static_cast<double>(free_after) / static_cast<double>(total);
+    return 1.0 - omega;
+  }
+
+  double mean_internal_distance(const std::vector<int>& gpus) const {
+    if (gpus.size() < 2) return 1.0;  // a lone GPU: best case for peers here
+    double total = 0.0;
+    int pairs = 0;
+    for (size_t i = 0; i < gpus.size(); ++i) {
+      for (size_t j = i + 1; j < gpus.size(); ++j) {
+        total += state_.topology().gpu_distance(gpus[i], gpus[j]);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  }
+
+  double mean_cross_distance(const std::vector<int>& a,
+                             const std::vector<int>& b) const {
+    if (a.empty() || b.empty()) return 1.0;
+    double total = 0.0;
+    for (const int gpu_a : a) {
+      for (const int gpu_b : b) {
+        total += state_.topology().gpu_distance(gpu_a, gpu_b);
+      }
+    }
+    return total / (static_cast<double>(a.size()) *
+                    static_cast<double>(b.size()));
+  }
+
+  const jobgraph::JobRequest& request_;
+  const cluster::ClusterState& state_;
+  const UtilityModel& model_;
+  double comm_weight_;
+};
+
+partition::SpanMode span_mode(const jobgraph::JobProfile& profile) {
+  if (profile.anti_collocate) return partition::SpanMode::kAntiCollocate;
+  if (profile.single_node) return partition::SpanMode::kSingleNode;
+  return partition::SpanMode::kPreferPack;
+}
+
+}  // namespace
+
+std::optional<Placement> TopoAwareScheduler::place(
+    const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  std::optional<Placement> placement;
+  if (request.profile.single_node && !request.profile.anti_collocate &&
+      state.topology().machine_count() > direct_drb_machine_limit) {
+    placement = place_on_best_machine(request, state);
+  } else {
+    const std::vector<int> available = filter_hosts(request, state);
+    if (static_cast<int>(available.size()) < request.num_gpus) {
+      return std::nullopt;
+    }
+    placement = map_onto(request, available, state);
+  }
+  if (!placement) return std::nullopt;
+
+  placement->satisfied = placement->utility + 1e-9 >= request.min_utility;
+  if (postpone_ && !placement->satisfied) {
+    // TOPO-AWARE-P: hold the job for a better allocation (Algorithm 1's
+    // postponed list; the Driver re-offers it on the next wakeup).
+    return std::nullopt;
+  }
+  return placement;
+}
+
+std::optional<Placement> drb_place(const jobgraph::JobRequest& request,
+                                   const std::vector<int>& available,
+                                   const cluster::ClusterState& state,
+                                   const UtilityModel& utility,
+                                   partition::DrbStats* stats) {
+  const TaskUtility callbacks(request, state, utility);
+  partition::DrbOptions options;
+  options.span = span_mode(request.profile);
+  partition::DrbResult result = partition::drb_map(
+      request.comm_graph, available, state.topology(), callbacks, options);
+  if (stats != nullptr) {
+    stats->bipartitions += result.stats.bipartitions;
+    stats->fm_passes += result.stats.fm_passes;
+    stats->max_depth = std::max(stats->max_depth, result.stats.max_depth);
+  }
+  if (!result.complete) return std::nullopt;
+
+  Placement placement;
+  placement.gpus = result.assignment;
+  placement.utility = utility.placement_utility(request, placement.gpus, state);
+  placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
+  return placement;
+}
+
+std::optional<Placement> TopoAwareScheduler::map_onto(
+    const jobgraph::JobRequest& request, const std::vector<int>& available,
+    const cluster::ClusterState& state) {
+  return drb_place(request, available, state, utility_, &stats_);
+}
+
+std::optional<Placement> TopoAwareScheduler::place_on_best_machine(
+    const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  const topo::TopologyGraph& topology = state.topology();
+
+  // Cheap pre-score per feasible machine: can the job land on one socket
+  // (pack), how many co-runners would interfere, how much capacity is
+  // left. Lower is better; ties break on machine id for determinism.
+  struct Candidate {
+    long long score;
+    int machine;
+  };
+  std::vector<Candidate> candidates;
+  for (int machine = 0; machine < topology.machine_count(); ++machine) {
+    // Section 4.3 capacity constraints: GPUs and host memory bandwidth.
+    if (!state.host_bw_available(machine,
+                                 request.profile.host_bw_demand_gbps)) {
+      continue;
+    }
+    const std::vector<int> free = state.free_gpus_of_machine(machine);
+    if (static_cast<int>(free.size()) < request.num_gpus) continue;
+    int best_socket_free = 0;
+    std::map<int, int> per_socket;
+    for (const int gpu : free) {
+      best_socket_free =
+          std::max(best_socket_free, ++per_socket[topology.socket_of_gpu(gpu)]);
+    }
+    const bool can_pack = best_socket_free >= request.num_gpus ||
+                          request.num_gpus > 2;  // >2 GPUs spans sockets anyway
+    const long long co_runners =
+        static_cast<long long>(state.jobs_of_machine(machine).size());
+    const long long score = (can_pack ? 0 : 1000000) + co_runners * 100 +
+                            static_cast<long long>(free.size());
+    candidates.push_back({score, machine});
+  }
+  if (candidates.empty()) return std::nullopt;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score != b.score ? a.score < b.score
+                                        : a.machine < b.machine;
+            });
+  if (static_cast<int>(candidates.size()) > candidate_limit) {
+    candidates.resize(static_cast<size_t>(candidate_limit));
+  }
+
+  std::optional<Placement> best;
+  for (const Candidate& candidate : candidates) {
+    const std::vector<int> free = state.free_gpus_of_machine(candidate.machine);
+    std::optional<Placement> placement = map_onto(request, free, state);
+    if (placement && (!best || placement->utility > best->utility)) {
+      best = std::move(placement);
+    }
+  }
+  return best;
+}
+
+}  // namespace gts::sched

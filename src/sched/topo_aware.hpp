@@ -1,0 +1,64 @@
+// The paper's topology-aware placement algorithm (Section 4.4).
+//
+// TOPO-AWARE and TOPO-AWARE-P share the same placement machinery — host
+// filtering, then the DRB mapper (Algorithms 2/3) driven by the utility
+// model — and differ only in the postponement rule: TOPO-AWARE-P declines
+// placements whose utility falls below the job's min_utility threshold
+// (out-of-order execution; the job waits for a better allocation), while
+// TOPO-AWARE always places when resources suffice.
+#pragma once
+
+#include "partition/drb.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gts::sched {
+
+/// Maps `request` onto the `available` GPUs with the utility-driven DRB
+/// (Algorithms 2/3) and evaluates the resulting placement. The building
+/// block behind TopoAwareScheduler and external integrations (the
+/// Kubernetes shim); `stats`, when given, accumulates DRB counters.
+std::optional<Placement> drb_place(const jobgraph::JobRequest& request,
+                                   const std::vector<int>& available,
+                                   const cluster::ClusterState& state,
+                                   const UtilityModel& utility,
+                                   partition::DrbStats* stats = nullptr);
+
+class TopoAwareScheduler final : public Scheduler {
+ public:
+  TopoAwareScheduler(UtilityWeights weights, bool postpone)
+      : utility_(weights), postpone_(postpone) {}
+
+  /// Above this machine count, single-node jobs use the scalable placement
+  /// path: candidate machines are pre-scored cheaply (pack availability,
+  /// co-runner count, free capacity) and only the best `candidate_limit`
+  /// run the full DRB + utility evaluation. Below it, one DRB runs over
+  /// the whole filtered GPU set exactly as in Algorithm 1.
+  int direct_drb_machine_limit = 4;
+  int candidate_limit = 16;
+
+  std::string name() const override {
+    return postpone_ ? "TOPO-AWARE-P" : "TOPO-AWARE";
+  }
+
+  std::optional<Placement> place(const jobgraph::JobRequest& request,
+                                 const cluster::ClusterState& state) override;
+
+  const UtilityModel& utility_model() const noexcept { return utility_; }
+
+  /// Cumulative DRB statistics (for the Section 5.5.3 overhead analysis).
+  const partition::DrbStats& drb_stats() const noexcept { return stats_; }
+
+ private:
+  std::optional<Placement> map_onto(const jobgraph::JobRequest& request,
+                                    const std::vector<int>& available,
+                                    const cluster::ClusterState& state);
+  std::optional<Placement> place_on_best_machine(
+      const jobgraph::JobRequest& request,
+      const cluster::ClusterState& state);
+
+  UtilityModel utility_;
+  bool postpone_;
+  partition::DrbStats stats_;
+};
+
+}  // namespace gts::sched

@@ -1,0 +1,232 @@
+#include "sched/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "perf/profile.hpp"
+
+namespace gts::sched {
+
+namespace {
+
+constexpr double kFloor = 1e-3;  // keeps log terms finite
+
+double clamp01(double v) { return std::clamp(v, kFloor, 1.0); }
+
+/// Adds the candidate job's communication flows onto a flow vector.
+void add_candidate_flows(perf::LinkFlows& flows,
+                         const jobgraph::JobRequest& request,
+                         std::span<const int> gpus,
+                         const topo::TopologyGraph& topology) {
+  for (const jobgraph::CommEdge& edge : request.comm_graph.edges()) {
+    const int gpu_a = gpus[static_cast<size_t>(edge.a)];
+    const int gpu_b = gpus[static_cast<size_t>(edge.b)];
+    for (const topo::LinkId link : topology.gpu_path(gpu_a, gpu_b).links) {
+      ++flows[static_cast<size_t>(link)];
+    }
+  }
+}
+
+/// Solo best-case iteration time of a request: profile anchor when
+/// available, else the model's pack-placement prediction.
+double best_iteration_time(const jobgraph::JobRequest& request,
+                           const cluster::ClusterState& state) {
+  if (request.profile.solo_time_pack > 0.0 && request.iterations > 0) {
+    return request.profile.solo_time_pack /
+           static_cast<double>(request.iterations);
+  }
+  const std::vector<int> pack =
+      perf::pack_placement(state.topology(), request.num_gpus);
+  if (static_cast<int>(pack.size()) != request.num_gpus) return 0.0;
+  return state.model().iteration(request, pack, state.topology()).total_s;
+}
+
+}  // namespace
+
+double normalized_comm_weight(const jobgraph::JobRequest& request) {
+  if (request.comm_graph.edge_count() == 0) return 0.0;
+  double max_weight = 0.0;
+  for (const jobgraph::CommEdge& edge : request.comm_graph.edges()) {
+    max_weight = std::max(max_weight, edge.weight);
+  }
+  // Section 5.1 uses weights in [1, 4]; anything above 4 saturates.
+  return std::clamp(max_weight / 4.0, 0.0, 1.0);
+}
+
+double UtilityModel::comm_cost(const topo::TopologyGraph& topology,
+                               std::span<const int> gpus) {
+  double total = 0.0;
+  for (size_t i = 0; i < gpus.size(); ++i) {
+    for (size_t j = i + 1; j < gpus.size(); ++j) {
+      total += topology.gpu_distance(gpus[i], gpus[j]);
+    }
+  }
+  return total;
+}
+
+double UtilityModel::best_comm_cost(const topo::TopologyGraph& topology,
+                                    int num_gpus) {
+  const std::vector<int> pack = perf::pack_placement(topology, num_gpus);
+  if (static_cast<int>(pack.size()) < num_gpus) return 0.0;
+  return comm_cost(topology, pack);
+}
+
+double UtilityModel::interference(const jobgraph::JobRequest& request,
+                                  std::span<const int> gpus,
+                                  const cluster::ClusterState& state) const {
+  // Eq. 4: I = sum_{j in running+candidate} solo(j)/colloc(j) / (n+1).
+  const topo::TopologyGraph& topology = state.topology();
+  double ratio_sum = 0.0;
+  int count = 0;
+
+  // Candidate's own ratio under the hypothetical placement.
+  {
+    const double best = best_iteration_time(request, state);
+    const double predicted = state.predict_iteration(request, gpus).total_s;
+    ratio_sum += (best > 0.0 && predicted > 0.0)
+                     ? std::min(1.0, best / predicted)
+                     : 1.0;
+    ++count;
+  }
+
+  // Each running job that shares a machine with the candidate placement
+  // (taken from the per-machine index so cost scales with touched
+  // machines, not cluster size).
+  const std::vector<int> machines = state.machines_of(gpus);
+  perf::LinkFlows adjusted = state.link_flows();
+  add_candidate_flows(adjusted, request, gpus, topology);
+
+  const std::set<std::pair<int, int>> candidate_sockets = [&] {
+    std::set<std::pair<int, int>> sockets;
+    for (const int gpu : gpus) {
+      sockets.insert(
+          {topology.machine_of_gpu(gpu), topology.socket_of_gpu(gpu)});
+    }
+    return sockets;
+  }();
+
+  std::set<int> affected_ids;
+  for (const int machine : machines) {
+    for (const int id : state.jobs_of_machine(machine)) {
+      affected_ids.insert(id);
+    }
+  }
+  for (const int id : affected_ids) {
+    const cluster::RunningJob& job = state.running_jobs().at(id);
+    // Foreign flows for this job = all flows + candidate - its own; the
+    // subtraction is applied in place and undone afterwards to avoid a
+    // vector copy per co-runner.
+    const auto adjust_own = [&](int delta) {
+      for (const jobgraph::CommEdge& edge : job.request.comm_graph.edges()) {
+        const int gpu_a = job.gpus[static_cast<size_t>(edge.a)];
+        const int gpu_b = job.gpus[static_cast<size_t>(edge.b)];
+        for (const topo::LinkId link :
+             topology.gpu_path(gpu_a, gpu_b).links) {
+          adjusted[static_cast<size_t>(link)] += delta;
+        }
+      }
+    };
+    adjust_own(-1);
+    // Its co-runners now include the candidate.
+    std::vector<perf::CoRunner> co = state.co_runners(job.gpus, id);
+    const bool candidate_shares_socket = std::any_of(
+        job.gpus.begin(), job.gpus.end(), [&](int gpu) {
+          return candidate_sockets.count({topology.machine_of_gpu(gpu),
+                                          topology.socket_of_gpu(gpu)}) > 0;
+        });
+    co.push_back({request.profile.batch, candidate_shares_socket});
+
+    const double solo = best_iteration_time(job.request, state);
+    const double colloc =
+        state.model()
+            .iteration(job.request, job.gpus, topology, &adjusted, co)
+            .total_s;
+    adjust_own(+1);
+    ratio_sum += (solo > 0.0 && colloc > 0.0)
+                     ? std::min(1.0, solo / colloc)
+                     : 1.0;
+    ++count;
+  }
+  return count == 0 ? 1.0 : ratio_sum / count;
+}
+
+double UtilityModel::combine(double u_comm, double u_interference,
+                             double u_frag, double comm_weight) const {
+  const double wc = weights_.alpha_cc * comm_weight;
+  const double wb = weights_.alpha_b;
+  const double wd = weights_.alpha_d;
+  const double denom = wc + wb + wd;
+  if (denom <= 0.0) return 1.0;
+  const double log_utility =
+      (wc * std::log(clamp01(u_comm)) + wb * std::log(clamp01(u_interference)) +
+       wd * std::log(clamp01(u_frag))) /
+      denom;
+  return std::exp(log_utility);
+}
+
+UtilityBreakdown UtilityModel::evaluate(
+    const jobgraph::JobRequest& request, std::span<const int> gpus,
+    const cluster::ClusterState& state) const {
+  const topo::TopologyGraph& topology = state.topology();
+  UtilityBreakdown out;
+  out.comm_weight = normalized_comm_weight(request);
+
+  out.comm_cost = comm_cost(topology, gpus);
+  const double best = best_comm_cost(topology, request.num_gpus);
+  out.comm_utility =
+      (out.comm_cost > 0.0 && best > 0.0) ? best / out.comm_cost : 1.0;
+
+  out.interference = interference(request, gpus, state);
+
+  // Eq. 5 over the sockets of the machines the placement touches, after
+  // the hypothetical allocation.
+  {
+    double free_fraction = 0.0;
+    int sockets = 0;
+    for (const int machine : state.machines_of(gpus)) {
+      const int socket_count = topology.sockets_of_machine(machine);
+      for (int socket = 0; socket < socket_count; ++socket) {
+        const std::vector<int> socket_gpus =
+            topology.gpus_of_socket(machine, socket);
+        if (socket_gpus.empty()) continue;
+        int free = 0;
+        for (const int g : socket_gpus) {
+          const bool taken =
+              std::find(gpus.begin(), gpus.end(), g) != gpus.end();
+          if (state.gpu_free(g) && !taken) ++free;
+        }
+        free_fraction += static_cast<double>(free) /
+                         static_cast<double>(socket_gpus.size());
+        ++sockets;
+      }
+    }
+    out.frag_omega = sockets == 0 ? 0.0 : free_fraction / sockets;
+    out.frag_utility = 1.0 - out.frag_omega;
+  }
+
+  out.utility = combine(out.comm_utility, out.interference, out.frag_utility,
+                        out.comm_weight);
+
+  // Eq. 1 (minimization form) for diagnostics: all terms normalized to
+  // their worst case.
+  {
+    const size_t n = gpus.size();
+    const double pairs = static_cast<double>(n * (n - 1) / 2);
+    const double worst_cost = pairs * topology.max_gpu_distance();
+    const double t_norm =
+        worst_cost > 0.0 ? out.comm_cost / worst_cost : 0.0;
+    out.objective = weights_.alpha_cc * t_norm +
+                    weights_.alpha_b * (1.0 - out.interference) +
+                    weights_.alpha_d * out.frag_omega;
+  }
+  return out;
+}
+
+double UtilityModel::placement_utility(const jobgraph::JobRequest& request,
+                                       std::span<const int> gpus,
+                                       const cluster::ClusterState& state) const {
+  return evaluate(request, gpus, state).utility;
+}
+
+}  // namespace gts::sched

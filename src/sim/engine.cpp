@@ -1,0 +1,68 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace gts::sim {
+
+EventHandle Engine::schedule_at(Time when, std::function<void()> handler) {
+  assert(when >= now_ - 1e-9 && "cannot schedule in the past");
+  if (when < now_) when = now_;
+  const EventHandle handle = next_sequence_;
+  queue_.push({when, next_sequence_, handle});
+  handlers_.emplace(handle, std::move(handler));
+  ++next_sequence_;
+  return handle;
+}
+
+void Engine::cancel(EventHandle handle) {
+  if (handlers_.erase(handle) > 0) {
+    cancelled_.insert(handle);
+  }
+}
+
+bool Engine::has_pending() const { return !handlers_.empty(); }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(entry.handle) > 0) continue;  // skip cancelled
+    const auto it = handlers_.find(entry.handle);
+    if (it == handlers_.end()) continue;
+    std::function<void()> handler = std::move(it->second);
+    handlers_.erase(it);
+    now_ = entry.when;
+    ++fired_;
+    handler();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(std::uint64_t limit) {
+  std::uint64_t count = 0;
+  while (count < limit && step()) ++count;
+  return count;
+}
+
+void Engine::run_until(Time until) {
+  while (!queue_.empty()) {
+    // Peek past cancelled entries.
+    Entry entry = queue_.top();
+    while (cancelled_.count(entry.handle) > 0 ||
+           handlers_.count(entry.handle) == 0) {
+      cancelled_.erase(entry.handle);
+      queue_.pop();
+      if (queue_.empty()) {
+        now_ = until;
+        return;
+      }
+      entry = queue_.top();
+    }
+    if (entry.when > until) break;
+    step();
+  }
+  now_ = until;
+}
+
+}  // namespace gts::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// A deterministic event queue: events fire in (time, insertion-sequence)
+// order, so two events at the same timestamp execute in the order they
+// were scheduled. Handlers may schedule and cancel further events. The
+// trace-driven simulation (Section 5.3) and the prototype runtime both run
+// on this engine; the "prototype" simply executes a single-machine
+// scenario in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gts::sim {
+
+using Time = double;
+
+/// Identifies a scheduled event; valid until the event fires or is
+/// cancelled.
+using EventHandle = std::uint64_t;
+inline constexpr EventHandle kInvalidEvent = 0;
+
+class Engine {
+ public:
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `handler` at absolute time `when` (>= now). Returns a handle
+  /// usable with cancel().
+  EventHandle schedule_at(Time when, std::function<void()> handler);
+
+  /// Schedules `handler` `delay` seconds from now.
+  EventHandle schedule_in(Time delay, std::function<void()> handler) {
+    return schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventHandle handle);
+
+  /// True if any non-cancelled event is pending.
+  bool has_pending() const;
+
+  /// Fires the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `limit` events fired. Returns the
+  /// number of events fired.
+  std::uint64_t run(std::uint64_t limit = ~0ULL);
+
+  /// Runs until simulated time reaches `until` (events beyond stay queued)
+  /// or the queue drains.
+  void run_until(Time until);
+
+  std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t sequence;
+    EventHandle handle;
+    // Ordered as a min-heap via operator> below.
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return sequence > other.sequence;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<EventHandle> cancelled_;
+  // Handlers stored separately so cancel() can drop them promptly.
+  std::unordered_map<EventHandle, std::function<void()>> handlers_;
+};
+
+}  // namespace gts::sim

@@ -1,0 +1,192 @@
+#include "topo/builders.hpp"
+
+#include "util/strings.hpp"
+
+namespace gts::topo::builders {
+
+namespace {
+
+/// Adds one machine of the Minsky shape under `parent` (network root node,
+/// or kInvalidNode for a standalone machine graph). Returns the machine's
+/// node id.
+NodeId add_minsky_machine(TopologyGraph& graph, NodeId parent, int machine,
+                          bool nvlink, const MachineShapeOptions& options) {
+  const BandwidthParams& bw = options.bandwidth;
+  const LevelWeights& w = options.weights;
+
+  const NodeId m = graph.add_node(
+      {NodeKind::kMachine, util::fmt("M{}", machine), machine, -1, -1, -1});
+  if (parent != kInvalidNode) {
+    graph.add_link({parent, m, LinkKind::kNetwork, w.machine_uplink,
+                    bw.network_gbps, 1});
+  }
+
+  int local_gpu = 0;
+  for (int socket = 0; socket < 2; ++socket) {
+    const NodeId s = graph.add_node({NodeKind::kSocket,
+                                     util::fmt("M{}S{}", machine, socket),
+                                     machine, socket, -1, -1});
+    // Socket-to-machine edge models the SMP bus hop (X-bus on Power8).
+    graph.add_link(
+        {m, s, LinkKind::kSmpBus, w.socket_uplink, bw.smp_bus_gbps, 1});
+
+    NodeId gpus[2];
+    for (int i = 0; i < 2; ++i) {
+      const NodeId g = graph.add_node(
+          {NodeKind::kGpu, util::fmt("M{}GPU{}", machine, local_gpu), machine,
+           socket, -1, local_gpu});
+      gpus[i] = g;
+      ++local_gpu;
+      if (nvlink) {
+        // Dual-lane NVLink CPU<->GPU (2 x 20 GB/s).
+        graph.add_link({s, g, LinkKind::kNvlink, w.gpu_adjacent,
+                        2 * bw.nvlink_lane_gbps, 2});
+      } else {
+        graph.add_link(
+            {s, g, LinkKind::kPcie, w.gpu_adjacent, bw.pcie_x16_gbps, 16});
+      }
+    }
+    if (nvlink) {
+      // Dual-lane NVLink GPU<->GPU within the socket: the P2P path.
+      graph.add_link({gpus[0], gpus[1], LinkKind::kNvlink, w.gpu_adjacent,
+                      2 * bw.nvlink_lane_gbps, 2});
+    }
+    // On the PCI-e machine there is no direct GPU<->GPU edge: peers on the
+    // same socket route through the socket's PCI-e root complex.
+  }
+  return m;
+}
+
+NodeId add_dgx1_machine(TopologyGraph& graph, NodeId parent, int machine,
+                        const MachineShapeOptions& options) {
+  const BandwidthParams& bw = options.bandwidth;
+  const LevelWeights& w = options.weights;
+
+  const NodeId m = graph.add_node(
+      {NodeKind::kMachine, util::fmt("M{}", machine), machine, -1, -1, -1});
+  if (parent != kInvalidNode) {
+    graph.add_link({parent, m, LinkKind::kNetwork, w.machine_uplink,
+                    bw.network_gbps, 1});
+  }
+
+  NodeId gpu_nodes[8];
+  int local_gpu = 0;
+  for (int socket = 0; socket < 2; ++socket) {
+    const NodeId s = graph.add_node({NodeKind::kSocket,
+                                     util::fmt("M{}S{}", machine, socket),
+                                     machine, socket, -1, -1});
+    graph.add_link(
+        {m, s, LinkKind::kSmpBus, w.socket_uplink, bw.smp_bus_gbps, 1});
+    // Two PCI-e switches per socket, two GPUs per switch.
+    for (int sw = 0; sw < 2; ++sw) {
+      const NodeId p = graph.add_node(
+          {NodeKind::kSwitch, util::fmt("M{}S{}PCIe{}", machine, socket, sw),
+           machine, socket, -1, -1});
+      graph.add_link(
+          {s, p, LinkKind::kPcie, w.switch_uplink, bw.pcie_x16_gbps, 16});
+      for (int i = 0; i < 2; ++i) {
+        const NodeId g = graph.add_node(
+            {NodeKind::kGpu, util::fmt("M{}GPU{}", machine, local_gpu),
+             machine, socket, -1, local_gpu});
+        gpu_nodes[local_gpu] = g;
+        ++local_gpu;
+        graph.add_link(
+            {p, g, LinkKind::kPcie, w.gpu_adjacent, bw.pcie_x16_gbps, 16});
+      }
+    }
+  }
+
+  // Hybrid cube-mesh: each quad {0..3} / {4..7} is an NVLink clique (the
+  // cube's 8 intra-quad edges plus 2 face diagonals per quad), and the 4
+  // cube edges 0-4, 1-5, 2-6, 3-7 join the quads. Every GPU uses exactly 4
+  // single-lane NVLinks, matching P100.
+  const auto nvlink = [&](int a, int b) {
+    graph.add_link({gpu_nodes[a], gpu_nodes[b], LinkKind::kNvlink,
+                    w.gpu_adjacent, bw.nvlink_lane_gbps, 1});
+  };
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) nvlink(base + i, base + j);
+    }
+  }
+  for (int i = 0; i < 4; ++i) nvlink(i, 4 + i);
+  return m;
+}
+
+NodeId add_machine(TopologyGraph& graph, NodeId parent, int machine,
+                   MachineShape shape, const MachineShapeOptions& options) {
+  switch (shape) {
+    case MachineShape::kPower8Minsky:
+      return add_minsky_machine(graph, parent, machine, /*nvlink=*/true,
+                                options);
+    case MachineShape::kPower8Pcie:
+      return add_minsky_machine(graph, parent, machine, /*nvlink=*/false,
+                                options);
+    case MachineShape::kDgx1:
+      return add_dgx1_machine(graph, parent, machine, options);
+  }
+  return kInvalidNode;
+}
+
+}  // namespace
+
+TopologyGraph power8_minsky(const MachineShapeOptions& options) {
+  TopologyGraph graph;
+  add_minsky_machine(graph, kInvalidNode, 0, /*nvlink=*/true, options);
+  return graph;
+}
+
+TopologyGraph power8_pcie(const MachineShapeOptions& options) {
+  TopologyGraph graph;
+  add_minsky_machine(graph, kInvalidNode, 0, /*nvlink=*/false, options);
+  return graph;
+}
+
+TopologyGraph dgx1(const MachineShapeOptions& options) {
+  TopologyGraph graph;
+  add_dgx1_machine(graph, kInvalidNode, 0, options);
+  return graph;
+}
+
+int gpus_per_machine(MachineShape shape) noexcept {
+  switch (shape) {
+    case MachineShape::kPower8Minsky:
+    case MachineShape::kPower8Pcie:
+      return 4;
+    case MachineShape::kDgx1:
+      return 8;
+  }
+  return 0;
+}
+
+TopologyGraph cluster(int machine_count, MachineShape shape,
+                      const MachineShapeOptions& options) {
+  TopologyGraph graph;
+  if (machine_count == 1) {
+    add_machine(graph, kInvalidNode, 0, shape, options);
+    return graph;
+  }
+  const NodeId net =
+      graph.add_node({NodeKind::kNetwork, "Net", -1, -1, -1, -1});
+  for (int m = 0; m < machine_count; ++m) {
+    add_machine(graph, net, m, shape, options);
+  }
+  return graph;
+}
+
+TopologyGraph mixed_cluster(const std::vector<MachineShape>& shapes,
+                            const MachineShapeOptions& options) {
+  TopologyGraph graph;
+  if (shapes.size() == 1) {
+    add_machine(graph, kInvalidNode, 0, shapes[0], options);
+    return graph;
+  }
+  const NodeId net =
+      graph.add_node({NodeKind::kNetwork, "Net", -1, -1, -1, -1});
+  for (size_t m = 0; m < shapes.size(); ++m) {
+    add_machine(graph, net, static_cast<int>(m), shapes[m], options);
+  }
+  return graph;
+}
+
+}  // namespace gts::topo::builders

@@ -1,0 +1,306 @@
+#include "topo/discovery.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gts::topo::discovery {
+
+namespace {
+
+/// Parses "0-7" or "8-15,24-31" (first range only) into [begin, end].
+bool parse_affinity(std::string_view text, int& begin, int& end) {
+  const auto first_range = util::split(std::string(text), ',').front();
+  const auto parts = util::split(first_range, '-');
+  if (parts.size() == 1) {
+    const auto v = util::parse_int(parts[0]);
+    if (!v) return false;
+    begin = end = static_cast<int>(*v);
+    return true;
+  }
+  if (parts.size() != 2) return false;
+  const auto lo = util::parse_int(parts[0]);
+  const auto hi = util::parse_int(parts[1]);
+  if (!lo || !hi) return false;
+  begin = static_cast<int>(*lo);
+  end = static_cast<int>(*hi);
+  return true;
+}
+
+bool is_connectivity_token(std::string_view token) {
+  if (token == "X" || token == "PIX" || token == "PXB" || token == "PHB" ||
+      token == "NODE" || token == "SYS") {
+    return true;
+  }
+  return token.size() >= 3 && token.substr(0, 2) == "NV" &&
+         util::parse_int(token.substr(2)).has_value();
+}
+
+}  // namespace
+
+util::Expected<DiscoveredMatrix> parse_matrix(std::string_view text) {
+  DiscoveredMatrix matrix;
+  size_t expected_gpus = 0;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty()) continue;
+    const auto tokens = util::split_whitespace(line);
+    if (tokens.empty()) continue;
+    // A data row is "GPUn <cells...> <affinity>"; the header row also
+    // starts with "GPU0" (after its leading tab) but its remaining tokens
+    // are GPU names, not connectivity cells — distinguish by the second
+    // token.
+    const bool is_data_row = util::starts_with(tokens[0], "GPU") &&
+                             tokens.size() > 1 &&
+                             is_connectivity_token(tokens[1]);
+    if (!is_data_row) {
+      // Header row ("GPU0 GPU1 ... CPU Affinity") or legend text.
+      if (expected_gpus == 0) {
+        for (const std::string& t : tokens) {
+          if (util::starts_with(t, "GPU")) ++expected_gpus;
+        }
+      }
+      continue;
+    }
+    MatrixRow row;
+    row.gpu_name = tokens[0];
+    size_t i = 1;
+    while (i < tokens.size() && is_connectivity_token(tokens[i])) {
+      row.cells.push_back(tokens[i]);
+      ++i;
+    }
+    if (i < tokens.size()) {
+      if (!parse_affinity(tokens[i], row.cpu_affinity_begin,
+                          row.cpu_affinity_end)) {
+        return util::Error{util::fmt("bad CPU affinity '{}' for {}",
+                                     tokens[i], tokens[0])};
+      }
+    }
+    matrix.rows.push_back(std::move(row));
+  }
+  if (matrix.rows.empty()) {
+    return util::Error{"no GPU rows found in topo matrix"};
+  }
+  for (const MatrixRow& row : matrix.rows) {
+    if (row.cells.size() != matrix.rows.size()) {
+      return util::Error{util::fmt(
+          "matrix is not square: row {} has {} cells for {} GPUs",
+          row.gpu_name, row.cells.size(), matrix.rows.size())};
+    }
+  }
+  return matrix;
+}
+
+util::Expected<NumaLayout> parse_numactl(std::string_view text) {
+  NumaLayout layout;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw_line);
+    // Looking for "node <n> cpus: <c0> <c1> ...".
+    if (!util::starts_with(line, "node ")) continue;
+    const auto tokens = util::split_whitespace(line);
+    if (tokens.size() < 3 || tokens[2] != "cpus:") continue;
+    const auto node = util::parse_int(tokens[1]);
+    if (!node) continue;
+    std::vector<int> cpus;
+    for (size_t i = 3; i < tokens.size(); ++i) {
+      if (const auto cpu = util::parse_int(tokens[i])) {
+        cpus.push_back(static_cast<int>(*cpu));
+      }
+    }
+    const size_t index = static_cast<size_t>(*node);
+    if (layout.cpus_of_node.size() <= index) {
+      layout.cpus_of_node.resize(index + 1);
+    }
+    layout.cpus_of_node[index] = std::move(cpus);
+  }
+  if (layout.cpus_of_node.empty()) {
+    return util::Error{"no 'node N cpus:' lines found in numactl output"};
+  }
+  return layout;
+}
+
+util::Expected<TopologyGraph> build_machine(
+    std::string_view nvidia_smi_matrix, std::string_view numactl_hardware,
+    const builders::BandwidthParams& bandwidth, const LevelWeights& weights) {
+  auto matrix = parse_matrix(nvidia_smi_matrix);
+  if (!matrix) return matrix.error().with_context("nvidia-smi matrix");
+  auto numa = parse_numactl(numactl_hardware);
+  if (!numa) return numa.error().with_context("numactl");
+
+  // Socket of each GPU = NUMA node whose CPU set contains the GPU's
+  // affinity range start.
+  const int gpu_count = static_cast<int>(matrix->rows.size());
+  std::vector<int> socket_of(static_cast<size_t>(gpu_count), 0);
+  for (int g = 0; g < gpu_count; ++g) {
+    const MatrixRow& row = matrix->rows[static_cast<size_t>(g)];
+    if (row.cpu_affinity_begin < 0) {
+      return util::Error{
+          util::fmt("GPU {} has no CPU affinity column", row.gpu_name)};
+    }
+    int socket = -1;
+    for (size_t node = 0; node < numa->cpus_of_node.size(); ++node) {
+      const auto& cpus = numa->cpus_of_node[node];
+      if (std::find(cpus.begin(), cpus.end(), row.cpu_affinity_begin) !=
+          cpus.end()) {
+        socket = static_cast<int>(node);
+        break;
+      }
+    }
+    if (socket < 0) {
+      return util::Error{util::fmt(
+          "GPU {} affinity cpu {} not found in any NUMA node", row.gpu_name,
+          row.cpu_affinity_begin)};
+    }
+    socket_of[static_cast<size_t>(g)] = socket;
+  }
+
+  TopologyGraph graph;
+  const NodeId machine =
+      graph.add_node({NodeKind::kMachine, "M0", 0, -1, -1, -1});
+
+  const int socket_count =
+      1 + *std::max_element(socket_of.begin(), socket_of.end());
+  std::vector<NodeId> socket_nodes;
+  for (int s = 0; s < socket_count; ++s) {
+    const NodeId node = graph.add_node(
+        {NodeKind::kSocket, util::fmt("S{}", s), 0, s, -1, -1});
+    graph.add_link({machine, node, LinkKind::kSmpBus, weights.socket_uplink,
+                    bandwidth.smp_bus_gbps, 1});
+    socket_nodes.push_back(node);
+  }
+
+  // PIX pairs share a PCI-e switch: build the switch nodes first by finding
+  // connected components of the PIX relation within each socket.
+  std::vector<int> switch_of(static_cast<size_t>(gpu_count), -1);
+  int switch_count = 0;
+  for (int a = 0; a < gpu_count; ++a) {
+    for (int b = a + 1; b < gpu_count; ++b) {
+      const std::string& cell =
+          matrix->rows[static_cast<size_t>(a)].cells[static_cast<size_t>(b)];
+      if (cell == "PIX" || cell == "PXB") {
+        if (switch_of[static_cast<size_t>(a)] < 0 &&
+            switch_of[static_cast<size_t>(b)] < 0) {
+          switch_of[static_cast<size_t>(a)] = switch_count;
+          switch_of[static_cast<size_t>(b)] = switch_count;
+          ++switch_count;
+        } else if (switch_of[static_cast<size_t>(a)] < 0) {
+          switch_of[static_cast<size_t>(a)] = switch_of[static_cast<size_t>(b)];
+        } else if (switch_of[static_cast<size_t>(b)] < 0) {
+          switch_of[static_cast<size_t>(b)] = switch_of[static_cast<size_t>(a)];
+        }
+      }
+    }
+  }
+  std::vector<NodeId> switch_nodes(static_cast<size_t>(switch_count),
+                                   kInvalidNode);
+
+  std::vector<NodeId> gpu_nodes;
+  for (int g = 0; g < gpu_count; ++g) {
+    const int socket = socket_of[static_cast<size_t>(g)];
+    const NodeId gpu = graph.add_node({NodeKind::kGpu, util::fmt("GPU{}", g),
+                                       0, socket, -1, g});
+    gpu_nodes.push_back(gpu);
+    const int sw = switch_of[static_cast<size_t>(g)];
+    if (sw >= 0) {
+      if (switch_nodes[static_cast<size_t>(sw)] == kInvalidNode) {
+        switch_nodes[static_cast<size_t>(sw)] = graph.add_node(
+            {NodeKind::kSwitch, util::fmt("PCIe{}", sw), 0, socket, -1, -1});
+        graph.add_link({socket_nodes[static_cast<size_t>(socket)],
+                        switch_nodes[static_cast<size_t>(sw)], LinkKind::kPcie,
+                        weights.switch_uplink, bandwidth.pcie_x16_gbps, 16});
+      }
+      graph.add_link({switch_nodes[static_cast<size_t>(sw)], gpu,
+                      LinkKind::kPcie, weights.gpu_adjacent,
+                      bandwidth.pcie_x16_gbps, 16});
+    } else {
+      // Attached to the socket root. If the GPU has any NVLink peer we
+      // assume an NVLink host connection as on Power8; else PCI-e.
+      bool has_nvlink = false;
+      int max_lanes = 1;
+      for (int other = 0; other < gpu_count; ++other) {
+        const std::string& cell =
+            matrix->rows[static_cast<size_t>(g)].cells[static_cast<size_t>(other)];
+        if (util::starts_with(cell, "NV")) {
+          has_nvlink = true;
+          max_lanes = std::max(
+              max_lanes,
+              static_cast<int>(util::parse_int(cell.substr(2)).value_or(1)));
+        }
+      }
+      if (has_nvlink) {
+        graph.add_link({socket_nodes[static_cast<size_t>(socket)], gpu,
+                        LinkKind::kNvlink, weights.gpu_adjacent,
+                        max_lanes * bandwidth.nvlink_lane_gbps, max_lanes});
+      } else {
+        graph.add_link({socket_nodes[static_cast<size_t>(socket)], gpu,
+                        LinkKind::kPcie, weights.gpu_adjacent,
+                        bandwidth.pcie_x16_gbps, 16});
+      }
+    }
+  }
+
+  // Direct NVLink GPU<->GPU edges.
+  for (int a = 0; a < gpu_count; ++a) {
+    for (int b = a + 1; b < gpu_count; ++b) {
+      const std::string& cell =
+          matrix->rows[static_cast<size_t>(a)].cells[static_cast<size_t>(b)];
+      if (util::starts_with(cell, "NV")) {
+        const int lanes =
+            static_cast<int>(util::parse_int(cell.substr(2)).value_or(1));
+        graph.add_link({gpu_nodes[static_cast<size_t>(a)],
+                        gpu_nodes[static_cast<size_t>(b)], LinkKind::kNvlink,
+                        weights.gpu_adjacent,
+                        lanes * bandwidth.nvlink_lane_gbps, lanes});
+      }
+    }
+  }
+
+  if (auto status = graph.validate(); !status) {
+    return status.error().with_context("discovered topology");
+  }
+  return graph;
+}
+
+std::string render_matrix(const TopologyGraph& graph) {
+  std::ostringstream os;
+  const int n = graph.gpu_count();
+  os << "     ";
+  for (int j = 0; j < n; ++j) os << "\tGPU" << j;
+  os << "\tCPU Affinity\n";
+  for (int i = 0; i < n; ++i) {
+    os << "GPU" << i;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        os << "\t X ";
+        continue;
+      }
+      const GpuPath& path = graph.gpu_path(i, j);
+      // Direct NVLink edge?
+      if (path.links.size() == 1) {
+        const Link& link = graph.link(path.links[0]);
+        if (link.kind == LinkKind::kNvlink) {
+          os << "\tNV" << link.lanes;
+          continue;
+        }
+      }
+      if (!graph.same_machine(i, j)) {
+        os << "\tSYS";
+      } else if (!graph.same_socket(i, j)) {
+        os << "\tSYS";
+      } else if (path.peer_to_peer) {
+        os << "\tPIX";
+      } else {
+        os << "\tPHB";
+      }
+    }
+    // Synthetic 8-CPU-per-socket affinity, mirroring the S822LC layout.
+    const int socket = graph.socket_of_gpu(i);
+    os << "\t" << socket * 8 << "-" << socket * 8 + 7 << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gts::topo::discovery

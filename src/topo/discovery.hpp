@@ -1,0 +1,62 @@
+// Topology discovery from textual tool output (Section 5.1).
+//
+// The paper's prototype discovers the topology at startup by running
+// `nvidia-smi topo --matrix` (GPU-to-GPU connectivity classes) and
+// `numactl --hardware` (socket layout / CPU affinity). We exercise the same
+// code path against synthetic fixtures: parse those two text formats into a
+// TopologyGraph for one machine.
+//
+// Supported connectivity classes in the matrix, from closest to farthest:
+//   NV#  - direct NVLink with # lanes
+//   PIX  - same PCI-e switch
+//   PXB  - multiple PCI-e bridges (modelled like PIX with one extra hop)
+//   PHB  - through the socket's PCI-e host bridge (same socket, no P2P link)
+//   NODE/SYS - across sockets (routed through the SMP bus)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "topo/builders.hpp"
+#include "topo/topology.hpp"
+#include "util/expected.hpp"
+
+namespace gts::topo::discovery {
+
+/// One GPU row parsed from the matrix: connectivity class to every other
+/// GPU plus the CPU affinity range used to infer the socket.
+struct MatrixRow {
+  std::string gpu_name;            // "GPU0"
+  std::vector<std::string> cells;  // "X", "NV2", "SYS", ...
+  int cpu_affinity_begin = -1;     // first CPU of the affinity range
+  int cpu_affinity_end = -1;       // last CPU (inclusive)
+};
+
+struct DiscoveredMatrix {
+  std::vector<MatrixRow> rows;
+};
+
+/// Parses the `nvidia-smi topo --matrix` table. Tolerates the legend block
+/// that nvidia-smi appends after the table.
+util::Expected<DiscoveredMatrix> parse_matrix(std::string_view text);
+
+/// Parses `numactl --hardware` output and returns, per NUMA node, the
+/// inclusive CPU ranges ("node 0 cpus: 0 1 2 ...").
+struct NumaLayout {
+  // cpus_of_node[n] lists the CPU ids of NUMA node n.
+  std::vector<std::vector<int>> cpus_of_node;
+};
+util::Expected<NumaLayout> parse_numactl(std::string_view text);
+
+/// Builds a single-machine TopologyGraph from the two tool outputs, using
+/// `bandwidth` for link capacities (the tools do not report bandwidth).
+util::Expected<TopologyGraph> build_machine(
+    std::string_view nvidia_smi_matrix, std::string_view numactl_hardware,
+    const builders::BandwidthParams& bandwidth = {},
+    const LevelWeights& weights = {});
+
+/// Renders `graph` (one machine) back into the nvidia-smi matrix format —
+/// used by tests to round-trip and by examples to show what discovery sees.
+std::string render_matrix(const TopologyGraph& graph);
+
+}  // namespace gts::topo::discovery

@@ -1,0 +1,403 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gts::topo {
+
+std::string_view to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kNetwork:
+      return "network";
+    case NodeKind::kMachine:
+      return "machine";
+    case NodeKind::kSocket:
+      return "socket";
+    case NodeKind::kSwitch:
+      return "switch";
+    case NodeKind::kGpu:
+      return "gpu";
+  }
+  return "?";
+}
+
+std::string_view to_string(LinkKind kind) noexcept {
+  switch (kind) {
+    case LinkKind::kNvlink:
+      return "nvlink";
+    case LinkKind::kPcie:
+      return "pcie";
+    case LinkKind::kSmpBus:
+      return "smp-bus";
+    case LinkKind::kNetwork:
+      return "network";
+  }
+  return "?";
+}
+
+NodeId TopologyGraph::add_node(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (node.kind == NodeKind::kGpu) {
+    node.gpu_index = static_cast<int>(gpu_nodes_.size());
+    gpu_nodes_.push_back(id);
+  }
+  if (node.kind == NodeKind::kMachine) {
+    machine_count_ = std::max(machine_count_, node.machine + 1);
+  }
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  paths_valid_ = false;
+  structure_valid_ = false;
+  return id;
+}
+
+LinkId TopologyGraph::add_link(Link link) {
+  const LinkId id = static_cast<LinkId>(links_.size());
+  adjacency_.at(static_cast<size_t>(link.a)).push_back({link.b, id});
+  adjacency_.at(static_cast<size_t>(link.b)).push_back({link.a, id});
+  links_.push_back(link);
+  paths_valid_ = false;
+  return id;
+}
+
+util::Status TopologyGraph::validate() const {
+  if (nodes_.empty()) return util::Error{"topology: empty graph"};
+  for (const Link& link : links_) {
+    if (link.a < 0 || link.a >= node_count() || link.b < 0 ||
+        link.b >= node_count()) {
+      return util::Error{"topology: link endpoint out of range"};
+    }
+    if (link.a == link.b) return util::Error{"topology: self-loop link"};
+    if (link.weight <= 0.0) {
+      return util::Error{"topology: non-positive link weight"};
+    }
+    if (link.bandwidth_gbps <= 0.0) {
+      return util::Error{"topology: non-positive link bandwidth"};
+    }
+  }
+  // Connectivity via BFS from node 0.
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int visited = 0;
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop();
+    ++visited;
+    for (const Neighbor& n : adjacency_[static_cast<size_t>(current)]) {
+      if (!seen[static_cast<size_t>(n.node)]) {
+        seen[static_cast<size_t>(n.node)] = true;
+        frontier.push(n.node);
+      }
+    }
+  }
+  if (visited != node_count()) {
+    return util::Error{util::fmt("topology: graph not connected ({} of {})",
+                                 visited, node_count())};
+  }
+  // GPU indices must be dense 0..gpu_count-1 (guaranteed by add_node, but
+  // revalidated to catch manual Node tampering).
+  for (int g = 0; g < gpu_count(); ++g) {
+    const Node& node = nodes_[static_cast<size_t>(gpu_nodes_[static_cast<size_t>(g)])];
+    if (node.gpu_index != g) {
+      return util::Error{"topology: GPU index not dense"};
+    }
+    if (node.machine < 0 || node.socket < 0) {
+      return util::Error{util::fmt("topology: GPU {} missing machine/socket", g)};
+    }
+  }
+  return util::Status::ok();
+}
+
+void TopologyGraph::ensure_structure() const {
+  if (structure_valid_) return;
+  machine_gpus_.assign(static_cast<size_t>(std::max(machine_count_, 1)), {});
+  machine_sockets_.assign(static_cast<size_t>(std::max(machine_count_, 1)),
+                          0);
+  socket_gpus_.clear();
+  for (const Node& node : nodes_) {
+    if (node.kind == NodeKind::kSocket && node.machine >= 0) {
+      machine_sockets_[static_cast<size_t>(node.machine)] = std::max(
+          machine_sockets_[static_cast<size_t>(node.machine)],
+          node.socket + 1);
+    }
+  }
+  for (int g = 0; g < gpu_count(); ++g) {
+    const Node& node = nodes_[static_cast<size_t>(gpu_nodes_[static_cast<size_t>(g)])];
+    if (node.machine < 0) continue;
+    machine_gpus_[static_cast<size_t>(node.machine)].push_back(g);
+    socket_gpus_[(static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(node.machine))
+                  << 32) |
+                 static_cast<std::uint32_t>(node.socket)]
+        .push_back(g);
+  }
+  structure_valid_ = true;
+}
+
+const std::vector<int>& TopologyGraph::gpus_of_machine(int machine) const {
+  ensure_structure();
+  return machine_gpus_.at(static_cast<size_t>(machine));
+}
+
+const std::vector<int>& TopologyGraph::gpus_of_socket(int machine,
+                                                      int socket) const {
+  ensure_structure();
+  static const std::vector<int> kEmpty;
+  const auto it = socket_gpus_.find(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(machine)) << 32) |
+      static_cast<std::uint32_t>(socket));
+  return it == socket_gpus_.end() ? kEmpty : it->second;
+}
+
+int TopologyGraph::sockets_of_machine(int machine) const {
+  ensure_structure();
+  return machine_sockets_.at(static_cast<size_t>(machine));
+}
+
+GpuPath TopologyGraph::shortest_path(NodeId from, NodeId to) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<LinkId> via_link(nodes_.size(), kInvalidLink);
+  std::vector<NodeId> via_node(nodes_.size(), kInvalidNode);
+
+  // (distance, node); std::greater makes it a min-heap. Ties resolve to the
+  // smaller node id because the pair comparison is lexicographic.
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  dist[static_cast<size_t>(from)] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    const auto [d, current] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(current)]) continue;
+    if (current == to) break;
+    // GPUs are endpoints, not routers: traffic cannot transit a GPU to
+    // reach another one (P100 NVLink peers must be directly linked; e.g.
+    // on DGX-1 "communication between GPU1 and GPU5 will go over the
+    // PCI-e switches and the system bus", Section 1).
+    if (current != from &&
+        nodes_[static_cast<size_t>(current)].kind == NodeKind::kGpu) {
+      continue;
+    }
+    for (const Neighbor& n : adjacency_[static_cast<size_t>(current)]) {
+      const double candidate = d + links_[static_cast<size_t>(n.link)].weight;
+      if (candidate < dist[static_cast<size_t>(n.node)]) {
+        dist[static_cast<size_t>(n.node)] = candidate;
+        via_link[static_cast<size_t>(n.node)] = n.link;
+        via_node[static_cast<size_t>(n.node)] = current;
+        heap.push({candidate, n.node});
+      }
+    }
+  }
+
+  GpuPath path;
+  path.distance = dist[static_cast<size_t>(to)];
+  if (path.distance == kInf) return path;  // disconnected; empty links
+
+  // Reconstruct, then reverse into from->to order.
+  for (NodeId n = to; n != from; n = via_node[static_cast<size_t>(n)]) {
+    path.links.push_back(via_link[static_cast<size_t>(n)]);
+  }
+  std::reverse(path.links.begin(), path.links.end());
+
+  path.bottleneck_gbps = kInf;
+  for (const LinkId l : path.links) {
+    path.bottleneck_gbps =
+        std::min(path.bottleneck_gbps, links_[static_cast<size_t>(l)].bandwidth_gbps);
+  }
+  if (path.links.empty()) path.bottleneck_gbps = 0.0;
+
+  // P2P iff no intermediate node is a socket, machine, or network node.
+  path.peer_to_peer = true;
+  NodeId hop = from;
+  for (const LinkId l : path.links) {
+    const Link& link = links_[static_cast<size_t>(l)];
+    hop = (link.a == hop) ? link.b : link.a;
+    if (hop == to) break;
+    const NodeKind kind = nodes_[static_cast<size_t>(hop)].kind;
+    if (kind == NodeKind::kSocket || kind == NodeKind::kMachine ||
+        kind == NodeKind::kNetwork) {
+      path.peer_to_peer = false;
+    }
+  }
+  return path;
+}
+
+namespace {
+
+constexpr int kDensePathLimit = 64;
+
+std::uint64_t pair_key(int a, int b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+void TopologyGraph::ensure_paths() const {
+  if (paths_valid_) return;
+  const int n = gpu_count();
+  max_gpu_distance_ = 0.0;
+  intra_paths_.clear();
+  cross_cache_.clear();
+  root_paths_.clear();
+
+  // Find the network root (required for hierarchical mode).
+  NodeId root = kInvalidNode;
+  for (NodeId id = 0; id < node_count(); ++id) {
+    if (nodes_[static_cast<size_t>(id)].kind == NodeKind::kNetwork) {
+      root = id;
+      break;
+    }
+  }
+
+  hierarchical_paths_ = n > kDensePathLimit && root != kInvalidNode;
+  if (!hierarchical_paths_) {
+    gpu_paths_.assign(static_cast<size_t>(n) * static_cast<size_t>(n),
+                      GpuPath{});
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        GpuPath path = shortest_path(gpu_nodes_[static_cast<size_t>(i)],
+                                     gpu_nodes_[static_cast<size_t>(j)]);
+        max_gpu_distance_ = std::max(max_gpu_distance_, path.distance);
+        gpu_paths_[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                   static_cast<size_t>(j)] = std::move(path);
+      }
+    }
+    paths_valid_ = true;
+    return;
+  }
+
+  gpu_paths_.clear();
+  // Per-GPU route to the network root (cross-machine traffic always
+  // crosses the root in a tree-shaped cluster).
+  root_paths_.resize(static_cast<size_t>(n));
+  std::vector<double> machine_max_root(static_cast<size_t>(machine_count_),
+                                       0.0);
+  for (int g = 0; g < n; ++g) {
+    GpuPath path = shortest_path(gpu_nodes_[static_cast<size_t>(g)], root);
+    const size_t machine = static_cast<size_t>(machine_of_gpu(g));
+    machine_max_root[machine] = std::max(machine_max_root[machine],
+                                         path.distance);
+    root_paths_[static_cast<size_t>(g)] = std::move(path);
+  }
+  if (machine_count_ > 1) {
+    // Diameter = the two largest per-machine root distances combined.
+    double top1 = 0.0;
+    double top2 = 0.0;
+    for (const double d : machine_max_root) {
+      if (d > top1) {
+        top2 = top1;
+        top1 = d;
+      } else if (d > top2) {
+        top2 = d;
+      }
+    }
+    max_gpu_distance_ = top1 + top2;
+  }
+
+  // Intra-machine dense tables.
+  for (int machine = 0; machine < machine_count_; ++machine) {
+    const std::vector<int> gpus = gpus_of_machine(machine);
+    for (const int a : gpus) {
+      for (const int b : gpus) {
+        if (a == b) continue;
+        GpuPath path = shortest_path(gpu_nodes_[static_cast<size_t>(a)],
+                                     gpu_nodes_[static_cast<size_t>(b)]);
+        max_gpu_distance_ = std::max(max_gpu_distance_, path.distance);
+        intra_paths_.emplace(pair_key(a, b), std::move(path));
+      }
+    }
+  }
+  paths_valid_ = true;
+}
+
+const GpuPath& TopologyGraph::gpu_path(int gpu_a, int gpu_b) const {
+  ensure_paths();
+  if (!hierarchical_paths_) {
+    return gpu_paths_.at(static_cast<size_t>(gpu_a) *
+                             static_cast<size_t>(gpu_count()) +
+                         static_cast<size_t>(gpu_b));
+  }
+  if (machine_of_gpu(gpu_a) == machine_of_gpu(gpu_b)) {
+    return intra_paths_.at(pair_key(gpu_a, gpu_b));
+  }
+  const std::uint64_t key = pair_key(gpu_a, gpu_b);
+  if (const auto it = cross_cache_.find(key); it != cross_cache_.end()) {
+    return it->second;
+  }
+  // Synthesize: a's route up to the root, then b's route reversed.
+  const GpuPath& up = root_paths_[static_cast<size_t>(gpu_a)];
+  const GpuPath& down = root_paths_[static_cast<size_t>(gpu_b)];
+  GpuPath path;
+  path.distance = up.distance + down.distance;
+  path.peer_to_peer = false;
+  path.links = up.links;
+  path.links.insert(path.links.end(), down.links.rbegin(), down.links.rend());
+  path.bottleneck_gbps = std::numeric_limits<double>::infinity();
+  for (const LinkId l : path.links) {
+    path.bottleneck_gbps = std::min(
+        path.bottleneck_gbps, links_[static_cast<size_t>(l)].bandwidth_gbps);
+  }
+  if (path.links.empty()) path.bottleneck_gbps = 0.0;
+  return cross_cache_.emplace(key, std::move(path)).first->second;
+}
+
+double TopologyGraph::gpu_distance(int gpu_a, int gpu_b) const {
+  if (gpu_a == gpu_b) return 0.0;
+  ensure_paths();
+  if (hierarchical_paths_ &&
+      machine_of_gpu(gpu_a) != machine_of_gpu(gpu_b)) {
+    return root_paths_[static_cast<size_t>(gpu_a)].distance +
+           root_paths_[static_cast<size_t>(gpu_b)].distance;
+  }
+  return gpu_path(gpu_a, gpu_b).distance;
+}
+
+double TopologyGraph::max_gpu_distance() const {
+  ensure_paths();
+  return max_gpu_distance_;
+}
+
+std::string TopologyGraph::describe() const {
+  std::ostringstream os;
+  os << "topology: " << node_count() << " nodes, " << link_count()
+     << " links, " << gpu_count() << " GPUs, " << machine_count()
+     << " machine(s)\n";
+  for (NodeId id = 0; id < node_count(); ++id) {
+    const Node& n = node(id);
+    os << "  [" << id << "] " << to_string(n.kind);
+    if (!n.name.empty()) os << " " << n.name;
+    if (n.machine >= 0) os << " machine=" << n.machine;
+    if (n.socket >= 0) os << " socket=" << n.socket;
+    if (n.gpu_index >= 0) os << " gpu=" << n.gpu_index;
+    os << "\n";
+  }
+  for (LinkId id = 0; id < link_count(); ++id) {
+    const Link& l = link(id);
+    os << "  " << l.a << " <-> " << l.b << "  " << to_string(l.kind)
+       << " w=" << l.weight << " bw=" << l.bandwidth_gbps << "GB/s lanes="
+       << l.lanes << "\n";
+  }
+  if (gpu_count() > 1) {
+    os << "  GPU distance matrix:\n";
+    for (int i = 0; i < gpu_count(); ++i) {
+      os << "   ";
+      for (int j = 0; j < gpu_count(); ++j) {
+        os << " " << (i == j ? std::string("-")
+                             : util::format_double(gpu_distance(i, j), 0));
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gts::topo

@@ -1,0 +1,42 @@
+// Workload generator (Section 5.3).
+//
+// The paper generates simulated workloads with:
+//   * Poisson arrivals, lambda = 10 jobs/minute;
+//   * batch class ~ Binomial(3, .) over {tiny, small, medium, big};
+//   * NN type ~ Binomial(2, .) over {AlexNet, CaffeRef, GoogLeNet};
+// GPU counts and minimum utilities follow the prototype's job mix
+// (Table 1: single-GPU jobs use min utility 0.3, multi-GPU jobs 0.5).
+#pragma once
+
+#include <vector>
+
+#include "jobgraph/jobgraph.hpp"
+#include "perf/model.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gts::trace {
+
+struct GeneratorOptions {
+  int job_count = 100;
+  double arrival_rate_per_minute = 10.0;  // Poisson lambda
+  double batch_binomial_p = 0.5;          // Binomial(3, p) over batch classes
+  double nn_binomial_p = 0.5;             // Binomial(2, p) over NN types
+  /// Cumulative weights over GPU counts {1, 2, 4}; the prototype mix leans
+  /// towards small jobs.
+  double p_one_gpu = 0.4;
+  double p_two_gpu = 0.4;  // remainder: four GPUs
+  long long iterations = 4000;
+  double min_utility_single_gpu = 0.3;
+  double min_utility_multi_gpu = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a profiled workload for `topology` (profiles computed with
+/// `model`, Section 4.2). Jobs are returned in arrival order with ids
+/// 0..job_count-1.
+std::vector<jobgraph::JobRequest> generate_workload(
+    const GeneratorOptions& options, const perf::DlWorkloadModel& model,
+    const topo::TopologyGraph& topology);
+
+}  // namespace gts::trace

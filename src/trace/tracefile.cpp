@@ -1,0 +1,133 @@
+#include "trace/tracefile.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "json/json.hpp"
+#include "perf/profile.hpp"
+#include "util/strings.hpp"
+
+namespace gts::trace {
+
+std::vector<TraceRecord> from_recorder(
+    const cluster::Recorder& recorder,
+    const std::vector<jobgraph::JobRequest>& jobs) {
+  std::vector<TraceRecord> records;
+  for (const jobgraph::JobRequest& job : jobs) {
+    const cluster::JobRecord* seen = recorder.find(job.id);
+    TraceRecord record;
+    record.id = job.id;
+    record.arrival = job.arrival_time;
+    record.nn = job.profile.nn;
+    record.batch_size = job.profile.batch_size;
+    record.num_gpus = job.num_gpus;
+    record.min_utility = job.min_utility;
+    record.iterations = job.iterations;
+    if (seen != nullptr) {
+      record.start = seen->start;
+      record.end = seen->end;
+      record.gpus = seen->gpus;
+      record.utility = seen->placement_utility;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+namespace {
+
+json::Value to_json(const TraceRecord& record) {
+  json::Value value;
+  value.set("id", record.id);
+  value.set("arrival", record.arrival);
+  value.set("nn", std::string(jobgraph::to_string(record.nn)));
+  value.set("batch_size", record.batch_size);
+  value.set("num_gpus", record.num_gpus);
+  value.set("min_utility", record.min_utility);
+  value.set("iterations", record.iterations);
+  value.set("start", record.start);
+  value.set("end", record.end);
+  value.set("utility", record.utility);
+  json::Array gpus;
+  for (const int gpu : record.gpus) gpus.push_back(gpu);
+  value.set("gpus", std::move(gpus));
+  return value;
+}
+
+util::Expected<TraceRecord> from_json(const json::Value& value) {
+  if (!value.is_object()) return util::Error{"trace record is not an object"};
+  TraceRecord record;
+  record.id = static_cast<int>(value.at("id").as_int());
+  record.arrival = value.at("arrival").as_number();
+  const auto nn = jobgraph::neural_net_from_string(value.at("nn").as_string());
+  if (!nn) {
+    return util::Error{
+        util::fmt("unknown nn '{}'", value.at("nn").as_string())};
+  }
+  record.nn = *nn;
+  record.batch_size = static_cast<int>(value.at("batch_size").as_int(1));
+  record.num_gpus = static_cast<int>(value.at("num_gpus").as_int(1));
+  record.min_utility = value.at("min_utility").as_number();
+  record.iterations = value.at("iterations").as_int(4000);
+  record.start = value.at("start").as_number(-1.0);
+  record.end = value.at("end").as_number(-1.0);
+  record.utility = value.at("utility").as_number();
+  for (const json::Value& gpu : value.at("gpus").as_array()) {
+    record.gpus.push_back(static_cast<int>(gpu.as_int()));
+  }
+  return record;
+}
+
+}  // namespace
+
+util::Status write_jsonl(const std::vector<TraceRecord>& records,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Error{util::fmt("cannot open {} for writing", path)};
+  for (const TraceRecord& record : records) {
+    out << json::write(to_json(record)) << '\n';
+  }
+  return out.good()
+             ? util::Status::ok()
+             : util::Status(util::Error{util::fmt("write to {} failed", path)});
+}
+
+util::Expected<std::vector<TraceRecord>> read_jsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Error{util::fmt("cannot open {}", path)};
+  std::vector<TraceRecord> records;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (util::trim(line).empty()) continue;
+    auto value = json::parse(line);
+    if (!value) {
+      return value.error().with_context(
+          util::fmt("{}: line {}", path, line_number));
+    }
+    auto record = from_json(*value);
+    if (!record) {
+      return record.error().with_context(
+          util::fmt("{}: line {}", path, line_number));
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+std::vector<jobgraph::JobRequest> to_workload(
+    const std::vector<TraceRecord>& records,
+    const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology) {
+  std::vector<jobgraph::JobRequest> jobs;
+  jobs.reserve(records.size());
+  for (const TraceRecord& record : records) {
+    jobs.push_back(perf::make_profiled_dl(
+        record.id, record.arrival, record.nn, record.batch_size,
+        record.num_gpus, record.min_utility, model, topology,
+        record.iterations));
+  }
+  return jobs;
+}
+
+}  // namespace gts::trace

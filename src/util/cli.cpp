@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace gts::util {
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  specs_[name] = Spec{help, std::move(default_value), /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, std::nullopt, /*is_flag=*/true};
+}
+
+Status CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return Error{fmt("unknown option --{}", name)};
+    }
+    if (it->second.is_flag) {
+      if (has_inline_value) {
+        return Error{fmt("flag --{} does not take a value", name)};
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        return Error{fmt("option --{} requires a value", name)};
+      }
+      value = argv[++i];
+    }
+    values_[name] = std::move(value);
+  }
+  return Status::ok();
+}
+
+bool CliParser::has(const std::string& name) const {
+  if (values_.count(name) > 0) return true;
+  const auto it = specs_.find(name);
+  return it != specs_.end() && it->second.default_value.has_value();
+}
+
+std::string CliParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  if (const auto it = specs_.find(name);
+      it != specs_.end() && it->second.default_value) {
+    return *it->second.default_value;
+  }
+  return {};
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return parse_int(get(name)).value_or(0);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return parse_double(get(name)).value_or(0.0);
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) os << " <value>";
+    os << "  " << spec.help;
+    if (spec.default_value) os << " (default: " << *spec.default_value << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gts::util

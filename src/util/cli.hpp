@@ -1,0 +1,49 @@
+// Small command-line parser used by the examples and bench binaries.
+//
+// Supports "--name value", "--name=value", and boolean flags "--name".
+// Unknown options are an error; positional arguments are collected in order.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace gts::util {
+
+class CliParser {
+ public:
+  /// Declares an option. `help` is shown by usage(); `default_value` (if
+  /// any) is returned when the option is absent.
+  void add_option(const std::string& name, const std::string& help,
+                  std::optional<std::string> default_value = std::nullopt);
+
+  /// Declares a boolean flag (present -> true).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. On success the accessors below become valid.
+  Status parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing all declared options.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::optional<std::string> default_value;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gts::util

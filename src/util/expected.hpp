@@ -1,0 +1,102 @@
+// A small Expected<T> / Error pair used across the library for fallible
+// operations (parsing, discovery, manifest loading). Kept deliberately
+// simpler than std::expected (not available in GCC 12's libstdc++): the
+// error type is always gts::util::Error.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gts::util {
+
+/// Error carried by Expected. `context` is a human-readable chain like
+/// "manifest.json: line 4: expected ':'".
+struct Error {
+  std::string message;
+
+  /// Returns a copy with `prefix + ": "` prepended; used to add context as
+  /// errors propagate outward.
+  Error with_context(const std::string& prefix) const {
+    return Error{prefix + ": " + message};
+  }
+};
+
+/// Thrown by Expected::value() on a disengaged Expected.
+class BadExpectedAccess : public std::runtime_error {
+ public:
+  explicit BadExpectedAccess(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT implicit
+  Expected(Error error) : data_(std::move(error)) {}  // NOLINT implicit
+
+  bool has_value() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  const T& value() const& {
+    if (!has_value()) throw BadExpectedAccess(error().message);
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!has_value()) throw BadExpectedAccess(error().message);
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!has_value()) throw BadExpectedAccess(error().message);
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  /// Maps the contained value through `f`, propagating errors unchanged.
+  template <typename F>
+  auto map(F&& f) const& -> Expected<decltype(f(std::declval<const T&>()))> {
+    if (!has_value()) return error();
+    return f(std::get<T>(data_));
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Expected<void> analogue: success or error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT implicit
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const Error& error() const {
+    assert(!is_ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace gts::util

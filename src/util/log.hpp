@@ -1,0 +1,78 @@
+// Minimal leveled logger for the gpu-topo-sched library.
+//
+// The library is deterministic and single-threaded by design (the
+// discrete-event simulator owns time), but the logger is still guarded by a
+// mutex so that example programs may log from worker threads safely.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gts::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the short uppercase tag for a level ("INFO", "WARN", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Global logger. Writes to stderr; level filter is process-wide.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Emit one line: "[LEVEL] component: message".
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one log line if `level` is enabled.
+template <typename... Args>
+void log(LogLevel level, std::string_view component, const Args&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  logger.write(level, component, os.str());
+}
+
+#define GTS_LOG_TRACE(component, ...) \
+  ::gts::util::log(::gts::util::LogLevel::kTrace, component, __VA_ARGS__)
+#define GTS_LOG_DEBUG(component, ...) \
+  ::gts::util::log(::gts::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define GTS_LOG_INFO(component, ...) \
+  ::gts::util::log(::gts::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define GTS_LOG_WARN(component, ...) \
+  ::gts::util::log(::gts::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define GTS_LOG_ERROR(component, ...) \
+  ::gts::util::log(::gts::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace gts::util

@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace gts::util {
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double lambda) noexcept {
+  // Inversion; 1 - uniform() is in (0, 1], so log() is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+int Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 60.0) {
+    // Knuth's product-of-uniforms method.
+    const double threshold = std::exp(-mean);
+    int count = 0;
+    double product = uniform();
+    while (product > threshold) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample < 0.0 ? 0 : static_cast<int>(sample + 0.5);
+}
+
+int Rng::binomial(int n, double p) noexcept {
+  if (p <= 0.0 || n <= 0) return 0;
+  if (p >= 1.0) return n;
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (uniform() < p) ++count;
+  }
+  return count;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; always consumes exactly two uniforms.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+}  // namespace gts::util

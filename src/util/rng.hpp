@@ -1,0 +1,127 @@
+// Deterministic random number generation for the simulator and workload
+// generator.
+//
+// All stochastic behaviour in the reproduction flows through Xoshiro256**
+// seeded via SplitMix64, so a (seed, stream) pair fully determines every
+// experiment. We deliberately avoid std::mt19937 + std::*_distribution:
+// libstdc++'s distributions are not guaranteed to produce the same sequence
+// across versions, which would make recorded experiment outputs
+// non-reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gts::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** 1.0 (Blackman & Vigna). Fast, high quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  /// Derives an independent stream (used to decouple arrival sampling from
+  /// configuration sampling so adding one draw does not shift the other).
+  Rng fork(std::uint64_t stream) noexcept {
+    SplitMix64 sm(next() ^ (0x853c49e6748fea9bULL * (stream + 1)));
+    Rng child(sm.next());
+    return child;
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire).
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long long uniform_int(long long lo, long long hi) noexcept {
+    return lo + static_cast<long long>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponential with rate `lambda` (mean 1/lambda); inter-arrival times of
+  /// a Poisson process.
+  double exponential(double lambda) noexcept;
+
+  /// Poisson-distributed count with mean `mean` (Knuth for small means,
+  /// normal approximation above 60).
+  int poisson(double mean) noexcept;
+
+  /// Binomial(n, p) by direct Bernoulli summation (n is small everywhere we
+  /// use it: the paper draws batch-size and NN-type classes from
+  /// Binomial(3, .) and Binomial(2, .)).
+  int binomial(int n, double p) noexcept;
+
+  /// Standard normal via Box-Muller (cached second value discarded to keep
+  /// the draw count per call deterministic at 2).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace gts::util

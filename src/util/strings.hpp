@@ -1,0 +1,66 @@
+// String helpers shared across modules: splitting, trimming, case folding,
+// number parsing, and a tiny printf-like formatter with "{}" placeholders.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gts::util {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits `text` on runs of whitespace, dropping empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// Strict parse of a decimal integer; nullopt on any trailing garbage.
+std::optional<long long> parse_int(std::string_view text);
+
+/// Strict parse of a floating-point number; nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+namespace detail {
+inline void format_impl(std::ostringstream& os, std::string_view fmt) {
+  os << fmt;
+}
+template <typename T, typename... Rest>
+void format_impl(std::ostringstream& os, std::string_view fmt, const T& value,
+                 const Rest&... rest) {
+  const size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    os << fmt;
+    return;
+  }
+  os << fmt.substr(0, pos) << value;
+  format_impl(os, fmt.substr(pos + 2), rest...);
+}
+}  // namespace detail
+
+/// fmt("a={} b={}", 1, 2.5) -> "a=1 b=2.5". Extra arguments are ignored when
+/// there are fewer "{}" than arguments; extra "{}" are printed literally.
+template <typename... Args>
+std::string fmt(std::string_view format, const Args&... args) {
+  std::ostringstream os;
+  detail::format_impl(os, format, args...);
+  return os.str();
+}
+
+/// Fixed-precision double rendering ("1.30", precision 2).
+std::string format_double(double value, int precision);
+
+}  // namespace gts::util

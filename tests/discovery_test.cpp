@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+#include "topo/discovery.hpp"
+
+namespace gts::topo::discovery {
+namespace {
+
+// Synthetic fixtures mirroring the S822LC tool outputs (Section 5.1).
+constexpr const char* kMinskyMatrix = R"(	GPU0	GPU1	GPU2	GPU3	CPU Affinity
+GPU0	 X 	NV2	SYS	SYS	0-7
+GPU1	NV2	 X 	SYS	SYS	0-7
+GPU2	SYS	SYS	 X 	NV2	8-15
+GPU3	SYS	SYS	NV2	 X 	8-15
+
+Legend:
+  X   = Self
+  SYS = Connection traversing PCIe as well as the SMP link between NUMA nodes
+  NV# = Connection traversing a bonded set of # NVLinks
+)";
+
+constexpr const char* kMinskyNumactl = R"(available: 2 nodes (0-1)
+node 0 cpus: 0 1 2 3 4 5 6 7
+node 0 size: 261788 MB
+node 1 cpus: 8 9 10 11 12 13 14 15
+node 1 size: 261788 MB
+node distances:
+node   0   1
+  0:  10  40
+  1:  40  10
+)";
+
+constexpr const char* kPcieSwitchMatrix = R"(	GPU0	GPU1	GPU2	GPU3	CPU Affinity
+GPU0	 X 	PIX	SYS	SYS	0-7
+GPU1	PIX	 X 	SYS	SYS	0-7
+GPU2	SYS	SYS	 X 	PIX	8-15
+GPU3	SYS	SYS	PIX	 X 	8-15
+)";
+
+TEST(ParseMatrixTest, ParsesMinskyFixture) {
+  const auto matrix = parse_matrix(kMinskyMatrix);
+  ASSERT_TRUE(matrix.has_value());
+  ASSERT_EQ(matrix->rows.size(), 4u);
+  EXPECT_EQ(matrix->rows[0].gpu_name, "GPU0");
+  EXPECT_EQ(matrix->rows[0].cells[1], "NV2");
+  EXPECT_EQ(matrix->rows[0].cells[2], "SYS");
+  EXPECT_EQ(matrix->rows[0].cpu_affinity_begin, 0);
+  EXPECT_EQ(matrix->rows[0].cpu_affinity_end, 7);
+  EXPECT_EQ(matrix->rows[3].cpu_affinity_begin, 8);
+}
+
+TEST(ParseMatrixTest, RejectsEmptyAndRagged) {
+  EXPECT_FALSE(parse_matrix("").has_value());
+  EXPECT_FALSE(parse_matrix("Legend: nothing here").has_value());
+  constexpr const char* kRagged =
+      "GPU0\t X \tNV2\t0-7\nGPU1\tNV2\t X \tSYS\t0-7\n";
+  EXPECT_FALSE(parse_matrix(kRagged).has_value());
+}
+
+TEST(ParseNumactlTest, ParsesNodes) {
+  const auto layout = parse_numactl(kMinskyNumactl);
+  ASSERT_TRUE(layout.has_value());
+  ASSERT_EQ(layout->cpus_of_node.size(), 2u);
+  EXPECT_EQ(layout->cpus_of_node[0].size(), 8u);
+  EXPECT_EQ(layout->cpus_of_node[0][0], 0);
+  EXPECT_EQ(layout->cpus_of_node[1][0], 8);
+}
+
+TEST(ParseNumactlTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_numactl("no numa info").has_value());
+}
+
+TEST(BuildMachineTest, MinskyMatchesBuilder) {
+  const auto discovered = build_machine(kMinskyMatrix, kMinskyNumactl);
+  ASSERT_TRUE(discovered.has_value()) << discovered.error().message;
+
+  const TopologyGraph reference = builders::power8_minsky();
+  EXPECT_EQ(discovered->gpu_count(), reference.gpu_count());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(discovered->socket_of_gpu(i), reference.socket_of_gpu(i));
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(discovered->gpu_path(i, j).peer_to_peer,
+                reference.gpu_path(i, j).peer_to_peer)
+          << "pair " << i << "," << j;
+      EXPECT_DOUBLE_EQ(discovered->gpu_distance(i, j),
+                       reference.gpu_distance(i, j))
+          << "pair " << i << "," << j;
+    }
+  }
+  // NVLink lane count becomes bandwidth: NV2 = 40 GB/s.
+  EXPECT_DOUBLE_EQ(discovered->gpu_path(0, 1).bottleneck_gbps, 40.0);
+}
+
+TEST(BuildMachineTest, PixPairsShareASwitch) {
+  const auto discovered = build_machine(kPcieSwitchMatrix, kMinskyNumactl);
+  ASSERT_TRUE(discovered.has_value()) << discovered.error().message;
+  // PIX pair: GPU -> switch -> GPU, distance 2, still P2P (switch-only).
+  EXPECT_DOUBLE_EQ(discovered->gpu_distance(0, 1), 2.0);
+  EXPECT_TRUE(discovered->gpu_path(0, 1).peer_to_peer);
+  EXPECT_FALSE(discovered->gpu_path(0, 2).peer_to_peer);
+}
+
+TEST(BuildMachineTest, FailsOnMissingAffinity) {
+  constexpr const char* kNoAffinity =
+      "GPU0\t X \tNV2\nGPU1\tNV2\t X \n";
+  EXPECT_FALSE(build_machine(kNoAffinity, kMinskyNumactl).has_value());
+}
+
+TEST(RenderMatrixTest, RoundTripsThroughParser) {
+  const TopologyGraph reference = builders::power8_minsky();
+  const std::string rendered = render_matrix(reference);
+  EXPECT_NE(rendered.find("NV2"), std::string::npos);
+  EXPECT_NE(rendered.find("SYS"), std::string::npos);
+
+  const auto reparsed = build_machine(rendered, kMinskyNumactl);
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(reparsed->gpu_distance(i, j),
+                       reference.gpu_distance(i, j));
+    }
+  }
+}
+
+TEST(RenderMatrixTest, Dgx1ShowsPixForSwitchPairs) {
+  const TopologyGraph g = builders::dgx1();
+  const std::string rendered = render_matrix(g);
+  EXPECT_NE(rendered.find("NV1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gts::topo::discovery

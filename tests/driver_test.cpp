@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "perf/profile.hpp"
+#include "trace/generator.hpp"
+#include "sched/driver.hpp"
+#include "topo/builders.hpp"
+
+namespace gts::sched {
+namespace {
+
+using jobgraph::JobRequest;
+using jobgraph::NeuralNet;
+
+class DriverTest : public ::testing::Test {
+ protected:
+  topo::TopologyGraph topo_ = topo::builders::power8_minsky();
+  perf::DlWorkloadModel model_{perf::CalibrationParams::paper_minsky()};
+
+  JobRequest job(int id, double arrival, int gpus, int batch = 1,
+                 long long iterations = 400) {
+    return perf::make_profiled_dl(id, arrival, NeuralNet::kAlexNet, batch,
+                                  gpus, gpus > 1 ? 0.5 : 0.3, model_, topo_,
+                                  iterations);
+  }
+
+  DriverReport run(Policy policy, std::vector<JobRequest> jobs) {
+    const auto scheduler = make_scheduler(policy);
+    Driver driver(topo_, model_, *scheduler);
+    return driver.run(std::move(jobs));
+  }
+};
+
+TEST_F(DriverTest, SingleJobRunsToCompletion) {
+  const DriverReport report = run(Policy::kFcfs, {job(0, 1.0, 1)});
+  const cluster::JobRecord* record = report.recorder.find(0);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->finished());
+  EXPECT_DOUBLE_EQ(record->start, 1.0);
+  // 400 iterations at 25 ms solo.
+  EXPECT_NEAR(record->end, 1.0 + 400 * 0.025, 0.1);
+  EXPECT_EQ(report.rejected_jobs, 0);
+  EXPECT_GT(report.decision_count, 0);
+}
+
+TEST_F(DriverTest, CompletionTimesReflectInterference) {
+  // Two identical 2-GPU jobs, one per socket: each suffers the Fig. 6
+  // tiny|tiny machine-level slowdown (30%).
+  const DriverReport report =
+      run(Policy::kFcfs, {job(0, 0.0, 2), job(1, 0.0, 2)});
+  const cluster::JobRecord* a = report.recorder.find(0);
+  ASSERT_TRUE(a->finished());
+  const double solo = 400 * 0.075;
+  EXPECT_NEAR(a->execution_time(), solo * 1.30, solo * 0.02);
+}
+
+TEST_F(DriverTest, QueuedJobStartsWhenGpusFree) {
+  // Machine full until job 0 finishes.
+  std::vector<JobRequest> jobs = {job(0, 0.0, 4), job(1, 1.0, 2)};
+  const DriverReport report = run(Policy::kFcfs, jobs);
+  const cluster::JobRecord* first = report.recorder.find(0);
+  const cluster::JobRecord* second = report.recorder.find(1);
+  ASSERT_TRUE(first->finished());
+  ASSERT_TRUE(second->finished());
+  EXPECT_NEAR(second->start, first->end, 1e-6);
+  EXPECT_GT(second->waiting_time(), 0.0);
+}
+
+TEST_F(DriverTest, FcfsBlocksBehindHeadOfLine) {
+  // Head job needs 4 GPUs (waits for job 0); a later 1-GPU job must NOT
+  // overtake it under strict FIFO.
+  std::vector<JobRequest> jobs = {job(0, 0.0, 2), job(1, 1.0, 4),
+                                  job(2, 2.0, 1)};
+  const DriverReport report = run(Policy::kFcfs, jobs);
+  const cluster::JobRecord* blocked = report.recorder.find(1);
+  const cluster::JobRecord* late = report.recorder.find(2);
+  ASSERT_TRUE(blocked->finished());
+  ASSERT_TRUE(late->finished());
+  EXPECT_GE(late->start, blocked->start);
+}
+
+TEST_F(DriverTest, TopoAwareAllowsOvertaking) {
+  // Same workload under TOPO-AWARE: the 1-GPU job may start while the
+  // 4-GPU job waits (Algorithm 1 keeps scanning the queue).
+  std::vector<JobRequest> jobs = {job(0, 0.0, 2), job(1, 1.0, 4),
+                                  job(2, 2.0, 1)};
+  const DriverReport report = run(Policy::kTopoAware, jobs);
+  const cluster::JobRecord* blocked = report.recorder.find(1);
+  const cluster::JobRecord* late = report.recorder.find(2);
+  ASSERT_TRUE(blocked->finished());
+  ASSERT_TRUE(late->finished());
+  EXPECT_LT(late->start, blocked->start);
+}
+
+TEST_F(DriverTest, ImpossibleJobRejectedNotDeadlocked) {
+  std::vector<JobRequest> jobs = {job(0, 0.0, 1),
+                                  job(1, 1.0, 8)};  // 8 > 4 GPUs
+  const DriverReport report = run(Policy::kFcfs, jobs);
+  EXPECT_EQ(report.rejected_jobs, 1);
+  EXPECT_TRUE(report.recorder.find(0)->finished());
+  EXPECT_FALSE(report.recorder.find(1)->placed());
+}
+
+TEST_F(DriverTest, SeriesRecordedWhenEnabled) {
+  const auto scheduler = make_scheduler(Policy::kTopoAware);
+  DriverOptions options;
+  options.record_series = true;
+  Driver driver(topo_, model_, *scheduler, options);
+  const DriverReport report = driver.run({job(0, 0.0, 2)});
+  EXPECT_GE(report.recorder.p2p_bandwidth().size(), 2u);
+  EXPECT_GE(report.recorder.mean_utility().size(), 2u);
+}
+
+TEST_F(DriverTest, DeterministicAcrossRuns) {
+  std::vector<JobRequest> jobs = {job(0, 0.0, 2), job(1, 3.0, 2),
+                                  job(2, 5.0, 1), job(3, 6.0, 2)};
+  const DriverReport a = run(Policy::kTopoAwareP, jobs);
+  const DriverReport b = run(Policy::kTopoAwareP, jobs);
+  ASSERT_EQ(a.recorder.records().size(), b.recorder.records().size());
+  for (size_t i = 0; i < a.recorder.records().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.recorder.records()[i].end,
+                     b.recorder.records()[i].end);
+    EXPECT_EQ(a.recorder.records()[i].gpus, b.recorder.records()[i].gpus);
+  }
+}
+
+// Property sweep: for random workloads under every policy, the recorded
+// schedule must be physically consistent — no GPU hosts two jobs at
+// overlapping times, jobs never start before arrival, every placed job's
+// GPU count matches its request, and placements respect the single-node
+// constraint.
+struct ScheduleProperty {
+  Policy policy;
+  std::uint64_t seed;
+};
+class SchedulePropertyTest
+    : public ::testing::TestWithParam<ScheduleProperty> {};
+
+TEST_P(SchedulePropertyTest, NoOverlapNoTimeTravel) {
+  const auto [policy, seed] = GetParam();
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      2, topo::builders::MachineShape::kPower8Minsky);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  trace::GeneratorOptions gen;
+  gen.job_count = 40;
+  gen.iterations = 200;
+  gen.seed = seed;
+  const auto jobs = trace::generate_workload(gen, model, topology);
+
+  const auto scheduler = make_scheduler(policy);
+  Driver driver(topology, model, *scheduler);
+  const DriverReport report = driver.run(jobs);
+
+  const auto& records = report.recorder.records();
+  for (const auto& record : records) {
+    if (!record.placed()) continue;
+    EXPECT_GE(record.start, record.arrival - 1e-9);
+    EXPECT_EQ(static_cast<int>(record.gpus.size()), record.num_gpus);
+    if (record.finished()) {
+      EXPECT_GE(record.end, record.start);
+    }
+    // single_node jobs stay on one machine.
+    std::set<int> machines;
+    for (const int gpu : record.gpus) {
+      machines.insert(topology.machine_of_gpu(gpu));
+    }
+    EXPECT_EQ(machines.size(), 1u);
+  }
+  // Pairwise GPU-interval overlap check.
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      const auto& a = records[i];
+      const auto& b = records[j];
+      if (!a.placed() || !b.placed()) continue;
+      const bool time_overlap =
+          a.start < b.end - 1e-9 && b.start < a.end - 1e-9;
+      if (!time_overlap) continue;
+      for (const int gpu : a.gpus) {
+        EXPECT_TRUE(std::find(b.gpus.begin(), b.gpus.end(), gpu) ==
+                    b.gpus.end())
+            << "GPU " << gpu << " double-booked by jobs " << a.id << " and "
+            << b.id;
+      }
+    }
+  }
+}
+
+std::vector<ScheduleProperty> schedule_sweep() {
+  std::vector<ScheduleProperty> params;
+  for (const Policy policy : {Policy::kFcfs, Policy::kBestFit,
+                              Policy::kTopoAware, Policy::kTopoAwareP}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 21ULL}) {
+      params.push_back({policy, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesRandomWorkloads, SchedulePropertyTest,
+                         ::testing::ValuesIn(schedule_sweep()));
+
+TEST_F(DriverTest, MakespanIsLastCompletion) {
+  std::vector<JobRequest> jobs = {job(0, 0.0, 1, 1, 100),
+                                  job(1, 0.0, 1, 1, 1000)};
+  const DriverReport report = run(Policy::kTopoAware, jobs);
+  double latest = 0.0;
+  for (const auto& record : report.recorder.records()) {
+    latest = std::max(latest, record.end);
+  }
+  EXPECT_DOUBLE_EQ(report.end_time, latest);
+}
+
+}  // namespace
+}  // namespace gts::sched

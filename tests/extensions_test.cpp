@@ -1,0 +1,317 @@
+// Tests for the extensions beyond the paper's core evaluation:
+//   * the Section 4.2 performance predictor for unknown jobs,
+//   * per-edge communication volumes (model-parallel job graphs),
+//   * lognormal execution noise (cloud variability),
+//   * heterogeneous (mixed Minsky/DGX-1) clusters,
+//   * scheduling on the DGX-1 topology.
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.hpp"
+#include "perf/predictor.hpp"
+#include "perf/profile.hpp"
+#include "sched/driver.hpp"
+#include "sched/topo_aware.hpp"
+#include "topo/builders.hpp"
+#include "trace/generator.hpp"
+
+namespace gts {
+namespace {
+
+using jobgraph::JobRequest;
+using jobgraph::NeuralNet;
+using topo::builders::MachineShape;
+
+// ------------------------------------------------------------ predictor ---
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  topo::TopologyGraph minsky_ = topo::builders::power8_minsky();
+  perf::DlWorkloadModel model_{perf::CalibrationParams::paper_minsky()};
+  perf::ProfilePredictor predictor_ =
+      perf::ProfilePredictor::from_model_sweep(model_, minsky_);
+};
+
+TEST_F(PredictorTest, SweepPopulatesObservations) {
+  // 3 NNs x 3 batches x {1-GPU pack, 2-GPU pack, 2-GPU spread}.
+  EXPECT_EQ(predictor_.observation_count(), 27);
+}
+
+TEST_F(PredictorTest, ExactConfigurationsRecovered) {
+  const JobRequest job =
+      JobRequest::make_dl(0, 0.0, NeuralNet::kAlexNet, 8, 2, 0.0, 1);
+  const std::vector<int> pack = perf::pack_placement(minsky_, 2);
+  const double truth = model_.iteration(job, pack, minsky_).total_s;
+  const auto predicted =
+      predictor_.predict_iteration_time(NeuralNet::kAlexNet, 8, 2, true);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, truth, truth * 0.01);
+}
+
+TEST_F(PredictorTest, InterpolatesUnseenBatchSizes) {
+  // Batch 4 and 32 are NOT in the {1, 8, 64} sweep.
+  for (const int batch : {2, 4, 16, 32}) {
+    const JobRequest job =
+        JobRequest::make_dl(0, 0.0, NeuralNet::kCaffeRef, batch, 2, 0.0, 1);
+    const std::vector<int> spread = perf::spread_placement(minsky_, 2);
+    const double truth = model_.iteration(job, spread, minsky_).total_s;
+    const auto predicted = predictor_.predict_iteration_time(
+        NeuralNet::kCaffeRef, batch, 2, false);
+    ASSERT_TRUE(predicted.has_value()) << "batch " << batch;
+    // Iteration time is affine in batch, so interpolation is near-exact.
+    EXPECT_NEAR(*predicted, truth, truth * 0.02) << "batch " << batch;
+  }
+}
+
+TEST_F(PredictorTest, ExtrapolatesBeyondSweep) {
+  const JobRequest job =
+      JobRequest::make_dl(0, 0.0, NeuralNet::kAlexNet, 128, 2, 0.0, 1);
+  const std::vector<int> pack = perf::pack_placement(minsky_, 2);
+  const double truth = model_.iteration(job, pack, minsky_).total_s;
+  const auto predicted =
+      predictor_.predict_iteration_time(NeuralNet::kAlexNet, 128, 2, true);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, truth, truth * 0.05);
+}
+
+TEST_F(PredictorTest, ValidationErrorIsSmall) {
+  // "High-quality decisions will be accurate enough" (Section 4.2): the
+  // coarse 3-point sweep predicts the full batch range within a few %.
+  EXPECT_LT(predictor_.validation_error(model_, minsky_), 0.05);
+}
+
+TEST_F(PredictorTest, CollocationRowNearestClass) {
+  const auto row = predictor_.predict_collocation(NeuralNet::kAlexNet, 2);
+  ASSERT_TRUE(row.has_value());
+  // Batch 2 is tiny-class: the row must match the tiny calibration row.
+  EXPECT_DOUBLE_EQ((*row)[0], 0.30);
+  EXPECT_DOUBLE_EQ((*row)[3], 0.24);
+}
+
+TEST_F(PredictorTest, EmptyPredictorDeclines) {
+  const perf::ProfilePredictor empty;
+  EXPECT_FALSE(
+      empty.predict_iteration_time(NeuralNet::kAlexNet, 1, 1, true)
+          .has_value());
+  EXPECT_FALSE(empty.predict_collocation(NeuralNet::kAlexNet, 1).has_value());
+}
+
+TEST_F(PredictorTest, ObserveExtendsKnowledge) {
+  perf::ProfilePredictor predictor;
+  predictor.observe({NeuralNet::kGoogLeNet, 16, 1, true, 0.5, {}});
+  const auto predicted =
+      predictor.predict_iteration_time(NeuralNet::kGoogLeNet, 16, 1, true);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_DOUBLE_EQ(*predicted, 0.5);
+}
+
+// --------------------------------------------- per-edge volumes (MP) ------
+
+TEST(ModelParallelTest, HeavierEdgesMoveMoreData) {
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  JobRequest uniform =
+      JobRequest::make_dl(0, 0.0, NeuralNet::kAlexNet, 1, 2, 0.0, 1);
+  JobRequest doubled = uniform;
+  jobgraph::JobGraph heavy(2);
+  heavy.add_edge(0, 1, 2.0 * uniform.profile.comm_weight);
+  doubled.comm_graph = heavy;
+
+  const std::vector<int> pack = {0, 1};
+  const double base = model.iteration(uniform, pack, minsky).comm_s;
+  const double twice = model.iteration(doubled, pack, minsky).comm_s;
+  EXPECT_NEAR(twice, 2.0 * base, 1e-9);
+}
+
+TEST(ModelParallelTest, PipelineBlocksOnItsHeaviestStage) {
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  // A 4-stage pipeline with one heavy inter-stage edge; placed so the
+  // heavy edge crosses sockets, the iteration blocks on it.
+  JobRequest job = JobRequest::make_dl(0, 0.0, NeuralNet::kAlexNet, 1, 4,
+                                       0.0, 1);
+  jobgraph::JobGraph pipeline(4);
+  pipeline.add_edge(0, 1, 4.0);
+  pipeline.add_edge(1, 2, 8.0);  // the heavy stage boundary
+  pipeline.add_edge(2, 3, 4.0);
+  job.comm_graph = pipeline;
+
+  // 0,1 on socket 0; 2,3 on socket 1 -> the 1-2 edge crosses the X-bus.
+  const std::vector<int> placement = {0, 1, 2, 3};
+  const perf::IterationBreakdown step =
+      model.iteration(job, placement, minsky);
+  EXPECT_EQ(step.worst_path, perf::PathClass::kCrossSocketNvlinkHost);
+  // 2x volume over the 27.52 GB/s cross path dominates 1x over 40 GB/s.
+  EXPECT_NEAR(step.comm_s, 2.0 * 2.0 / (32.0 * 0.86), 1e-6);
+}
+
+TEST(ModelParallelTest, TopoAwarePutsTheHeavyEdgeOnNvlink) {
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  cluster::ClusterState state(minsky, model);
+
+  // 2-stage model-parallel job: one very heavy edge. The mapper must land
+  // both tasks on the same socket.
+  JobRequest job = perf::make_profiled_dl(1, 0.0, NeuralNet::kAlexNet, 1, 2,
+                                          0.5, model, minsky, 100);
+  jobgraph::JobGraph stages(2);
+  stages.add_edge(0, 1, 8.0);
+  job.comm_graph = stages;
+
+  sched::TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  const auto placement = scheduler.place(job, state);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(minsky.same_socket(placement->gpus[0], placement->gpus[1]));
+}
+
+// ----------------------------------------------------------- noise --------
+
+TEST(NoiseTest, NoiseChangesCompletionsButNotPlacements) {
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = exp::table1_jobs(model, minsky);
+
+  const auto scheduler = sched::make_scheduler(sched::Policy::kTopoAwareP);
+  sched::DriverOptions quiet;
+  sched::Driver clean_driver(minsky, model, *scheduler, quiet);
+  const auto clean = clean_driver.run(jobs);
+
+  const auto scheduler2 = sched::make_scheduler(sched::Policy::kTopoAwareP);
+  sched::DriverOptions noisy;
+  noisy.noise_sigma = 0.1;
+  sched::Driver noisy_driver(minsky, model, *scheduler2, noisy);
+  const auto shaken = noisy_driver.run(jobs);
+
+  bool any_end_differs = false;
+  for (const auto& record : clean.recorder.records()) {
+    const auto* other = shaken.recorder.find(record.id);
+    ASSERT_TRUE(other != nullptr && other->finished());
+    if (std::abs(other->end - record.end) > 1e-6) any_end_differs = true;
+  }
+  EXPECT_TRUE(any_end_differs);
+}
+
+TEST(NoiseTest, DeterministicPerSeed) {
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = exp::table1_jobs(model, minsky);
+  sched::DriverOptions options;
+  options.noise_sigma = 0.15;
+  options.noise_seed = 7;
+
+  const auto s1 = sched::make_scheduler(sched::Policy::kTopoAware);
+  const auto s2 = sched::make_scheduler(sched::Policy::kTopoAware);
+  sched::Driver d1(minsky, model, *s1, options);
+  sched::Driver d2(minsky, model, *s2, options);
+  const auto a = d1.run(jobs);
+  const auto b = d2.run(jobs);
+  for (const auto& record : a.recorder.records()) {
+    EXPECT_DOUBLE_EQ(record.end, b.recorder.find(record.id)->end);
+  }
+}
+
+TEST(NoiseTest, OrderingRobustUnderNoise) {
+  // The paper's claim that "high-quality decisions will be accurate
+  // enough": the topology-aware win survives 15% execution noise.
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = exp::table1_jobs(model, minsky);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    sched::DriverOptions options;
+    options.noise_sigma = 0.15;
+    options.noise_seed = seed;
+
+    const auto greedy_sched = sched::make_scheduler(sched::Policy::kBestFit);
+    sched::Driver greedy_driver(minsky, model, *greedy_sched, options);
+    const auto greedy = greedy_driver.run(jobs);
+
+    const auto topo_sched = sched::make_scheduler(sched::Policy::kTopoAwareP);
+    sched::Driver topo_driver(minsky, model, *topo_sched, options);
+    const auto topo = topo_driver.run(jobs);
+
+    EXPECT_LT(topo.recorder.makespan(), greedy.recorder.makespan())
+        << "seed " << seed;
+  }
+}
+
+// ----------------------------------------- heterogeneous / DGX-1 ----------
+
+TEST(MixedClusterTest, ShapesCoexist) {
+  const topo::TopologyGraph graph = topo::builders::mixed_cluster(
+      {MachineShape::kPower8Minsky, MachineShape::kDgx1,
+       MachineShape::kPower8Minsky});
+  EXPECT_TRUE(graph.validate().is_ok());
+  EXPECT_EQ(graph.machine_count(), 3);
+  EXPECT_EQ(graph.gpu_count(), 4 + 8 + 4);
+  EXPECT_EQ(graph.gpus_of_machine(1).size(), 8u);
+  // Cross-machine routing still works between unlike machines.
+  EXPECT_FALSE(graph.gpu_path(0, 6).peer_to_peer);
+  EXPECT_GT(graph.gpu_distance(0, 6), 200.0);
+}
+
+TEST(MixedClusterTest, SchedulerPrefersTheMachineThatFits) {
+  const topo::TopologyGraph graph = topo::builders::mixed_cluster(
+      {MachineShape::kPower8Minsky, MachineShape::kDgx1});
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  cluster::ClusterState state(graph, model);
+  // A 6-GPU job only fits the DGX-1.
+  const JobRequest job = perf::make_profiled_dl(
+      1, 0.0, NeuralNet::kAlexNet, 4, 6, 0.0, model, graph, 100);
+  sched::TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  const auto placement = scheduler.place(job, state);
+  ASSERT_TRUE(placement.has_value());
+  for (const int gpu : placement->gpus) {
+    EXPECT_EQ(graph.machine_of_gpu(gpu), 1);
+  }
+}
+
+TEST(Dgx1SchedulingTest, TwoGpuJobLandsOnDirectNvlinkPair) {
+  const topo::TopologyGraph dgx = topo::builders::dgx1();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  cluster::ClusterState state(dgx, model);
+  const JobRequest job = perf::make_profiled_dl(
+      1, 0.0, NeuralNet::kAlexNet, 1, 2, 0.5, model, dgx, 100);
+  sched::TopoAwareScheduler scheduler({}, /*postpone=*/true);
+  const auto placement = scheduler.place(job, state);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_DOUBLE_EQ(
+      dgx.gpu_distance(placement->gpus[0], placement->gpus[1]), 1.0);
+  EXPECT_TRUE(dgx.gpu_path(placement->gpus[0], placement->gpus[1])
+                  .peer_to_peer);
+}
+
+TEST(Dgx1SchedulingTest, QuadJobStaysInOneQuad) {
+  const topo::TopologyGraph dgx = topo::builders::dgx1();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  cluster::ClusterState state(dgx, model);
+  const JobRequest job = perf::make_profiled_dl(
+      1, 0.0, NeuralNet::kAlexNet, 1, 4, 0.5, model, dgx, 100);
+  sched::TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  const auto placement = scheduler.place(job, state);
+  ASSERT_TRUE(placement.has_value());
+  const int socket = dgx.socket_of_gpu(placement->gpus[0]);
+  for (const int gpu : placement->gpus) {
+    EXPECT_EQ(dgx.socket_of_gpu(gpu), socket);
+  }
+}
+
+TEST(Dgx1SchedulingTest, PolicyOrderingHoldsOnDgx1Cluster) {
+  // The algorithm is topology-agnostic: the Fig. 10 ordering also holds
+  // on a small cluster of DGX-1 machines.
+  const topo::TopologyGraph graph =
+      topo::builders::cluster(3, MachineShape::kDgx1);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  trace::GeneratorOptions gen;
+  gen.job_count = 60;
+  gen.iterations = 250;
+  gen.seed = 11;
+  const auto jobs = trace::generate_workload(gen, model, graph);
+  const auto comparison = exp::compare_policies(jobs, graph, model);
+  EXPECT_EQ(comparison.entry(sched::Policy::kTopoAwareP).slo_violations, 0);
+  EXPECT_LE(comparison.entry(sched::Policy::kTopoAwareP).slo_violations,
+            comparison.entry(sched::Policy::kBestFit).slo_violations);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "jobgraph/jobgraph.hpp"
+#include "jobgraph/manifest.hpp"
+#include "jobgraph/workload.hpp"
+
+namespace gts::jobgraph {
+namespace {
+
+TEST(WorkloadTest, NamesRoundTrip) {
+  EXPECT_EQ(to_string(NeuralNet::kAlexNet), "AlexNet");
+  EXPECT_EQ(to_string(BatchClass::kBig), "big");
+  EXPECT_EQ(neural_net_from_string("alexnet"), NeuralNet::kAlexNet);
+  EXPECT_EQ(neural_net_from_string("G"), NeuralNet::kGoogLeNet);
+  EXPECT_EQ(neural_net_from_string("C"), NeuralNet::kCaffeRef);
+  EXPECT_FALSE(neural_net_from_string("resnet").has_value());
+  EXPECT_EQ(batch_class_from_string("tiny"), BatchClass::kTiny);
+  EXPECT_FALSE(batch_class_from_string("huge").has_value());
+}
+
+TEST(WorkloadTest, BatchClassification) {
+  EXPECT_EQ(classify_batch_size(1), BatchClass::kTiny);
+  EXPECT_EQ(classify_batch_size(2), BatchClass::kTiny);
+  EXPECT_EQ(classify_batch_size(4), BatchClass::kSmall);
+  EXPECT_EQ(classify_batch_size(8), BatchClass::kSmall);
+  EXPECT_EQ(classify_batch_size(16), BatchClass::kMedium);
+  EXPECT_EQ(classify_batch_size(32), BatchClass::kMedium);
+  EXPECT_EQ(classify_batch_size(64), BatchClass::kBig);
+  EXPECT_EQ(classify_batch_size(128), BatchClass::kBig);
+}
+
+TEST(WorkloadTest, RepresentativeSizesClassifyToThemselves) {
+  for (int b = 0; b < kBatchClassCount; ++b) {
+    const auto batch = static_cast<BatchClass>(b);
+    EXPECT_EQ(classify_batch_size(representative_batch_size(batch)), batch);
+  }
+}
+
+TEST(WorkloadTest, CommWeightDecreasesWithBatch) {
+  // Section 5.1: weights 4 (smallest batch) down to 1 (largest).
+  EXPECT_DOUBLE_EQ(comm_weight(BatchClass::kTiny), 4.0);
+  EXPECT_DOUBLE_EQ(comm_weight(BatchClass::kSmall), 3.0);
+  EXPECT_DOUBLE_EQ(comm_weight(BatchClass::kMedium), 2.0);
+  EXPECT_DOUBLE_EQ(comm_weight(BatchClass::kBig), 1.0);
+}
+
+TEST(JobGraphTest, AllToAllEdgeCount) {
+  const JobGraph g = JobGraph::all_to_all(4, 2.0);
+  EXPECT_EQ(g.task_count(), 4);
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(3, 0), 2.0);  // symmetric lookup
+  EXPECT_DOUBLE_EQ(g.total_weight(), 12.0);
+}
+
+TEST(JobGraphTest, ZeroWeightMeansNoEdges) {
+  const JobGraph g = JobGraph::all_to_all(4, 0.0);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 0.0);
+}
+
+TEST(JobGraphTest, SingleTaskHasNoEdges) {
+  const JobGraph g = JobGraph::all_to_all(1, 4.0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(JobGraphTest, RingShape) {
+  const JobGraph g = JobGraph::ring(4, 1.5);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(3, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 0.0);
+  // Two-task ring has a single edge, not a doubled one.
+  EXPECT_EQ(JobGraph::ring(2, 1.0).edge_count(), 1);
+}
+
+TEST(JobGraphTest, WeightToGroup) {
+  const JobGraph g = JobGraph::all_to_all(4, 1.0);
+  EXPECT_DOUBLE_EQ(g.weight_to_group(0, {1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(g.weight_to_group(0, {}), 0.0);
+  EXPECT_DOUBLE_EQ(g.weight_to_group(0, {0}), 0.0);  // self excluded
+}
+
+TEST(JobRequestTest, MakeDlFillsProfile) {
+  const JobRequest job =
+      JobRequest::make_dl(7, 12.5, NeuralNet::kCaffeRef, 4, 2, 0.5, 1000);
+  EXPECT_EQ(job.id, 7);
+  EXPECT_DOUBLE_EQ(job.arrival_time, 12.5);
+  EXPECT_EQ(job.num_gpus, 2);
+  EXPECT_EQ(job.iterations, 1000);
+  EXPECT_EQ(job.profile.nn, NeuralNet::kCaffeRef);
+  EXPECT_EQ(job.profile.batch, BatchClass::kSmall);
+  EXPECT_DOUBLE_EQ(job.profile.comm_weight, 3.0);
+  EXPECT_EQ(job.comm_graph.task_count(), 2);
+  EXPECT_DOUBLE_EQ(job.comm_graph.edge_weight(0, 1), 3.0);
+}
+
+TEST(ManifestTest, RoundTripCanonicalJob) {
+  const JobRequest original =
+      JobRequest::make_dl(3, 25.33, NeuralNet::kAlexNet, 4, 2, 0.5);
+  const json::Value manifest = to_manifest(original);
+  const auto parsed = from_manifest(manifest);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(parsed->id, 3);
+  EXPECT_DOUBLE_EQ(parsed->arrival_time, 25.33);
+  EXPECT_EQ(parsed->profile.nn, NeuralNet::kAlexNet);
+  EXPECT_EQ(parsed->profile.batch_size, 4);
+  EXPECT_EQ(parsed->num_gpus, 2);
+  EXPECT_DOUBLE_EQ(parsed->min_utility, 0.5);
+  EXPECT_EQ(parsed->comm_graph.edge_count(), 1);
+  EXPECT_DOUBLE_EQ(parsed->comm_graph.edge_weight(0, 1), 3.0);
+}
+
+TEST(ManifestTest, ExplicitEdgesSurvive) {
+  JobRequest original =
+      JobRequest::make_dl(1, 0.0, NeuralNet::kAlexNet, 1, 3, 0.3);
+  JobGraph custom(3);
+  custom.add_edge(0, 1, 2.5);
+  custom.add_edge(1, 2, 1.5);
+  original.comm_graph = custom;
+
+  const auto parsed = from_manifest(to_manifest(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->comm_graph.edge_count(), 2);
+  EXPECT_DOUBLE_EQ(parsed->comm_graph.edge_weight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(parsed->comm_graph.edge_weight(1, 2), 1.5);
+  EXPECT_DOUBLE_EQ(parsed->comm_graph.edge_weight(0, 2), 0.0);
+}
+
+TEST(ManifestTest, ConstraintsSurvive) {
+  JobRequest original =
+      JobRequest::make_dl(1, 0.0, NeuralNet::kGoogLeNet, 64, 2, 0.5);
+  original.profile.single_node = false;
+  original.profile.anti_collocate = true;
+  const auto parsed = from_manifest(to_manifest(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->profile.single_node);
+  EXPECT_TRUE(parsed->profile.anti_collocate);
+}
+
+TEST(ManifestTest, RejectsBadInput) {
+  EXPECT_FALSE(from_manifest(json::Value(5)).has_value());
+  json::Value bad_nn;
+  bad_nn.set("nn", "resnet");
+  bad_nn.set("batch_size", 1);
+  bad_nn.set("num_gpus", 1);
+  EXPECT_FALSE(from_manifest(bad_nn).has_value());
+
+  json::Value bad_batch;
+  bad_batch.set("nn", "AlexNet");
+  bad_batch.set("batch_size", 0);
+  EXPECT_FALSE(from_manifest(bad_batch).has_value());
+
+  json::Value bad_edge;
+  bad_edge.set("nn", "AlexNet");
+  bad_edge.set("batch_size", 1);
+  bad_edge.set("num_gpus", 2);
+  json::Value graph;
+  graph.set("edges", json::Array{json::Array{0, 5, 1.0}});
+  bad_edge.set("comm_graph", graph);
+  EXPECT_FALSE(from_manifest(bad_edge).has_value());
+}
+
+TEST(ManifestTest, FileRoundTripWithArray) {
+  std::vector<JobRequest> jobs;
+  jobs.push_back(JobRequest::make_dl(0, 0.5, NeuralNet::kAlexNet, 1, 1, 0.3));
+  jobs.push_back(JobRequest::make_dl(1, 15.0, NeuralNet::kGoogLeNet, 4, 1, 0.3));
+  const std::string path = "/tmp/gts_manifest_test.json";
+  ASSERT_TRUE(save_manifest_file(jobs, path).is_ok());
+  const auto loaded = load_manifest_file(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].profile.nn, NeuralNet::kGoogLeNet);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gts::jobgraph

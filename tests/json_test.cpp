@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+
+#include "json/json.hpp"
+
+namespace gts::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_EQ(parse("true")->as_bool(), true);
+  EXPECT_EQ(parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5")->as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2")->as_number(), 0.025);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto doc = parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->is_object());
+  const Value& a = doc->at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.as_array().size(), 3u);
+  EXPECT_EQ(a.as_array()[2].at("b").as_bool(), true);
+  EXPECT_TRUE(doc->at("c").at("d").is_null());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto doc = parse(R"("line\nbreak\t\"quote\" \\ \/ A")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "line\nbreak\t\"quote\" \\ / A");
+}
+
+TEST(JsonParseTest, UnicodeEscapeMultibyte) {
+  const auto doc = parse(R"("é€")");  // é, €
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const auto doc = parse("  {\n\t\"a\" :\r 1 }  ");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("a").as_int(), 1);
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(parse("{}")->as_object().empty());
+  EXPECT_TRUE(parse("[]")->as_array().empty());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{").has_value());
+  EXPECT_FALSE(parse("[1,]").has_value());
+  EXPECT_FALSE(parse("{\"a\":}").has_value());
+  EXPECT_FALSE(parse("{'a':1}").has_value());
+  EXPECT_FALSE(parse("tru").has_value());
+  EXPECT_FALSE(parse("1 2").has_value());
+  EXPECT_FALSE(parse("\"unterminated").has_value());
+  EXPECT_FALSE(parse("01abc").has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse("[1 2]").has_value());
+  EXPECT_FALSE(parse("1.").has_value());
+  EXPECT_FALSE(parse("1e").has_value());
+  EXPECT_FALSE(parse("\"bad\\q\"").has_value());
+  EXPECT_FALSE(parse("\"bad\\u12g4\"").has_value());
+}
+
+TEST(JsonParseTest, ErrorCarriesLineInfo) {
+  const auto doc = parse("{\n  \"a\": oops\n}");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_NE(doc.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(JsonWriteTest, CompactRoundTrip) {
+  const auto original =
+      parse(R"({"s":"x","n":1.5,"b":true,"z":null,"a":[1,2],"o":{"k":2}})");
+  ASSERT_TRUE(original.has_value());
+  const std::string text = write(*original);
+  const auto reparsed = parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(*original == *reparsed);
+}
+
+TEST(JsonWriteTest, PrettyRoundTrip) {
+  const auto original = parse(R"({"a":[1,{"b":[]}],"c":"d"})");
+  ASSERT_TRUE(original.has_value());
+  const std::string text = write(*original, {.indent = 2});
+  EXPECT_NE(text.find('\n'), std::string::npos);
+  const auto reparsed = parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(*original == *reparsed);
+}
+
+TEST(JsonWriteTest, EscapesControlCharacters) {
+  const std::string raw = std::string("a\nb") + '\x01' + "c";
+  const std::string text = write(Value(raw));
+  EXPECT_EQ(text, "\"a\\nb\\u0001c\"");
+  const auto reparsed = parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->as_string(), raw);
+}
+
+TEST(JsonWriteTest, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(write(Value(42)), "42");
+  EXPECT_EQ(write(Value(-5)), "-5");
+  EXPECT_EQ(write(Value(2.5)), "2.5");
+}
+
+TEST(JsonWriteTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(write(Value(std::nan(""))), "null");
+}
+
+TEST(JsonValueTest, AccessorsOnWrongTypes) {
+  const Value v(5);
+  EXPECT_EQ(v.as_string(), "");
+  EXPECT_TRUE(v.as_array().empty());
+  EXPECT_TRUE(v.as_object().empty());
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_FALSE(v.contains("x"));
+}
+
+TEST(JsonValueTest, SetConvertsToObject) {
+  Value v;
+  v.set("a", 1);
+  v.set("b", "x");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").as_string(), "x");
+}
+
+TEST(JsonFileTest, RoundTripThroughDisk) {
+  Value v;
+  v.set("answer", 42);
+  const std::string path = "/tmp/gts_json_test.json";
+  ASSERT_TRUE(write_file(v, path).is_ok());
+  const auto loaded = parse_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->at("answer").as_int(), 42);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, MissingFileFails) {
+  EXPECT_FALSE(parse_file("/nonexistent/gts.json").has_value());
+}
+
+}  // namespace
+}  // namespace gts::json

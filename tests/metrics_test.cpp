@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "metrics/chart.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+
+namespace gts::metrics {
+namespace {
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_NEAR(stddev(values), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(min_value(values), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(values), 9.0);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(summarize({}).count, 0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 1.75);
+}
+
+TEST(StatsTest, SummaryConsistent) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+}
+
+TEST(StatsTest, HistogramBucketsAndClamping) {
+  const std::vector<double> values = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const std::vector<int> h = histogram(values, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2);  // -1 clamps into bucket 0, plus 0.1
+  EXPECT_EQ(h[1], 3);  // 0.5, 0.9, and 2.0 clamps
+}
+
+TEST(TableTest, RenderAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  const std::string text = table.render("My Table");
+  EXPECT_NE(text.find("My Table"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 22.5  |"), std::string::npos);
+  EXPECT_NE(text.find("|-------|"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.csv(), "a,b\n1,2\n");
+}
+
+TEST(ChartTest, LineChartRendersSeries) {
+  Series s1{"ups", {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}};
+  Series s2{"downs", {{0.0, 2.0}, {1.0, 1.0}, {2.0, 0.0}}};
+  const std::vector<Series> series = {s1, s2};
+  const std::string chart = line_chart(series);
+  EXPECT_NE(chart.find("ups"), std::string::npos);
+  EXPECT_NE(chart.find("downs"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+TEST(ChartTest, EmptyChartIsSafe) {
+  const std::vector<Series> none;
+  EXPECT_EQ(line_chart(none), "(empty chart)\n");
+}
+
+TEST(ChartTest, BarChartScalesToMax) {
+  const std::vector<std::pair<std::string, double>> bars = {
+      {"big", 10.0}, {"half", 5.0}, {"zero", 0.0}};
+  const std::string chart = bar_chart(bars, 10);
+  EXPECT_NE(chart.find("big  |##########"), std::string::npos);
+  EXPECT_NE(chart.find("half |#####"), std::string::npos);
+  EXPECT_NE(chart.find("zero |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gts::metrics

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "partition/drb.hpp"
+#include "partition/fm.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace gts::partition {
+namespace {
+
+using topo::builders::MachineShape;
+
+// ----------------------------------------------------------------- FM -----
+
+FmGraph two_clusters(int per_side, double intra, double inter) {
+  // Vertices [0, per_side) and [per_side, 2*per_side): heavy intra-cluster
+  // edges, light cross edges. Optimal cut separates the clusters.
+  FmGraph g;
+  g.vertex_count = 2 * per_side;
+  for (int side = 0; side < 2; ++side) {
+    const int base = side * per_side;
+    for (int i = 0; i < per_side; ++i) {
+      for (int j = i + 1; j < per_side; ++j) {
+        g.edges.push_back({base + i, base + j, intra});
+      }
+    }
+  }
+  for (int i = 0; i < per_side; ++i) {
+    g.edges.push_back({i, per_side + i, inter});
+  }
+  return g;
+}
+
+TEST(FmTest, CutWeightComputation) {
+  FmGraph g;
+  g.vertex_count = 3;
+  g.edges = {{0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 5.0}};
+  EXPECT_DOUBLE_EQ(cut_weight(g, {0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(cut_weight(g, {0, 1, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(cut_weight(g, {0, 0, 1}), 8.0);
+}
+
+TEST(FmTest, RecoversPlantedBipartition) {
+  const FmGraph g = two_clusters(4, 10.0, 1.0);
+  // Deliberately bad initial partition: interleaved. Balanced refinement
+  // (the classic FM setting) must rediscover the planted clusters.
+  std::vector<int> initial(8);
+  for (int i = 0; i < 8; ++i) initial[static_cast<size_t>(i)] = i % 2;
+  FmOptions options;
+  options.max_side_fraction = 0.5;
+  const FmResult result = fm_bipartition(g, initial, options);
+  EXPECT_DOUBLE_EQ(result.cut_weight, 4.0);  // only the 4 cross edges
+  // All of cluster 0 on one side.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.side[static_cast<size_t>(i)], result.side[0]);
+  }
+  for (int i = 5; i < 8; ++i) {
+    EXPECT_EQ(result.side[static_cast<size_t>(i)], result.side[4]);
+  }
+  EXPECT_NE(result.side[0], result.side[4]);
+}
+
+TEST(FmTest, NeverWorseThanInitial) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    FmGraph g;
+    g.vertex_count = 12;
+    for (int i = 0; i < 12; ++i) {
+      for (int j = i + 1; j < 12; ++j) {
+        if (rng.uniform() < 0.4) {
+          g.edges.push_back({i, j, rng.uniform(0.1, 5.0)});
+        }
+      }
+    }
+    std::vector<int> initial(12);
+    for (auto& s : initial) s = static_cast<int>(rng.uniform_int(2));
+    if (std::count(initial.begin(), initial.end(), 0) == 0) initial[0] = 0;
+    if (std::count(initial.begin(), initial.end(), 1) == 0) initial[0] = 1;
+    const double before = cut_weight(g, initial);
+    const FmResult result = fm_bipartition(g, initial);
+    EXPECT_LE(result.cut_weight, before + 1e-9) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(result.initial_cut, before);
+  }
+}
+
+TEST(FmTest, RespectsMinSide) {
+  // A star graph wants everything on one side; min_side must prevent it.
+  FmGraph g;
+  g.vertex_count = 6;
+  for (int i = 1; i < 6; ++i) g.edges.push_back({0, i, 1.0});
+  std::vector<int> initial = {0, 1, 1, 1, 1, 1};
+  FmOptions options;
+  options.min_side = 1;
+  const FmResult result = fm_bipartition(g, initial, options);
+  const auto count0 =
+      std::count(result.side.begin(), result.side.end(), 0);
+  EXPECT_GE(count0, 1);
+  EXPECT_LE(count0, 5);
+}
+
+TEST(FmTest, BalanceConstraintHolds) {
+  const FmGraph g = two_clusters(4, 1.0, 0.9);
+  std::vector<int> initial(8, 0);
+  for (int i = 4; i < 8; ++i) initial[static_cast<size_t>(i)] = 1;
+  FmOptions options;
+  options.max_side_fraction = 0.5;  // perfectly balanced halves only
+  const FmResult result = fm_bipartition(g, initial, options);
+  EXPECT_EQ(std::count(result.side.begin(), result.side.end(), 0), 4);
+}
+
+TEST(FmTest, DeterministicResults) {
+  const FmGraph g = two_clusters(5, 3.0, 1.0);
+  std::vector<int> initial(10);
+  for (int i = 0; i < 10; ++i) initial[static_cast<size_t>(i)] = i % 2;
+  const FmResult a = fm_bipartition(g, initial);
+  const FmResult b = fm_bipartition(g, initial);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_DOUBLE_EQ(a.cut_weight, b.cut_weight);
+}
+
+TEST(FmTest, TrivialGraphs) {
+  FmGraph empty;
+  empty.vertex_count = 1;
+  const FmResult r = fm_bipartition(empty, {0});
+  EXPECT_EQ(r.side, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(r.cut_weight, 0.0);
+}
+
+// --------------------------------------------- physical_bipartition -------
+
+TEST(PhysicalBipartitionTest, MinskySplitsBySocket) {
+  const topo::TopologyGraph g = topo::builders::power8_minsky();
+  const std::vector<int> gpus = {0, 1, 2, 3};
+  const std::vector<int> side = physical_bipartition(gpus, g);
+  EXPECT_EQ(side[0], side[1]);  // socket 0 stays together
+  EXPECT_EQ(side[2], side[3]);  // socket 1 stays together
+  EXPECT_NE(side[0], side[2]);
+}
+
+TEST(PhysicalBipartitionTest, ClusterSplitsByMachine) {
+  const topo::TopologyGraph g =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  const std::vector<int> gpus = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<int> side = physical_bipartition(gpus, g);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(side[static_cast<size_t>(i)], side[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(side[static_cast<size_t>(i)], side[4]);
+  EXPECT_NE(side[0], side[4]);
+}
+
+TEST(PhysicalBipartitionTest, IrregularAvailabilityStillSplits) {
+  const topo::TopologyGraph g = topo::builders::power8_minsky();
+  // Only one GPU per socket free.
+  const std::vector<int> gpus = {1, 2};
+  const std::vector<int> side = physical_bipartition(gpus, g);
+  EXPECT_NE(side[0], side[1]);
+}
+
+// ---------------------------------------------------------------- DRB -----
+
+/// Callbacks preferring pack: utility is inverse mean distance to the side
+/// (a simplified stand-in for the scheduler's full utility).
+class PackingCallbacks : public DrbCallbacks {
+ public:
+  explicit PackingCallbacks(const topo::TopologyGraph& topology)
+      : topology_(topology) {}
+  double task_utility(int, int side,
+                      const BipartitionView& view) const override {
+    const std::vector<int>& gpus = side == 0 ? view.gpus0 : view.gpus1;
+    const std::vector<int>& tasks = side == 0 ? view.tasks0 : view.tasks1;
+    if (gpus.empty()) return 0.0;
+    // Prefer the side that already has tasks (keeps the job together) and
+    // breaks ties toward side with more capacity.
+    return static_cast<double>(tasks.size()) * 10.0 +
+           static_cast<double>(gpus.size());
+  }
+
+ private:
+  [[maybe_unused]] const topo::TopologyGraph& topology_;
+};
+
+TEST(DrbTest, MapsEveryTaskExactlyOnce) {
+  const topo::TopologyGraph g = topo::builders::power8_minsky();
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(3, 4.0);
+  const PackingCallbacks callbacks(g);
+  const DrbResult result = drb_map(job, {0, 1, 2, 3}, g, callbacks);
+  ASSERT_TRUE(result.complete);
+  std::set<int> used(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(used.size(), 3u);  // distinct GPUs
+  for (const int gpu : result.assignment) {
+    EXPECT_GE(gpu, 0);
+    EXPECT_LT(gpu, 4);
+  }
+}
+
+TEST(DrbTest, TwoTaskJobPacksOnOneSocket) {
+  const topo::TopologyGraph g = topo::builders::power8_minsky();
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(2, 4.0);
+  const PackingCallbacks callbacks(g);
+  const DrbResult result = drb_map(job, {0, 1, 2, 3}, g, callbacks);
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(g.same_socket(result.assignment[0], result.assignment[1]));
+}
+
+TEST(DrbTest, IncompleteWhenCapacityExceeded) {
+  const topo::TopologyGraph g = topo::builders::power8_minsky();
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(3, 4.0);
+  const PackingCallbacks callbacks(g);
+  const DrbResult result = drb_map(job, {0, 1}, g, callbacks);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.gpus().empty());
+}
+
+TEST(DrbTest, SingleNodeConstraintKeepsJobOnOneMachine) {
+  const topo::TopologyGraph g =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(4, 4.0);
+  const PackingCallbacks callbacks(g);
+  DrbOptions options;
+  options.span = SpanMode::kSingleNode;
+  // All 8 GPUs free: the whole job must land on one machine.
+  const DrbResult result =
+      drb_map(job, {0, 1, 2, 3, 4, 5, 6, 7}, g, callbacks, options);
+  ASSERT_TRUE(result.complete);
+  const int machine = g.machine_of_gpu(result.assignment[0]);
+  for (const int gpu : result.assignment) {
+    EXPECT_EQ(g.machine_of_gpu(gpu), machine);
+  }
+}
+
+TEST(DrbTest, SingleNodeFailsWhenNoMachineFits) {
+  const topo::TopologyGraph g =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(3, 4.0);
+  const PackingCallbacks callbacks(g);
+  DrbOptions options;
+  options.span = SpanMode::kSingleNode;
+  // Two free GPUs on each machine: no single machine fits 3 tasks.
+  const DrbResult result = drb_map(job, {0, 1, 4, 5}, g, callbacks, options);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(DrbTest, PreferPackSpansMachinesWhenForced) {
+  const topo::TopologyGraph g =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(3, 4.0);
+  const PackingCallbacks callbacks(g);
+  DrbOptions options;
+  options.span = SpanMode::kPreferPack;
+  const DrbResult result = drb_map(job, {0, 1, 4, 5}, g, callbacks, options);
+  ASSERT_TRUE(result.complete);  // spans machines rather than failing
+  std::set<int> machines;
+  for (const int gpu : result.assignment) machines.insert(g.machine_of_gpu(gpu));
+  EXPECT_EQ(machines.size(), 2u);
+}
+
+TEST(DrbTest, AntiCollocatePlacesTasksOnDistinctMachines) {
+  const topo::TopologyGraph g =
+      topo::builders::cluster(3, MachineShape::kPower8Minsky);
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(3, 1.0);
+  const PackingCallbacks callbacks(g);
+  DrbOptions options;
+  options.span = SpanMode::kAntiCollocate;
+  std::vector<int> all(12);
+  for (int i = 0; i < 12; ++i) all[static_cast<size_t>(i)] = i;
+  const DrbResult result = drb_map(job, all, g, callbacks, options);
+  ASSERT_TRUE(result.complete);
+  std::set<int> machines;
+  for (const int gpu : result.assignment) machines.insert(g.machine_of_gpu(gpu));
+  EXPECT_EQ(machines.size(), 3u);
+}
+
+TEST(DrbTest, StatsAccumulate) {
+  const topo::TopologyGraph g = topo::builders::power8_minsky();
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(4, 4.0);
+  const PackingCallbacks callbacks(g);
+  const DrbResult result = drb_map(job, {0, 1, 2, 3}, g, callbacks);
+  EXPECT_GT(result.stats.bipartitions, 0);
+  EXPECT_GT(result.stats.max_depth, 0);
+}
+
+TEST(DrbTest, DeterministicAssignment) {
+  const topo::TopologyGraph g =
+      topo::builders::cluster(4, MachineShape::kPower8Minsky);
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(4, 4.0);
+  const PackingCallbacks callbacks(g);
+  std::vector<int> all(16);
+  for (int i = 0; i < 16; ++i) all[static_cast<size_t>(i)] = i;
+  const DrbResult a = drb_map(job, all, g, callbacks);
+  const DrbResult b = drb_map(job, all, g, callbacks);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+// Property sweep: random availability masks on a cluster; DRB must either
+// produce a valid complete assignment or report incompleteness.
+class DrbPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrbPropertyTest, ValidAssignmentsUnderRandomAvailability) {
+  const int seed = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const topo::TopologyGraph g =
+      topo::builders::cluster(3, MachineShape::kPower8Minsky);
+  const PackingCallbacks callbacks(g);
+
+  std::vector<int> available;
+  for (int gpu = 0; gpu < g.gpu_count(); ++gpu) {
+    if (rng.uniform() < 0.6) available.push_back(gpu);
+  }
+  const int tasks = 1 + static_cast<int>(rng.uniform_int(4));
+  const jobgraph::JobGraph job = jobgraph::JobGraph::all_to_all(tasks, 4.0);
+  const DrbResult result = drb_map(job, available, g, callbacks);
+
+  if (static_cast<int>(available.size()) < tasks) {
+    EXPECT_FALSE(result.complete);
+    return;
+  }
+  if (result.complete) {
+    std::set<int> used;
+    for (const int gpu : result.assignment) {
+      EXPECT_TRUE(std::find(available.begin(), available.end(), gpu) !=
+                  available.end())
+          << "assigned GPU not in available set";
+      used.insert(gpu);
+    }
+    EXPECT_EQ(used.size(), static_cast<size_t>(tasks));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAvailability, DrbPropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace gts::partition

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/scenarios.hpp"
+#include "jobgraph/manifest.hpp"
+#include "proto/enforcement.hpp"
+#include "proto/runtime.hpp"
+#include "topo/builders.hpp"
+
+namespace gts::proto {
+namespace {
+
+class ProtoTest : public ::testing::Test {
+ protected:
+  topo::TopologyGraph topo_ = topo::builders::power8_minsky();
+  perf::DlWorkloadModel model_{perf::CalibrationParams::paper_minsky()};
+  PrototypeRuntime runtime_{topo_, model_};
+};
+
+TEST_F(ProtoTest, EnforcementPlanSingleSocketBindsNuma) {
+  const EnforcementPlan plan = make_enforcement_plan(topo_, {0, 1});
+  ASSERT_EQ(plan.environment.size(), 2u);
+  EXPECT_EQ(plan.environment[0], "CUDA_DEVICE_ORDER=PCI_BUS_ID");
+  EXPECT_EQ(plan.environment[1], "CUDA_VISIBLE_DEVICES=0,1");
+  EXPECT_EQ(plan.command_prefix, "numactl --cpunodebind=0 --membind=0");
+}
+
+TEST_F(ProtoTest, EnforcementPlanCrossSocketSkipsNuma) {
+  const EnforcementPlan plan = make_enforcement_plan(topo_, {1, 2});
+  EXPECT_EQ(plan.environment[1], "CUDA_VISIBLE_DEVICES=1,2");
+  EXPECT_TRUE(plan.command_prefix.empty());
+}
+
+TEST_F(ProtoTest, EnforcementUsesMachineLocalIds) {
+  const topo::TopologyGraph cluster = topo::builders::cluster(
+      2, topo::builders::MachineShape::kPower8Minsky);
+  // Global GPUs 4,5 are machine 1's local GPUs 0,1.
+  const EnforcementPlan plan = make_enforcement_plan(cluster, {4, 5});
+  EXPECT_EQ(plan.environment[1], "CUDA_VISIBLE_DEVICES=0,1");
+}
+
+TEST_F(ProtoTest, RunsTable1Workload) {
+  PrototypeConfig config;
+  config.policy = sched::Policy::kTopoAwareP;
+  const PrototypeRun run =
+      runtime_.run(config, exp::table1_jobs(model_, topo_));
+  EXPECT_EQ(run.policy_name, "TOPO-AWARE-P");
+  EXPECT_EQ(run.report.recorder.records().size(), 6u);
+  for (const auto& record : run.report.recorder.records()) {
+    EXPECT_TRUE(record.finished()) << "job " << record.id;
+  }
+  EXPECT_EQ(run.enforcements.size(), 6u);
+}
+
+TEST_F(ProtoTest, ManifestDrivenRun) {
+  // Build a small manifest on disk and run it, mirroring the prototype's
+  // JSON-driven main loop (Section 5.1 / Appendix A.3).
+  const std::string path = "/tmp/gts_proto_manifest.json";
+  std::vector<jobgraph::JobRequest> jobs;
+  jobs.push_back(jobgraph::JobRequest::make_dl(
+      0, 0.0, jobgraph::NeuralNet::kAlexNet, 1, 2, 0.5, 200));
+  jobs.push_back(jobgraph::JobRequest::make_dl(
+      1, 2.0, jobgraph::NeuralNet::kGoogLeNet, 4, 1, 0.3, 200));
+  ASSERT_TRUE(jobgraph::save_manifest_file(jobs, path).is_ok());
+
+  PrototypeConfig config;
+  config.policy = sched::Policy::kTopoAware;
+  const auto run = runtime_.run_manifest(config, path);
+  ASSERT_TRUE(run.has_value()) << run.error().message;
+  EXPECT_EQ(run->report.recorder.records().size(), 2u);
+  // Profiles were filled on load.
+  for (const auto& record : run->report.recorder.records()) {
+    EXPECT_GT(record.best_solo_time, 0.0);
+    EXPECT_TRUE(record.finished());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ProtoTest, ManifestErrorsPropagate) {
+  PrototypeConfig config;
+  EXPECT_FALSE(runtime_.run_manifest(config, "/nonexistent.json").has_value());
+}
+
+}  // namespace
+}  // namespace gts::proto

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/state.hpp"
+#include "perf/profile.hpp"
+#include "sched/greedy.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/topo_aware.hpp"
+#include "topo/builders.hpp"
+
+namespace gts::sched {
+namespace {
+
+using jobgraph::JobRequest;
+using jobgraph::NeuralNet;
+using topo::builders::MachineShape;
+
+class SchedTest : public ::testing::Test {
+ protected:
+  topo::TopologyGraph topo_ = topo::builders::power8_minsky();
+  perf::DlWorkloadModel model_{perf::CalibrationParams::paper_minsky()};
+  cluster::ClusterState state_{topo_, model_};
+
+  JobRequest job(int id, int gpus, int batch = 1, double min_utility = 0.5) {
+    return perf::make_profiled_dl(id, 0.0, NeuralNet::kAlexNet, batch, gpus,
+                                  min_utility, model_, topo_, 700);
+  }
+};
+
+// ---------------------------------------------------------------- FCFS ----
+
+TEST_F(SchedTest, FcfsTakesLowestFreeIds) {
+  FcfsScheduler fcfs;
+  const auto placement = fcfs.place(job(1, 2), state_);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->gpus, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(fcfs.blocking_queue());
+}
+
+TEST_F(SchedTest, FcfsSkipsBusyGpus) {
+  state_.place(job(9, 1), {0}, 0.0);
+  FcfsScheduler fcfs;
+  const auto placement = fcfs.place(job(1, 2), state_);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->gpus, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SchedTest, FcfsDeclinesWhenInsufficient) {
+  state_.place(job(9, 2), {0, 1}, 0.0);
+  state_.place(job(8, 1), {2}, 0.0);
+  FcfsScheduler fcfs;
+  EXPECT_FALSE(fcfs.place(job(1, 2), state_).has_value());
+}
+
+// ------------------------------------------------------------- BestFit ----
+
+TEST_F(SchedTest, BestFitPrefersTightestMachine) {
+  const topo::TopologyGraph cluster =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  cluster::ClusterState state(cluster, model_);
+  // Machine 0 has 1 GPU free, machine 1 fully free.
+  state.place(perf::make_profiled_dl(9, 0.0, NeuralNet::kAlexNet, 1, 3, 0.0,
+                                     model_, cluster, 700),
+              {0, 1, 2}, 0.0);
+  BestFitScheduler bf;
+  const auto placement = bf.place(
+      perf::make_profiled_dl(1, 0.0, NeuralNet::kAlexNet, 1, 1, 0.0, model_,
+                             cluster, 700),
+      state);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->gpus, (std::vector<int>{3}));  // the tight machine
+}
+
+TEST_F(SchedTest, BestFitPacksUsedSocketsFirst) {
+  state_.place(job(9, 1), {0}, 0.0);  // socket 0 half-used
+  BestFitScheduler bf;
+  const auto placement = bf.place(job(1, 1), state_);
+  ASSERT_TRUE(placement.has_value());
+  // Socket 0 (fewest free) is chosen over empty socket 1.
+  EXPECT_EQ(placement->gpus, (std::vector<int>{1}));
+}
+
+// ------------------------------------------------------- filter_hosts -----
+
+TEST_F(SchedTest, FilterHostsSingleNode) {
+  const topo::TopologyGraph cluster =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  cluster::ClusterState state(cluster, model_);
+  // Machine 0: 1 free; machine 1: 4 free.
+  state.place(perf::make_profiled_dl(9, 0.0, NeuralNet::kAlexNet, 1, 3, 0.0,
+                                     model_, cluster, 700),
+              {0, 1, 2}, 0.0);
+  JobRequest j = perf::make_profiled_dl(1, 0.0, NeuralNet::kAlexNet, 1, 2,
+                                        0.5, model_, cluster, 700);
+  const std::vector<int> hosts = filter_hosts(j, state);
+  // Only machine 1 can host 2 GPUs.
+  EXPECT_EQ(hosts, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST_F(SchedTest, FilterHostsAntiCollocate) {
+  const topo::TopologyGraph cluster =
+      topo::builders::cluster(2, MachineShape::kPower8Minsky);
+  cluster::ClusterState state(cluster, model_);
+  JobRequest j = perf::make_profiled_dl(1, 0.0, NeuralNet::kAlexNet, 1, 3,
+                                        0.5, model_, cluster, 700);
+  j.profile.anti_collocate = true;
+  // 3 tasks on 2 machines: impossible.
+  EXPECT_TRUE(filter_hosts(j, state).empty());
+  j.num_gpus = 2;
+  j.comm_graph = jobgraph::JobGraph::all_to_all(2, 4.0);
+  EXPECT_EQ(filter_hosts(j, state).size(), 8u);
+}
+
+// ---------------------------------------------------------- TOPO-AWARE ----
+
+TEST_F(SchedTest, TopoAwarePacksCommunicatingJob) {
+  TopoAwareScheduler topo_aware({}, /*postpone=*/false);
+  const auto placement = topo_aware.place(job(1, 2, 1), state_);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(topo_.same_socket(placement->gpus[0], placement->gpus[1]));
+  EXPECT_GE(placement->utility, 0.5);
+  EXPECT_TRUE(placement->satisfied);
+}
+
+TEST_F(SchedTest, TopoAwareAvoidsInterferingSocketForSingleGpuJob) {
+  // Paper, Section 5.2.2: TOPO-AWARE-P places Job 1 on a different socket
+  // than Job 0 because the profile predicts interference.
+  state_.place(job(0, 1, 1), {0}, 0.0);
+  TopoAwareScheduler topo_aware({}, /*postpone=*/true);
+  const auto placement = topo_aware.place(
+      perf::make_profiled_dl(1, 0.0, NeuralNet::kGoogLeNet, 4, 1, 0.3,
+                             model_, topo_, 700),
+      state_);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(topo_.socket_of_gpu(placement->gpus[0]), 1)
+      << "expected placement away from Job 0's socket";
+}
+
+TEST_F(SchedTest, TopoAwarePlacesSpreadWhenNothingElseFree) {
+  // Only one GPU free per socket: TOPO-AWARE (non-postponing) places the
+  // communicating job across sockets anyway.
+  state_.place(job(8, 1), {1}, 0.0);
+  state_.place(job(9, 1), {3}, 0.0);
+  TopoAwareScheduler topo_aware({}, /*postpone=*/false);
+  const auto placement = topo_aware.place(job(1, 2, 4), state_);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_FALSE(topo_.same_socket(placement->gpus[0], placement->gpus[1]));
+  EXPECT_FALSE(placement->satisfied);  // below the 0.5 threshold
+}
+
+TEST_F(SchedTest, TopoAwarePPostponesUnsatisfiedPlacement) {
+  state_.place(job(8, 1), {1}, 0.0);
+  state_.place(job(9, 1), {3}, 0.0);
+  TopoAwareScheduler topo_aware_p({}, /*postpone=*/true);
+  EXPECT_FALSE(topo_aware_p.place(job(1, 2, 4), state_).has_value());
+}
+
+TEST_F(SchedTest, TopoAwarePPlacesOnceSocketFreesUp) {
+  state_.place(job(9, 1), {3}, 0.0);  // socket 1 half-used; socket 0 free
+  TopoAwareScheduler topo_aware_p({}, /*postpone=*/true);
+  const auto placement = topo_aware_p.place(job(1, 2, 4), state_);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(topo_.socket_of_gpu(placement->gpus[0]), 0);
+  EXPECT_EQ(topo_.socket_of_gpu(placement->gpus[1]), 0);
+}
+
+TEST_F(SchedTest, TopoAwareDeclinesWhenNoCapacity) {
+  state_.place(job(9, 4), {0, 1, 2, 3}, 0.0);
+  TopoAwareScheduler topo_aware({}, /*postpone=*/false);
+  EXPECT_FALSE(topo_aware.place(job(1, 1), state_).has_value());
+}
+
+TEST_F(SchedTest, TopoAwareStatsAccumulate) {
+  TopoAwareScheduler topo_aware({}, /*postpone=*/false);
+  (void)topo_aware.place(job(1, 2), state_);
+  EXPECT_GT(topo_aware.drb_stats().bipartitions, 0);
+}
+
+// --------------------------------------- Section 4.3 bandwidth constraint --
+
+TEST_F(SchedTest, ProfiledJobsCarryBandwidthDemand) {
+  const JobRequest j = job(1, 2, 1);
+  // A tiny-batch 2-GPU AlexNet pushes ~27 GB/s of link traffic.
+  EXPECT_GT(j.profile.host_bw_demand_gbps, 10.0);
+  EXPECT_LT(j.profile.host_bw_demand_gbps, 60.0);
+}
+
+TEST_F(SchedTest, FilterHostsEnforcesBandwidthCapacity) {
+  // A running job consuming nearly all host bandwidth blocks further
+  // high-demand jobs even though GPUs are free (t_bw <= p_bw).
+  JobRequest hog = job(9, 1, 64);
+  hog.profile.host_bw_demand_gbps =
+      model_.params().host_bw_capacity_gbps - 5.0;
+  state_.place(hog, {0}, 0.0);
+  EXPECT_NEAR(state_.host_bw_used(0),
+              model_.params().host_bw_capacity_gbps - 5.0, 1e-9);
+
+  JobRequest wants_bandwidth = job(1, 2, 1);  // demands ~27 GB/s
+  EXPECT_TRUE(filter_hosts(wants_bandwidth, state_).empty());
+
+  JobRequest frugal = job(2, 1, 64);
+  frugal.profile.host_bw_demand_gbps = 1.0;
+  EXPECT_FALSE(filter_hosts(frugal, state_).empty());
+
+  // Bandwidth frees with the job.
+  state_.remove(9, 1.0);
+  EXPECT_NEAR(state_.host_bw_used(0), 0.0, 1e-9);
+  EXPECT_FALSE(filter_hosts(wants_bandwidth, state_).empty());
+}
+
+TEST_F(SchedTest, TopoAwareFastPathHonorsBandwidth) {
+  const topo::TopologyGraph cluster =
+      topo::builders::cluster(6, MachineShape::kPower8Minsky);
+  cluster::ClusterState state(cluster, model_);
+  // Saturate machines 0..4; only machine 5 has bandwidth headroom.
+  for (int machine = 0; machine < 5; ++machine) {
+    JobRequest hog = perf::make_profiled_dl(
+        100 + machine, 0.0, NeuralNet::kAlexNet, 64, 1, 0.0, model_, cluster,
+        700);
+    hog.profile.host_bw_demand_gbps =
+        model_.params().host_bw_capacity_gbps - 1.0;
+    state.place(hog, {cluster.gpus_of_machine(machine)[0]}, 0.0);
+  }
+  const JobRequest j = perf::make_profiled_dl(
+      1, 0.0, NeuralNet::kAlexNet, 1, 2, 0.5, model_, cluster, 700);
+  TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  const auto placement = scheduler.place(j, state);
+  ASSERT_TRUE(placement.has_value());
+  for (const int gpu : placement->gpus) {
+    EXPECT_EQ(cluster.machine_of_gpu(gpu), 5);
+  }
+}
+
+// ------------------------------------------------------------- factory ----
+
+TEST(SchedulerFactoryTest, MakesAllPolicies) {
+  for (const Policy policy : {Policy::kFcfs, Policy::kBestFit,
+                              Policy::kTopoAware, Policy::kTopoAwareP}) {
+    const auto scheduler = make_scheduler(policy);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), to_string(policy));
+  }
+}
+
+}  // namespace
+}  // namespace gts::sched

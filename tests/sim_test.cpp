@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "sim/arrivals.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace gts::sim {
+namespace {
+
+TEST(EngineTest, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(EngineTest, TiesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(0); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EngineTest, HandlersCanScheduleMore) {
+  Engine engine;
+  std::vector<double> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(engine.now());
+    if (fire_times.size() < 3) engine.schedule_in(1.5, chain);
+  };
+  engine.schedule_at(1.0, chain);
+  engine.run();
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(fire_times[1], 2.5);
+  EXPECT_DOUBLE_EQ(fire_times[2], 4.0);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  const EventHandle handle = engine.schedule_at(1.0, [&] { fired = true; });
+  engine.cancel(handle);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(engine.has_pending());
+}
+
+TEST(EngineTest, CancelIsIdempotentAndSafeAfterFire) {
+  Engine engine;
+  int fires = 0;
+  const EventHandle handle = engine.schedule_at(1.0, [&] { ++fires; });
+  engine.run();
+  engine.cancel(handle);  // no-op
+  engine.cancel(handle);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary) {
+  Engine engine;
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 3.0, 4.0}) {
+    engine.schedule_at(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  engine.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.5);
+  EXPECT_TRUE(engine.has_pending());
+  engine.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EngineTest, RunWithLimit) {
+  Engine engine;
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(static_cast<double>(i), [&] { ++fires; });
+  }
+  EXPECT_EQ(engine.run(4), 4u);
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(EngineTest, EventsFiredCounter) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.schedule_at(2.0, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_fired(), 2u);
+}
+
+TEST(EngineTest, CancelledEventsDoNotBlockRunUntil) {
+  Engine engine;
+  const EventHandle h1 = engine.schedule_at(1.0, [] {});
+  engine.cancel(h1);
+  engine.run_until(5.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(ArrivalsTest, CountAndMonotonicity) {
+  util::Rng rng(7);
+  const auto arrivals = poisson_arrivals(100, 10.0, rng);
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(ArrivalsTest, RateMatchesLambda) {
+  util::Rng rng(11);
+  // lambda = 10 jobs/minute -> mean inter-arrival 6 s.
+  const auto arrivals = poisson_arrivals(20000, 10.0, rng);
+  std::vector<double> gaps;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_NEAR(metrics::mean(gaps), 6.0, 0.15);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(metrics::stddev(gaps), 6.0, 0.2);
+}
+
+TEST(ArrivalsTest, StartTimeOffsets) {
+  util::Rng rng(13);
+  const auto arrivals = poisson_arrivals(10, 10.0, rng, 100.0);
+  EXPECT_GT(arrivals.front(), 100.0);
+}
+
+}  // namespace
+}  // namespace gts::sim

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+#include "topo/topology.hpp"
+
+namespace gts::topo {
+namespace {
+
+using builders::MachineShape;
+
+TEST(Power8MinskyTest, Shape) {
+  const TopologyGraph g = builders::power8_minsky();
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.gpu_count(), 4);
+  EXPECT_EQ(g.machine_count(), 1);
+  EXPECT_EQ(g.sockets_of_machine(0), 2);
+  EXPECT_EQ(g.gpus_of_socket(0, 0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(g.gpus_of_socket(0, 1), (std::vector<int>{2, 3}));
+}
+
+TEST(Power8MinskyTest, SameSocketPairsAreP2PAtDistanceOne) {
+  const TopologyGraph g = builders::power8_minsky();
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 1), 1.0);
+  EXPECT_TRUE(g.gpu_path(0, 1).peer_to_peer);
+  EXPECT_DOUBLE_EQ(g.gpu_path(0, 1).bottleneck_gbps, 40.0);
+  EXPECT_DOUBLE_EQ(g.gpu_distance(2, 3), 1.0);
+  EXPECT_TRUE(g.gpu_path(2, 3).peer_to_peer);
+}
+
+TEST(Power8MinskyTest, CrossSocketPairsRouteThroughHost) {
+  const TopologyGraph g = builders::power8_minsky();
+  // GPU0 -> S0 (1) -> M (20) -> S1 (20) -> GPU2 (1) = 42.
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 2), 42.0);
+  EXPECT_FALSE(g.gpu_path(0, 2).peer_to_peer);
+  // Bottleneck is the SMP bus.
+  EXPECT_DOUBLE_EQ(g.gpu_path(0, 2).bottleneck_gbps, 32.0);
+}
+
+TEST(Power8MinskyTest, DistancesSymmetric) {
+  const TopologyGraph g = builders::power8_minsky();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(g.gpu_distance(i, j), g.gpu_distance(j, i));
+    }
+  }
+}
+
+TEST(Power8MinskyTest, MaxGpuDistanceIsCrossSocket) {
+  const TopologyGraph g = builders::power8_minsky();
+  EXPECT_DOUBLE_EQ(g.max_gpu_distance(), 42.0);
+}
+
+TEST(Power8PcieTest, NoPeerToPeerAnywhere) {
+  const TopologyGraph g = builders::power8_pcie();
+  EXPECT_TRUE(g.validate().is_ok());
+  for (int i = 0; i < g.gpu_count(); ++i) {
+    for (int j = 0; j < g.gpu_count(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(g.gpu_path(i, j).peer_to_peer)
+          << "pair " << i << "," << j;
+    }
+  }
+  // Same-socket PCI-e pair: GPU -> socket -> GPU, distance 2, bottleneck 16.
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.gpu_path(0, 1).bottleneck_gbps, 16.0);
+}
+
+TEST(Dgx1Test, Shape) {
+  const TopologyGraph g = builders::dgx1();
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.gpu_count(), 8);
+  EXPECT_EQ(g.sockets_of_machine(0), 2);
+  // Quads on sockets.
+  for (int gpu = 0; gpu < 4; ++gpu) EXPECT_EQ(g.socket_of_gpu(gpu), 0);
+  for (int gpu = 4; gpu < 8; ++gpu) EXPECT_EQ(g.socket_of_gpu(gpu), 1);
+}
+
+TEST(Dgx1Test, HybridCubeMeshNvlinkDegree) {
+  const TopologyGraph g = builders::dgx1();
+  // Each GPU has exactly 4 NVLink edges (P100).
+  std::vector<int> degree(8, 0);
+  for (const Link& link : g.links()) {
+    if (link.kind != LinkKind::kNvlink) continue;
+    ++degree[static_cast<size_t>(g.node(link.a).gpu_index)];
+    ++degree[static_cast<size_t>(g.node(link.b).gpu_index)];
+  }
+  for (int gpu = 0; gpu < 8; ++gpu) EXPECT_EQ(degree[static_cast<size_t>(gpu)], 4);
+}
+
+TEST(Dgx1Test, IntraQuadIsDirectNvlink) {
+  const TopologyGraph g = builders::dgx1();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(g.gpu_distance(i, j), 1.0);
+      EXPECT_TRUE(g.gpu_path(i, j).peer_to_peer);
+    }
+  }
+}
+
+TEST(Dgx1Test, CrossQuadNonNeighborRoutesViaHost) {
+  const TopologyGraph g = builders::dgx1();
+  // GPU0 and GPU5 are not directly linked and GPUs cannot forward
+  // traffic, so the route goes over the PCI-e switches and the SMP bus
+  // (Section 1's GPU1->GPU5 example):
+  // 0 -> sw (1) -> S0 (10) -> M (20) -> S1 (20) -> sw (10) -> 5 (1) = 62.
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 5), 62.0);
+  EXPECT_FALSE(g.gpu_path(0, 5).peer_to_peer);
+  EXPECT_DOUBLE_EQ(g.gpu_path(0, 5).bottleneck_gbps, 16.0);
+  // Direct cross link stays NVLink.
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 4), 1.0);
+  EXPECT_TRUE(g.gpu_path(0, 4).peer_to_peer);
+}
+
+TEST(ClusterBuilderTest, MultiMachineShape) {
+  const TopologyGraph g =
+      builders::cluster(3, MachineShape::kPower8Minsky);
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.gpu_count(), 12);
+  EXPECT_EQ(g.machine_count(), 3);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(g.gpus_of_machine(m).size(), 4u);
+  }
+  // Machine-major global indexing.
+  EXPECT_EQ(g.machine_of_gpu(0), 0);
+  EXPECT_EQ(g.machine_of_gpu(4), 1);
+  EXPECT_EQ(g.machine_of_gpu(11), 2);
+}
+
+TEST(ClusterBuilderTest, CrossMachineDistanceDominates) {
+  const TopologyGraph g =
+      builders::cluster(2, MachineShape::kPower8Minsky);
+  // Within machine: 1 (same socket) / 42 (cross socket).
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 1), 1.0);
+  // Across machines: 1 + 20 + 100 + 100 + 20 + 1 = 242.
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 4), 242.0);
+  EXPECT_FALSE(g.gpu_path(0, 4).peer_to_peer);
+  // Network bottleneck.
+  EXPECT_DOUBLE_EQ(g.gpu_path(0, 4).bottleneck_gbps, 12.5);
+}
+
+TEST(ClusterBuilderTest, SingleMachineClusterHasNoNetworkNode) {
+  const TopologyGraph g =
+      builders::cluster(1, MachineShape::kPower8Minsky);
+  for (const Node& node : g.nodes()) {
+    EXPECT_NE(node.kind, NodeKind::kNetwork);
+  }
+}
+
+TEST(ClusterBuilderTest, GpusPerMachine) {
+  EXPECT_EQ(builders::gpus_per_machine(MachineShape::kPower8Minsky), 4);
+  EXPECT_EQ(builders::gpus_per_machine(MachineShape::kPower8Pcie), 4);
+  EXPECT_EQ(builders::gpus_per_machine(MachineShape::kDgx1), 8);
+}
+
+TEST(ValidateTest, RejectsBadGraphs) {
+  TopologyGraph empty;
+  EXPECT_FALSE(empty.validate().is_ok());
+
+  TopologyGraph disconnected;
+  disconnected.add_node({NodeKind::kMachine, "M0", 0, -1, -1, -1});
+  disconnected.add_node({NodeKind::kMachine, "M1", 1, -1, -1, -1});
+  EXPECT_FALSE(disconnected.validate().is_ok());
+
+  TopologyGraph bad_weight;
+  const NodeId a = bad_weight.add_node({NodeKind::kMachine, "M0", 0, -1, -1, -1});
+  const NodeId b = bad_weight.add_node({NodeKind::kSocket, "S0", 0, 0, -1, -1});
+  bad_weight.add_link({a, b, LinkKind::kSmpBus, -1.0, 32.0, 1});
+  EXPECT_FALSE(bad_weight.validate().is_ok());
+}
+
+TEST(ShortestPathTest, MatchesBruteForceOnMinsky) {
+  const TopologyGraph g = builders::power8_minsky();
+  // Spot-check the arbitrary-node API against known structure: socket to
+  // opposite GPU = 20 + 20 + 1.
+  NodeId socket0 = kInvalidNode;
+  for (NodeId id = 0; id < g.node_count(); ++id) {
+    if (g.node(id).kind == NodeKind::kSocket && g.node(id).socket == 0) {
+      socket0 = id;
+      break;
+    }
+  }
+  ASSERT_NE(socket0, kInvalidNode);
+  const GpuPath path = g.shortest_path(socket0, g.gpu_node(3));
+  EXPECT_DOUBLE_EQ(path.distance, 41.0);
+  EXPECT_EQ(path.links.size(), 3u);
+}
+
+TEST(HierarchicalPathCacheTest, MatchesDirectDijkstraAtScale) {
+  // Above 64 GPUs the graph switches to the hierarchical cache
+  // (per-machine tables + root routes); distances and paths must be
+  // identical to a direct shortest-path computation.
+  const TopologyGraph g =
+      builders::cluster(20, MachineShape::kPower8Minsky);  // 80 GPUs
+  ASSERT_GT(g.gpu_count(), 64);
+  // Spot-check a deterministic sample of pairs, intra- and cross-machine.
+  for (int a = 0; a < g.gpu_count(); a += 7) {
+    for (int b = 1; b < g.gpu_count(); b += 13) {
+      if (a == b) continue;
+      const GpuPath direct = g.shortest_path(g.gpu_node(a), g.gpu_node(b));
+      EXPECT_DOUBLE_EQ(g.gpu_distance(a, b), direct.distance)
+          << "pair " << a << "," << b;
+      const GpuPath& cached = g.gpu_path(a, b);
+      EXPECT_DOUBLE_EQ(cached.distance, direct.distance);
+      EXPECT_DOUBLE_EQ(cached.bottleneck_gbps, direct.bottleneck_gbps);
+      EXPECT_EQ(cached.peer_to_peer, direct.peer_to_peer);
+      EXPECT_EQ(cached.links.size(), direct.links.size());
+    }
+  }
+  // Diameter equals the brute-force maximum over the sample structure:
+  // cross-machine worst case is 242 on this homogeneous cluster.
+  EXPECT_DOUBLE_EQ(g.max_gpu_distance(), 242.0);
+}
+
+TEST(HierarchicalPathCacheTest, CrossMachinePathsTraverseTheRoot) {
+  const TopologyGraph g =
+      builders::cluster(20, MachineShape::kPower8Minsky);
+  const GpuPath& path = g.gpu_path(0, 79);
+  EXPECT_FALSE(path.peer_to_peer);
+  bool crosses_network = false;
+  for (const LinkId link : path.links) {
+    if (g.link(link).kind == LinkKind::kNetwork) crosses_network = true;
+  }
+  EXPECT_TRUE(crosses_network);
+  EXPECT_DOUBLE_EQ(path.bottleneck_gbps, 12.5);
+}
+
+TEST(DescribeTest, MentionsKeyFacts) {
+  const TopologyGraph g = builders::power8_minsky();
+  const std::string text = g.describe();
+  EXPECT_NE(text.find("4 GPUs"), std::string::npos);
+  EXPECT_NE(text.find("nvlink"), std::string::npos);
+  EXPECT_NE(text.find("GPU distance matrix"), std::string::npos);
+}
+
+TEST(CustomWeightsTest, Propagate) {
+  builders::MachineShapeOptions options;
+  options.weights.gpu_adjacent = 2.0;
+  options.bandwidth.nvlink_lane_gbps = 25.0;
+  const TopologyGraph g = builders::power8_minsky(options);
+  EXPECT_DOUBLE_EQ(g.gpu_distance(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.gpu_path(0, 1).bottleneck_gbps, 50.0);
+}
+
+}  // namespace
+}  // namespace gts::topo

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/expected.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace gts::util {
+namespace {
+
+// ---------------------------------------------------------------- RNG -----
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBoundsRespected) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const long long v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const double lambda = 0.5;
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.exponential(lambda);
+  EXPECT_NEAR(total / kN, 1.0 / lambda, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(23);
+  const double mean = 4.5;
+  double total = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) total += rng.poisson(mean);
+  EXPECT_NEAR(total / kN, mean, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(29);
+  const double mean = 200.0;
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const int v = rng.poisson(mean);
+    ASSERT_GE(v, 0);
+    total += v;
+  }
+  EXPECT_NEAR(total / kN, mean, 2.0);
+}
+
+TEST(RngTest, BinomialMomentsMatch) {
+  Rng rng(31);
+  const int n = 3;
+  const double p = 0.5;
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const int v = rng.binomial(n, p);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, n);
+    total += v;
+  }
+  EXPECT_NEAR(total / kN, n * p, 0.02);
+}
+
+TEST(RngTest, BinomialEdgeProbabilities) {
+  Rng rng(37);
+  EXPECT_EQ(rng.binomial(5, 0.0), 0);
+  EXPECT_EQ(rng.binomial(5, 1.0), 5);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(41);
+  double total = 0.0;
+  double total_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    total += v;
+    total_sq += v * v;
+  }
+  const double mean = total / kN;
+  const double variance = total_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng root(99);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+// ------------------------------------------------------------ strings -----
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsRuns) {
+  const auto parts = split_whitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringsTest, ParseIntStrict) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_EQ(parse_int(" 13 ").value(), 13);
+  EXPECT_FALSE(parse_int("13x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3").value(), -2000.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5garbage").has_value());
+}
+
+TEST(StringsTest, FmtSubstitutesPlaceholders) {
+  EXPECT_EQ(fmt("a={} b={}", 1, 2.5), "a=1 b=2.5");
+  EXPECT_EQ(fmt("no placeholders"), "no placeholders");
+  EXPECT_EQ(fmt("{} tail", "x"), "x tail");
+}
+
+TEST(StringsTest, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(1.299, 2), "1.30");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(StringsTest, JoinAndCase) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(to_lower("AlexNet"), "alexnet");
+  EXPECT_TRUE(starts_with("GPU0", "GPU"));
+  EXPECT_FALSE(starts_with("GP", "GPU"));
+}
+
+// ----------------------------------------------------------- Expected -----
+
+TEST(ExpectedTest, ValueAccess) {
+  Expected<int> ok(5);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_EQ(ok.value_or(9), 5);
+}
+
+TEST(ExpectedTest, ErrorAccess) {
+  Expected<int> bad(Error{"boom"});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().message, "boom");
+  EXPECT_EQ(bad.value_or(9), 9);
+  EXPECT_THROW(bad.value(), BadExpectedAccess);
+}
+
+TEST(ExpectedTest, MapPropagates) {
+  Expected<int> ok(5);
+  const auto doubled = ok.map([](int v) { return v * 2; });
+  EXPECT_EQ(doubled.value(), 10);
+  Expected<int> bad(Error{"x"});
+  const auto still_bad = bad.map([](int v) { return v * 2; });
+  EXPECT_FALSE(still_bad.has_value());
+}
+
+TEST(ExpectedTest, ErrorContextChains) {
+  const Error e = Error{"inner"}.with_context("outer");
+  EXPECT_EQ(e.message, "outer: inner");
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status bad = Error{"nope"};
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.error().message, "nope");
+}
+
+// ---------------------------------------------------------------- CLI -----
+
+TEST(CliTest, ParsesOptionsAndFlags) {
+  CliParser cli;
+  cli.add_option("machines", "machine count", "5");
+  cli.add_option("policy", "scheduler policy");
+  cli.add_flag("verbose", "noisy output");
+  const char* argv[] = {"prog", "--machines", "10", "--policy=topo",
+                        "--verbose", "positional"};
+  ASSERT_TRUE(cli.parse(6, argv).is_ok());
+  EXPECT_EQ(cli.get_int("machines"), 10);
+  EXPECT_EQ(cli.get("policy"), "topo");
+  EXPECT_TRUE(cli.has("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(CliTest, DefaultsApply) {
+  CliParser cli;
+  cli.add_option("machines", "machine count", "5");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv).is_ok());
+  EXPECT_EQ(cli.get_int("machines"), 5);
+  EXPECT_TRUE(cli.has("machines"));
+}
+
+TEST(CliTest, UnknownOptionFails) {
+  CliParser cli;
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(cli.parse(3, argv).is_ok());
+}
+
+TEST(CliTest, MissingValueFails) {
+  CliParser cli;
+  cli.add_option("x", "x value");
+  const char* argv[] = {"prog", "--x"};
+  EXPECT_FALSE(cli.parse(2, argv).is_ok());
+}
+
+TEST(CliTest, FlagWithValueFails) {
+  CliParser cli;
+  cli.add_flag("v", "flag");
+  const char* argv[] = {"prog", "--v=1"};
+  EXPECT_FALSE(cli.parse(2, argv).is_ok());
+}
+
+TEST(CliTest, UsageListsOptions) {
+  CliParser cli;
+  cli.add_option("machines", "machine count", "5");
+  cli.add_flag("verbose", "noisy");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--machines"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("default: 5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- log -----
+
+TEST(LogTest, LevelFilter) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(original);
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace gts::util

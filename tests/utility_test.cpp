@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "cluster/state.hpp"
+#include "perf/profile.hpp"
+#include "sched/utility.hpp"
+#include "topo/builders.hpp"
+
+namespace gts::sched {
+namespace {
+
+using jobgraph::JobRequest;
+using jobgraph::NeuralNet;
+
+class UtilityTest : public ::testing::Test {
+ protected:
+  topo::TopologyGraph topo_ = topo::builders::power8_minsky();
+  perf::DlWorkloadModel model_{perf::CalibrationParams::paper_minsky()};
+  cluster::ClusterState state_{topo_, model_};
+  UtilityModel utility_{};
+
+  JobRequest job(int id, int gpus, int batch = 4,
+                 NeuralNet nn = NeuralNet::kAlexNet) {
+    return perf::make_profiled_dl(id, 0.0, nn, batch, gpus, 0.5, model_,
+                                  topo_, 700);
+  }
+};
+
+// --------------------------------------------------------------- Eq. 3 ----
+
+TEST_F(UtilityTest, CommCostSumsPairDistances) {
+  EXPECT_DOUBLE_EQ(
+      UtilityModel::comm_cost(topo_, std::vector<int>{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      UtilityModel::comm_cost(topo_, std::vector<int>{0, 2}), 42.0);
+  // {0,1,2}: d(0,1)+d(0,2)+d(1,2) = 1 + 42 + 42.
+  EXPECT_DOUBLE_EQ(
+      UtilityModel::comm_cost(topo_, std::vector<int>{0, 1, 2}), 85.0);
+  EXPECT_DOUBLE_EQ(UtilityModel::comm_cost(topo_, std::vector<int>{0}), 0.0);
+}
+
+TEST_F(UtilityTest, BestCommCostIsPack) {
+  EXPECT_DOUBLE_EQ(UtilityModel::best_comm_cost(topo_, 2), 1.0);
+  // Pack of 4 on the Minsky: 2 intra pairs at 1 + 4 cross pairs at 42.
+  EXPECT_DOUBLE_EQ(UtilityModel::best_comm_cost(topo_, 4), 170.0);
+}
+
+// --------------------------------------------------------------- Eq. 4 ----
+
+TEST_F(UtilityTest, InterferenceIsOneOnEmptyMachine) {
+  const JobRequest j = job(1, 2);
+  const double interference =
+      utility_.interference(j, std::vector<int>{0, 1}, state_);
+  EXPECT_NEAR(interference, 1.0, 1e-9);
+}
+
+TEST_F(UtilityTest, InterferenceDropsWithCoRunners) {
+  state_.place(job(1, 1, 1), {2}, 0.0);
+  const JobRequest j = job(2, 2, 1);
+  const double interference =
+      utility_.interference(j, std::vector<int>{0, 1}, state_);
+  EXPECT_LT(interference, 1.0);
+  EXPECT_GT(interference, 0.4);
+}
+
+TEST_F(UtilityTest, InterferenceWorseOnSpreadPlacementWithTraffic) {
+  state_.place(job(1, 1, 1), {1}, 0.0);
+  const JobRequest j = job(2, 2, 1);
+  const double pack_interference =
+      utility_.interference(j, std::vector<int>{2, 3}, state_);
+  const double spread_interference =
+      utility_.interference(j, std::vector<int>{0, 2}, state_);
+  EXPECT_LT(spread_interference, pack_interference);
+}
+
+// ------------------------------------------------------------- combine ----
+
+TEST_F(UtilityTest, CombineIsWeightedGeometricMean) {
+  // With full comm weight and equal alphas, combine(u,u,u) == u.
+  EXPECT_NEAR(utility_.combine(0.5, 0.5, 0.5, 1.0), 0.5, 1e-12);
+  // No communication: the comm factor is ignored entirely.
+  EXPECT_NEAR(utility_.combine(0.001, 0.8, 0.8, 0.0), 0.8, 1e-12);
+  // Monotone in each factor.
+  EXPECT_GT(utility_.combine(0.9, 0.5, 0.5, 1.0),
+            utility_.combine(0.5, 0.5, 0.5, 1.0));
+}
+
+TEST_F(UtilityTest, CombineBounded) {
+  EXPECT_LE(utility_.combine(1.0, 1.0, 1.0, 1.0), 1.0);
+  EXPECT_GT(utility_.combine(0.0, 0.0, 0.0, 1.0), 0.0);  // floor guard
+}
+
+TEST_F(UtilityTest, NormalizedCommWeight) {
+  EXPECT_DOUBLE_EQ(normalized_comm_weight(job(1, 2, 1)), 1.0);   // tiny: 4/4
+  EXPECT_DOUBLE_EQ(normalized_comm_weight(job(1, 2, 4)), 0.75);  // small
+  EXPECT_DOUBLE_EQ(normalized_comm_weight(job(1, 2, 64)), 0.25); // big
+  EXPECT_DOUBLE_EQ(normalized_comm_weight(job(1, 1)), 0.0);  // no edges
+}
+
+// ------------------------------------------------------------ evaluate ----
+
+TEST_F(UtilityTest, PackBeatsSpreadForCommunicatingJob) {
+  const JobRequest j = job(1, 2, 1);
+  const double pack = utility_.placement_utility(j, std::vector<int>{0, 1}, state_);
+  const double spread =
+      utility_.placement_utility(j, std::vector<int>{0, 2}, state_);
+  EXPECT_GT(pack, spread);
+  EXPECT_GE(pack, 0.5);  // satisfies the Table 1 multi-GPU threshold
+  EXPECT_LT(spread, 0.5);  // would be postponed by TOPO-AWARE-P
+}
+
+TEST_F(UtilityTest, SpreadPenaltyShrinksForLowCommJobs) {
+  const JobRequest heavy = job(1, 2, 1);   // tiny batch, comm weight 4
+  const JobRequest light = job(2, 2, 64);  // big batch, comm weight 1
+  const double heavy_gap =
+      utility_.placement_utility(heavy, std::vector<int>{0, 1}, state_) -
+      utility_.placement_utility(heavy, std::vector<int>{0, 2}, state_);
+  const double light_gap =
+      utility_.placement_utility(light, std::vector<int>{0, 1}, state_) -
+      utility_.placement_utility(light, std::vector<int>{0, 2}, state_);
+  EXPECT_GT(heavy_gap, light_gap);
+}
+
+TEST_F(UtilityTest, SingleGpuJobUtilityIgnoresComm) {
+  const JobRequest j = job(1, 1);
+  const UtilityBreakdown eval =
+      utility_.evaluate(j, std::vector<int>{0}, state_);
+  EXPECT_DOUBLE_EQ(eval.comm_weight, 0.0);
+  EXPECT_DOUBLE_EQ(eval.comm_utility, 1.0);
+  EXPECT_GE(eval.utility, 0.3);  // always placeable at the 1-GPU threshold
+}
+
+TEST_F(UtilityTest, FragmentationRewardsFillingTheMachine) {
+  const JobRequest j4 = job(1, 4, 1);
+  const UtilityBreakdown eval =
+      utility_.evaluate(j4, std::vector<int>{0, 1, 2, 3}, state_);
+  EXPECT_DOUBLE_EQ(eval.frag_omega, 0.0);
+  EXPECT_DOUBLE_EQ(eval.frag_utility, 1.0);
+}
+
+TEST_F(UtilityTest, ObjectiveLowerForBetterPlacements) {
+  const JobRequest j = job(1, 2, 1);
+  const UtilityBreakdown pack =
+      utility_.evaluate(j, std::vector<int>{0, 1}, state_);
+  const UtilityBreakdown spread =
+      utility_.evaluate(j, std::vector<int>{0, 2}, state_);
+  EXPECT_LT(pack.objective, spread.objective);  // Eq. 1 minimization
+}
+
+TEST_F(UtilityTest, CustomWeightsShiftEmphasis) {
+  // All weight on fragmentation: pack of 2 (leaves socket 1 free) scores
+  // below a full 4-GPU fill.
+  UtilityModel frag_only(UtilityWeights{0.0, 0.0, 1.0});
+  const double two = frag_only.placement_utility(
+      job(1, 2, 1), std::vector<int>{0, 1}, state_);
+  const double four = frag_only.placement_utility(
+      job(2, 4, 1), std::vector<int>{0, 1, 2, 3}, state_);
+  EXPECT_GT(four, two);
+}
+
+}  // namespace
+}  // namespace gts::sched
