@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dgx1.dir/bench_ext_dgx1.cpp.o"
+  "CMakeFiles/bench_ext_dgx1.dir/bench_ext_dgx1.cpp.o.d"
+  "bench_ext_dgx1"
+  "bench_ext_dgx1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dgx1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

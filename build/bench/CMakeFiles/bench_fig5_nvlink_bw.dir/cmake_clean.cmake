@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nvlink_bw.dir/bench_fig5_nvlink_bw.cpp.o"
+  "CMakeFiles/bench_fig5_nvlink_bw.dir/bench_fig5_nvlink_bw.cpp.o.d"
+  "bench_fig5_nvlink_bw"
+  "bench_fig5_nvlink_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nvlink_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

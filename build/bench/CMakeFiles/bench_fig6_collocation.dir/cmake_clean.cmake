@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_collocation.dir/bench_fig6_collocation.cpp.o"
+  "CMakeFiles/bench_fig6_collocation.dir/bench_fig6_collocation.cpp.o.d"
+  "bench_fig6_collocation"
+  "bench_fig6_collocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_collocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

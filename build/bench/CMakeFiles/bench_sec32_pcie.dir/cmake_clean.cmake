@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_pcie.dir/bench_sec32_pcie.cpp.o"
+  "CMakeFiles/bench_sec32_pcie.dir/bench_sec32_pcie.cpp.o.d"
+  "bench_sec32_pcie"
+  "bench_sec32_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

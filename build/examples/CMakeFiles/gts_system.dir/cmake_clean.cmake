@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_system.dir/gts_system.cpp.o"
+  "CMakeFiles/gts_system.dir/gts_system.cpp.o.d"
+  "gts_system"
+  "gts_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_profiler.dir/interference_profiler.cpp.o"
+  "CMakeFiles/interference_profiler.dir/interference_profiler.cpp.o.d"
+  "interference_profiler"
+  "interference_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_player.dir/workload_player.cpp.o"
+  "CMakeFiles/workload_player.dir/workload_player.cpp.o.d"
+  "workload_player"
+  "workload_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

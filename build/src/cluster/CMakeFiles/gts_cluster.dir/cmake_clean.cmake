@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_cluster.dir/recorder.cpp.o"
+  "CMakeFiles/gts_cluster.dir/recorder.cpp.o.d"
+  "CMakeFiles/gts_cluster.dir/state.cpp.o"
+  "CMakeFiles/gts_cluster.dir/state.cpp.o.d"
+  "libgts_cluster.a"
+  "libgts_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

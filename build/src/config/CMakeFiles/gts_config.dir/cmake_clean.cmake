@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_config.dir/ini.cpp.o"
+  "CMakeFiles/gts_config.dir/ini.cpp.o.d"
+  "CMakeFiles/gts_config.dir/system_config.cpp.o"
+  "CMakeFiles/gts_config.dir/system_config.cpp.o.d"
+  "libgts_config.a"
+  "libgts_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

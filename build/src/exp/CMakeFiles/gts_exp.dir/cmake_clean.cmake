@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_exp.dir/figures.cpp.o"
+  "CMakeFiles/gts_exp.dir/figures.cpp.o.d"
+  "CMakeFiles/gts_exp.dir/scenarios.cpp.o"
+  "CMakeFiles/gts_exp.dir/scenarios.cpp.o.d"
+  "libgts_exp.a"
+  "libgts_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jobgraph/jobgraph.cpp" "src/jobgraph/CMakeFiles/gts_jobgraph.dir/jobgraph.cpp.o" "gcc" "src/jobgraph/CMakeFiles/gts_jobgraph.dir/jobgraph.cpp.o.d"
+  "/root/repo/src/jobgraph/manifest.cpp" "src/jobgraph/CMakeFiles/gts_jobgraph.dir/manifest.cpp.o" "gcc" "src/jobgraph/CMakeFiles/gts_jobgraph.dir/manifest.cpp.o.d"
+  "/root/repo/src/jobgraph/workload.cpp" "src/jobgraph/CMakeFiles/gts_jobgraph.dir/workload.cpp.o" "gcc" "src/jobgraph/CMakeFiles/gts_jobgraph.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/gts_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_jobgraph.dir/jobgraph.cpp.o"
+  "CMakeFiles/gts_jobgraph.dir/jobgraph.cpp.o.d"
+  "CMakeFiles/gts_jobgraph.dir/manifest.cpp.o"
+  "CMakeFiles/gts_jobgraph.dir/manifest.cpp.o.d"
+  "CMakeFiles/gts_jobgraph.dir/workload.cpp.o"
+  "CMakeFiles/gts_jobgraph.dir/workload.cpp.o.d"
+  "libgts_jobgraph.a"
+  "libgts_jobgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_jobgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

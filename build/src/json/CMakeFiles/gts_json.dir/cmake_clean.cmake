@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_json.dir/json.cpp.o"
+  "CMakeFiles/gts_json.dir/json.cpp.o.d"
+  "libgts_json.a"
+  "libgts_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

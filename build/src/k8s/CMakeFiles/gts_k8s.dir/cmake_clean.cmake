@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_k8s.dir/shim.cpp.o"
+  "CMakeFiles/gts_k8s.dir/shim.cpp.o.d"
+  "libgts_k8s.a"
+  "libgts_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

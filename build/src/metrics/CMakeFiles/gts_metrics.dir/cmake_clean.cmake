@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_metrics.dir/chart.cpp.o"
+  "CMakeFiles/gts_metrics.dir/chart.cpp.o.d"
+  "CMakeFiles/gts_metrics.dir/stats.cpp.o"
+  "CMakeFiles/gts_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/gts_metrics.dir/table.cpp.o"
+  "CMakeFiles/gts_metrics.dir/table.cpp.o.d"
+  "libgts_metrics.a"
+  "libgts_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/drb.cpp" "src/partition/CMakeFiles/gts_partition.dir/drb.cpp.o" "gcc" "src/partition/CMakeFiles/gts_partition.dir/drb.cpp.o.d"
+  "/root/repo/src/partition/fm.cpp" "src/partition/CMakeFiles/gts_partition.dir/fm.cpp.o" "gcc" "src/partition/CMakeFiles/gts_partition.dir/fm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/gts_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobgraph/CMakeFiles/gts_jobgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/gts_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_partition.dir/drb.cpp.o"
+  "CMakeFiles/gts_partition.dir/drb.cpp.o.d"
+  "CMakeFiles/gts_partition.dir/fm.cpp.o"
+  "CMakeFiles/gts_partition.dir/fm.cpp.o.d"
+  "libgts_partition.a"
+  "libgts_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/model.cpp" "src/perf/CMakeFiles/gts_perf.dir/model.cpp.o" "gcc" "src/perf/CMakeFiles/gts_perf.dir/model.cpp.o.d"
+  "/root/repo/src/perf/params.cpp" "src/perf/CMakeFiles/gts_perf.dir/params.cpp.o" "gcc" "src/perf/CMakeFiles/gts_perf.dir/params.cpp.o.d"
+  "/root/repo/src/perf/predictor.cpp" "src/perf/CMakeFiles/gts_perf.dir/predictor.cpp.o" "gcc" "src/perf/CMakeFiles/gts_perf.dir/predictor.cpp.o.d"
+  "/root/repo/src/perf/profile.cpp" "src/perf/CMakeFiles/gts_perf.dir/profile.cpp.o" "gcc" "src/perf/CMakeFiles/gts_perf.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/gts_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobgraph/CMakeFiles/gts_jobgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/gts_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_perf.dir/model.cpp.o"
+  "CMakeFiles/gts_perf.dir/model.cpp.o.d"
+  "CMakeFiles/gts_perf.dir/params.cpp.o"
+  "CMakeFiles/gts_perf.dir/params.cpp.o.d"
+  "CMakeFiles/gts_perf.dir/predictor.cpp.o"
+  "CMakeFiles/gts_perf.dir/predictor.cpp.o.d"
+  "CMakeFiles/gts_perf.dir/profile.cpp.o"
+  "CMakeFiles/gts_perf.dir/profile.cpp.o.d"
+  "libgts_perf.a"
+  "libgts_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_proto.dir/enforcement.cpp.o"
+  "CMakeFiles/gts_proto.dir/enforcement.cpp.o.d"
+  "CMakeFiles/gts_proto.dir/runtime.cpp.o"
+  "CMakeFiles/gts_proto.dir/runtime.cpp.o.d"
+  "libgts_proto.a"
+  "libgts_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_sched.dir/driver.cpp.o"
+  "CMakeFiles/gts_sched.dir/driver.cpp.o.d"
+  "CMakeFiles/gts_sched.dir/greedy.cpp.o"
+  "CMakeFiles/gts_sched.dir/greedy.cpp.o.d"
+  "CMakeFiles/gts_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/gts_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gts_sched.dir/topo_aware.cpp.o"
+  "CMakeFiles/gts_sched.dir/topo_aware.cpp.o.d"
+  "CMakeFiles/gts_sched.dir/utility.cpp.o"
+  "CMakeFiles/gts_sched.dir/utility.cpp.o.d"
+  "libgts_sched.a"
+  "libgts_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

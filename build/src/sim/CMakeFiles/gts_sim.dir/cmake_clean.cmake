@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_sim.dir/arrivals.cpp.o"
+  "CMakeFiles/gts_sim.dir/arrivals.cpp.o.d"
+  "CMakeFiles/gts_sim.dir/engine.cpp.o"
+  "CMakeFiles/gts_sim.dir/engine.cpp.o.d"
+  "libgts_sim.a"
+  "libgts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_topo.dir/builders.cpp.o"
+  "CMakeFiles/gts_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/gts_topo.dir/discovery.cpp.o"
+  "CMakeFiles/gts_topo.dir/discovery.cpp.o.d"
+  "CMakeFiles/gts_topo.dir/topology.cpp.o"
+  "CMakeFiles/gts_topo.dir/topology.cpp.o.d"
+  "libgts_topo.a"
+  "libgts_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_trace.dir/generator.cpp.o"
+  "CMakeFiles/gts_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/gts_trace.dir/tracefile.cpp.o"
+  "CMakeFiles/gts_trace.dir/tracefile.cpp.o.d"
+  "libgts_trace.a"
+  "libgts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

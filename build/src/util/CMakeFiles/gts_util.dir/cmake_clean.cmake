@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_util.dir/cli.cpp.o"
+  "CMakeFiles/gts_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gts_util.dir/log.cpp.o"
+  "CMakeFiles/gts_util.dir/log.cpp.o.d"
+  "CMakeFiles/gts_util.dir/rng.cpp.o"
+  "CMakeFiles/gts_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gts_util.dir/strings.cpp.o"
+  "CMakeFiles/gts_util.dir/strings.cpp.o.d"
+  "libgts_util.a"
+  "libgts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

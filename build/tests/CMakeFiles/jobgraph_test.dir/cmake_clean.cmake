@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobgraph_test.dir/jobgraph_test.cpp.o"
+  "CMakeFiles/jobgraph_test.dir/jobgraph_test.cpp.o.d"
+  "jobgraph_test"
+  "jobgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/json_test.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/json_test.dir/json_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/gts_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/gts_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/gts_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/gts_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gts_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gts_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/gts_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobgraph/CMakeFiles/gts_jobgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/gts_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
