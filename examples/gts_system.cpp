@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
     sched::DriverOptions options;
     options.utility_weights = algo.weights;
     options.noise_sigma = loaded->system.noise_sigma;
+    options.self_audit = loaded->system.self_audit;
     sched::Driver driver(*topology, model, *scheduler, options);
     const auto report = driver.run(jobs);
     const auto qos = metrics::summarize(report.recorder.sorted_qos_slowdowns());

@@ -1,0 +1,57 @@
+// Deep structural validators for the invariant-bearing data structures,
+// and the scheduler placement audit.
+//
+// Each validator walks the public API of its subject and cross-checks the
+// redundant bookkeeping it keeps (caches, counters, indices) against a
+// from-scratch recomputation. They return util::Status rather than firing
+// GTS_CHECK themselves so callers choose the failure policy: the Driver's
+// self-audit turns a bad status into a GTS_CHECK failure, while tests
+// simply inspect the message.
+//
+// Costs: validate(JobGraph) is O(E); validate(ClusterState) is
+// O(running jobs × comm edges); validate(TopologyGraph) re-runs Dijkstra
+// on a bounded pair sample, so all are cheap enough to run per simulated
+// event on test-sized clusters (the Driver's self_audit flag).
+#pragma once
+
+#include <span>
+
+#include "cluster/state.hpp"
+#include "jobgraph/jobgraph.hpp"
+#include "topo/topology.hpp"
+#include "util/expected.hpp"
+
+namespace gts::check {
+
+/// Topology invariants beyond TopologyGraph::validate(): connectivity and
+/// link sanity (delegated), plus distance-matrix consistency — symmetric
+/// GPU distances, zero self-distance, agreement between the cached
+/// gpu_path() table and a fresh Dijkstra run, and positive bottleneck
+/// bandwidth on every cached path. Pairs are sampled (all pairs up to
+/// 128 GPUs, a deterministic cross-section above) to bound cost.
+util::Status validate(const topo::TopologyGraph& topology);
+
+/// Job-graph invariants: endpoints in [0, task_count), no self-loops,
+/// normalized edge order (a < b), positive weights, no duplicate edges.
+util::Status validate(const jobgraph::JobGraph& graph);
+
+/// Cluster-state audit: GPU ownership table and job table agree in both
+/// directions (in particular, no GPU is claimed by two jobs), free-GPU
+/// accounting matches, per-link flow counts equal a replay of every
+/// running job's communication paths, per-machine job indices and
+/// host-bandwidth accounting match a recomputation, and every job's
+/// progress/rate is within bounds.
+util::Status validate(const cluster::ClusterState& state);
+
+/// Replays a proposed placement of `request` on `gpus` against the
+/// topology and current state to confirm feasibility: GPU ids valid,
+/// distinct, and free; task count matches; single-node / anti-collocation
+/// constraints hold; the Section 4.3 host-bandwidth capacity t_bw <= p_bw
+/// is respected on every touched machine; the communication graph itself
+/// validates. A corrupted state (e.g. a double-allocated GPU) makes any
+/// placement touching the damage fail the audit.
+util::Status audit_placement(const jobgraph::JobRequest& request,
+                             std::span<const int> gpus,
+                             const cluster::ClusterState& state);
+
+}  // namespace gts::check

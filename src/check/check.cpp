@@ -1,0 +1,99 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace gts::check {
+namespace {
+
+std::atomic<FailureMode> g_mode{FailureMode::kAbort};
+std::atomic<std::uint64_t> g_failure_count{0};
+
+// Handler + last-failure record share one mutex; check failures are rare
+// and never on a hot path, so the lock is irrelevant for performance.
+std::mutex& state_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+FailureHandler& custom_handler() {
+  static FailureHandler handler;
+  return handler;
+}
+
+FailureInfo& last_failure_slot() {
+  static FailureInfo info;
+  return info;
+}
+
+}  // namespace
+
+std::string FailureInfo::to_string() const {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << condition;
+  if (!message.empty()) os << " (" << message << ')';
+  return os.str();
+}
+
+CheckFailedError::CheckFailedError(FailureInfo info)
+    : std::logic_error(info.to_string()), info_(std::move(info)) {}
+
+FailureMode failure_mode() noexcept { return g_mode.load(); }
+void set_failure_mode(FailureMode mode) noexcept { g_mode.store(mode); }
+
+void set_failure_handler(FailureHandler handler) {
+  const std::lock_guard<std::mutex> lock(state_mutex());
+  custom_handler() = std::move(handler);
+}
+
+std::uint64_t failure_count() noexcept { return g_failure_count.load(); }
+void reset_failure_count() noexcept { g_failure_count.store(0); }
+
+FailureInfo last_failure() {
+  const std::lock_guard<std::mutex> lock(state_mutex());
+  return last_failure_slot();
+}
+
+ScopedFailureMode::ScopedFailureMode(FailureMode mode)
+    : previous_(failure_mode()) {
+  set_failure_handler(nullptr);
+  set_failure_mode(mode);
+}
+
+ScopedFailureMode::~ScopedFailureMode() { set_failure_mode(previous_); }
+
+namespace detail {
+
+void fail(const char* condition, const char* file, int line,
+          std::string message) {
+  FailureInfo info{condition, file, line, std::move(message)};
+  g_failure_count.fetch_add(1);
+
+  FailureHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex());
+    last_failure_slot() = info;
+    handler = custom_handler();
+  }
+  if (handler) {
+    handler(info);
+    return;
+  }
+  switch (g_mode.load()) {
+    case FailureMode::kThrow:
+      throw CheckFailedError(std::move(info));
+    case FailureMode::kLogAndCount:
+      std::fprintf(stderr, "[CHECK] %s\n", info.to_string().c_str());
+      return;
+    case FailureMode::kAbort:
+      break;
+  }
+  std::fprintf(stderr, "[CHECK] %s\n", info.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace gts::check

@@ -1,0 +1,141 @@
+// GTS_CHECK / GTS_DCHECK: the repo's invariant-check macro family.
+//
+// Unlike bare assert(), these survive NDEBUG builds (GTS_CHECK always
+// fires, GTS_DCHECK compiles out unless debug or GTS_FORCE_DCHECKS),
+// produce formatted failure messages, and route failures through a
+// pluggable process-wide handler:
+//
+//   * kAbort       — print to stderr and abort() (default; tests, tools);
+//   * kThrow       — throw CheckFailedError (unit-testing the checks);
+//   * kLogAndCount — print, bump a counter, continue (production mode:
+//                    a scheduler serving traffic prefers a counted,
+//                    alarmed inconsistency over a crashed process).
+//
+// A custom handler, when installed, replaces the mode-based behaviour
+// entirely; if it returns, execution continues past the failed check.
+//
+// This header deliberately depends on nothing else in the repo so every
+// library (including src/util headers) can use it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gts::check {
+
+enum class FailureMode { kAbort, kThrow, kLogAndCount };
+
+/// Everything known about one failed check.
+struct FailureInfo {
+  const char* condition = "";  // stringified condition text
+  const char* file = "";
+  int line = 0;
+  std::string message;  // caller-supplied formatted context ("" if none)
+
+  /// "file:line: check failed: cond (message)".
+  std::string to_string() const;
+};
+
+/// Thrown by failed checks under FailureMode::kThrow.
+class CheckFailedError : public std::logic_error {
+ public:
+  explicit CheckFailedError(FailureInfo info);
+  const FailureInfo& info() const noexcept { return info_; }
+
+ private:
+  FailureInfo info_;
+};
+
+using FailureHandler = std::function<void(const FailureInfo&)>;
+
+FailureMode failure_mode() noexcept;
+void set_failure_mode(FailureMode mode) noexcept;
+
+/// Installs `handler` for every subsequent failure; pass nullptr to
+/// restore the mode-based behaviour.
+void set_failure_handler(FailureHandler handler);
+
+/// Number of check failures observed since start / last reset (counted in
+/// every mode, including failures that aborted a forked test).
+std::uint64_t failure_count() noexcept;
+void reset_failure_count() noexcept;
+
+/// Copy of the most recent failure (empty FailureInfo if none yet).
+FailureInfo last_failure();
+
+/// RAII helper for tests: switches the failure mode (and clears any
+/// custom handler) for the current scope, restoring both on exit.
+class ScopedFailureMode {
+ public:
+  explicit ScopedFailureMode(FailureMode mode);
+  ~ScopedFailureMode();
+  ScopedFailureMode(const ScopedFailureMode&) = delete;
+  ScopedFailureMode& operator=(const ScopedFailureMode&) = delete;
+
+ private:
+  FailureMode previous_;
+};
+
+namespace detail {
+
+/// Records and dispatches one failure according to the installed
+/// handler/mode. Returns normally only in continuing modes.
+void fail(const char* condition, const char* file, int line,
+          std::string message);
+
+inline std::string format_message() { return {}; }
+
+template <typename... Args>
+std::string format_message(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace gts::check
+
+/// Always-on invariant check. Extra arguments are streamed into the
+/// failure message: GTS_CHECK(x > 0, "x=", x).
+#define GTS_CHECK(condition, ...)                                           \
+  (static_cast<bool>(condition)                                             \
+       ? static_cast<void>(0)                                               \
+       : ::gts::check::detail::fail(                                        \
+             #condition, __FILE__, __LINE__,                                \
+             ::gts::check::detail::format_message(__VA_ARGS__)))
+
+/// Binary-comparison checks that report both operands on failure. The
+/// operands are re-evaluated on the failure path only.
+#define GTS_CHECK_OP(op, lhs, rhs)                                          \
+  (((lhs)op(rhs)) ? static_cast<void>(0)                                    \
+                  : ::gts::check::detail::fail(                             \
+                        #lhs " " #op " " #rhs, __FILE__, __LINE__,          \
+                        ::gts::check::detail::format_message(               \
+                            "lhs=", (lhs), " rhs=", (rhs))))
+#define GTS_CHECK_EQ(lhs, rhs) GTS_CHECK_OP(==, lhs, rhs)
+#define GTS_CHECK_NE(lhs, rhs) GTS_CHECK_OP(!=, lhs, rhs)
+#define GTS_CHECK_GE(lhs, rhs) GTS_CHECK_OP(>=, lhs, rhs)
+#define GTS_CHECK_GT(lhs, rhs) GTS_CHECK_OP(>, lhs, rhs)
+#define GTS_CHECK_LE(lhs, rhs) GTS_CHECK_OP(<=, lhs, rhs)
+#define GTS_CHECK_LT(lhs, rhs) GTS_CHECK_OP(<, lhs, rhs)
+
+// Debug-only variants: full checks in debug builds (or when
+// GTS_FORCE_DCHECKS is defined, as the sanitizer presets do), compiled to
+// nothing in optimized builds while still type-checking their arguments.
+#if !defined(NDEBUG) || defined(GTS_FORCE_DCHECKS)
+#define GTS_DCHECKS_ENABLED 1
+#define GTS_DCHECK(condition, ...) GTS_CHECK(condition, ##__VA_ARGS__)
+#define GTS_DCHECK_EQ(lhs, rhs) GTS_CHECK_EQ(lhs, rhs)
+#define GTS_DCHECK_GE(lhs, rhs) GTS_CHECK_GE(lhs, rhs)
+#else
+#define GTS_DCHECKS_ENABLED 0
+#define GTS_DCHECK(condition, ...) \
+  (true ? static_cast<void>(0) : GTS_CHECK(condition, ##__VA_ARGS__))
+#define GTS_DCHECK_EQ(lhs, rhs) \
+  (true ? static_cast<void>(0) : GTS_CHECK_EQ(lhs, rhs))
+#define GTS_DCHECK_GE(lhs, rhs) \
+  (true ? static_cast<void>(0) : GTS_CHECK_GE(lhs, rhs))
+#endif

@@ -1,10 +1,11 @@
 #include "cluster/state.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <set>
+
+#include "check/check.hpp"
 
 namespace gts::cluster {
 
@@ -70,7 +71,7 @@ void ClusterState::add_flows(const RunningJob& job, int delta) {
     const int gpu_b = job.gpus[static_cast<size_t>(edge.b)];
     for (const topo::LinkId link : topology_->gpu_path(gpu_a, gpu_b).links) {
       flows_[static_cast<size_t>(link)] += delta;
-      assert(flows_[static_cast<size_t>(link)] >= 0);
+      GTS_DCHECK_GE(flows_[static_cast<size_t>(link)], 0);
     }
   }
 }
@@ -78,7 +79,7 @@ void ClusterState::add_flows(const RunningJob& job, int delta) {
 void ClusterState::place(const jobgraph::JobRequest& request,
                          std::vector<int> gpus, double now,
                          double placement_utility) {
-  assert(static_cast<int>(gpus.size()) == request.num_gpus);
+  GTS_CHECK_EQ(static_cast<int>(gpus.size()), request.num_gpus);
   bank_progress(now);
 
   RunningJob job;
@@ -101,7 +102,8 @@ void ClusterState::place(const jobgraph::JobRequest& request,
     }
   }
   for (const int gpu : job.gpus) {
-    assert(gpu_free(gpu) && "placement on busy GPU");
+    GTS_CHECK(gpu_free(gpu), "job ", request.id, " placed on busy GPU ",
+              gpu, " owned by job ", gpu_owner(gpu));
     owner_[static_cast<size_t>(gpu)] = request.id;
   }
   add_flows(job, +1);
@@ -114,7 +116,7 @@ void ClusterState::place(const jobgraph::JobRequest& request,
 
 void ClusterState::remove(int job_id, double now) {
   const auto it = jobs_.find(job_id);
-  assert(it != jobs_.end());
+  GTS_CHECK(it != jobs_.end(), "removing unknown job ", job_id);
   bank_progress(now);
   add_flows(it->second, -1);
   index_job(it->second, /*insert=*/false);
@@ -276,7 +278,9 @@ perf::IterationBreakdown ClusterState::current_iteration(
 void ClusterState::recompute_rates(double now,
                                    const std::vector<int>* touched_machines) {
   const auto update = [&](RunningJob& job) {
-    assert(job.last_update == now || job.rate == 0.0);
+    GTS_DCHECK(job.last_update == now || job.rate == 0.0,
+               "rate recompute without banked progress for job ",
+               job.request.id);
     (void)now;
     const perf::IterationBreakdown step = current_iteration(job);
     const double iter = step.total_s * job.noise_factor;

@@ -129,6 +129,15 @@ class ClusterState {
            model_->params().host_bw_capacity_gbps + 1e-9;
   }
 
+  /// Fault injection for the check subsystem's tests: overwrites the owner
+  /// of `gpu` with `job_id` (or -1) without any of the bookkeeping place()
+  /// performs, deliberately desynchronizing the ownership table from the
+  /// job table so check::validate / check::audit_placement can be shown to
+  /// catch corruption. Never call outside tests.
+  void corrupt_gpu_owner_for_test(int gpu, int job_id) {
+    owner_[static_cast<size_t>(gpu)] = job_id;
+  }
+
  private:
   /// Recomputes rates for every job, or — when `touched_machines` is given
   /// and no multi-machine job is involved — only for jobs on those

@@ -20,6 +20,7 @@ util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
   }
   config.workload_manifest = ini.get_or("workload", "manifest", "");
   config.noise_sigma = ini.get_double("system", "noise_sigma", 0.0);
+  config.self_audit = ini.get_bool("system", "self_audit", false);
 
   trace::GeneratorOptions& gen = config.generator;
   gen.job_count =
@@ -47,6 +48,7 @@ Ini SystemConfig::to_ini() const {
   ini.set("system", "machine_shape", machine_shape);
   ini.set("system", "machines", std::to_string(machines));
   ini.set("system", "noise_sigma", util::format_double(noise_sigma, 3));
+  ini.set("system", "self_audit", self_audit ? "true" : "false");
   if (!workload_manifest.empty()) {
     ini.set("workload", "manifest", workload_manifest);
   }

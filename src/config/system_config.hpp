@@ -34,6 +34,9 @@ struct SystemConfig {
   trace::GeneratorOptions generator;
   /// Lognormal execution-noise sigma (0 disables).
   double noise_sigma = 0.0;
+  /// Run the check-subsystem self-audit after every simulated event
+  /// (sched::DriverOptions::self_audit).
+  bool self_audit = false;
 
   static util::Expected<SystemConfig> from_ini(const Ini& ini);
   Ini to_ini() const;

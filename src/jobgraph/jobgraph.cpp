@@ -1,7 +1,8 @@
 #include "jobgraph/jobgraph.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
 
 namespace gts::jobgraph {
 
@@ -28,7 +29,8 @@ JobGraph JobGraph::ring(int task_count, double weight) {
 }
 
 void JobGraph::add_edge(int a, int b, double weight) {
-  assert(a >= 0 && a < task_count_ && b >= 0 && b < task_count_ && a != b);
+  GTS_CHECK(a >= 0 && a < task_count_ && b >= 0 && b < task_count_ && a != b,
+            "edge ", a, "-", b, " invalid for ", task_count_, " tasks");
   edges_.push_back({std::min(a, b), std::max(a, b), weight});
 }
 

@@ -1,8 +1,9 @@
 #include "partition/drb.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
+
+#include "check/check.hpp"
 
 #include "partition/fm.hpp"
 
@@ -230,7 +231,7 @@ std::vector<int> physical_bipartition(const std::vector<int>& gpus,
                                       const topo::TopologyGraph& topology,
                                       DrbStats* stats) {
   const int n = static_cast<int>(gpus.size());
-  assert(n >= 2);
+  GTS_CHECK_GE(n, 2);
 
   // Closeness graph: weight = (D + 1) - distance, D = max pairwise distance
   // within this GPU set. Close pairs get heavy edges; FM's mincut then cuts

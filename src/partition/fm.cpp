@@ -1,9 +1,10 @@
 #include "partition/fm.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <set>
+
+#include "check/check.hpp"
 
 namespace gts::partition {
 
@@ -52,7 +53,7 @@ double cut_weight(const FmGraph& graph, const std::vector<int>& side) {
 FmResult fm_bipartition(const FmGraph& graph, std::vector<int> initial,
                         const FmOptions& options) {
   const int n = graph.vertex_count;
-  assert(static_cast<int>(initial.size()) == n);
+  GTS_CHECK_EQ(static_cast<int>(initial.size()), n);
 
   FmResult result;
   result.side = std::move(initial);

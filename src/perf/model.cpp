@@ -1,9 +1,10 @@
 #include "perf/model.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "check/check.hpp"
 
 namespace gts::perf {
 
@@ -103,7 +104,7 @@ IterationBreakdown DlWorkloadModel::iteration(
     const jobgraph::JobRequest& job, std::span<const int> gpus,
     const topo::TopologyGraph& topology, const LinkFlows* extra_flows,
     std::span<const CoRunner> co_runners) const {
-  assert(static_cast<int>(gpus.size()) == job.comm_graph.task_count());
+  GTS_DCHECK_EQ(static_cast<int>(gpus.size()), job.comm_graph.task_count());
 
   IterationBreakdown out;
   out.compute_s = compute_time(job.profile.nn, job.profile.batch_size);

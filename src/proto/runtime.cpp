@@ -19,6 +19,7 @@ PrototypeRun PrototypeRuntime::run(const PrototypeConfig& config,
 
   sched::DriverOptions options;
   options.utility_weights = config.weights;
+  options.self_audit = config.self_audit;
   sched::Driver driver(topology_, model_, *scheduler, options);
 
   PrototypeRun run;

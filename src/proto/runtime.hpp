@@ -26,6 +26,8 @@ struct PrototypeConfig {
   /// prototype; here the "real" mode only changes reporting (the execution
   /// substrate is always the model).
   bool simulation = true;
+  /// Check-subsystem self-audit after every event (DriverOptions::self_audit).
+  bool self_audit = false;
 };
 
 struct PrototypeRun {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "check/audit.hpp"
+#include "check/check.hpp"
 #include "util/log.hpp"
 
 namespace gts::sched {
@@ -18,6 +20,17 @@ Driver::Driver(const topo::TopologyGraph& topology,
       state_(topology, model) {
   if (options_.noise_sigma > 0.0) {
     state_.set_execution_noise(options_.noise_sigma, options_.noise_seed);
+  }
+  if (options_.self_audit) {
+    const util::Status status = check::validate(topology_);
+    GTS_CHECK(status.is_ok(),
+              "topology failed validation: ", status.error().message);
+    engine_.set_post_event_hook([this] {
+      const util::Status audit = check::validate(state_);
+      GTS_CHECK(audit.is_ok(),
+                "cluster self-audit failed at t=", engine_.now(), ": ",
+                audit.error().message);
+    });
   }
 }
 
@@ -125,6 +138,12 @@ void Driver::scheduling_pass() {
       if (scheduler_.blocking_queue()) break;  // strict FIFO head blocking
       ++it;
       continue;
+    }
+    if (options_.self_audit) {
+      const util::Status audit =
+          check::audit_placement(request, placement->gpus, state_);
+      GTS_CHECK(audit.is_ok(), "placement audit for job ", request.id, ": ",
+                audit.error().message);
     }
     double utility = placement->utility;
     if (options_.evaluate_utility && utility == 0.0) {

@@ -28,6 +28,12 @@ struct DriverOptions {
   /// SLO accounting); greedy schedulers do not produce their own utility.
   bool evaluate_utility = true;
   UtilityWeights utility_weights{};
+  /// Self-audit mode (check subsystem): validate the topology up front,
+  /// replay every proposed placement through check::audit_placement before
+  /// enacting it, and run check::validate(ClusterState) after every
+  /// simulation event. Any inconsistency fires GTS_CHECK. O(jobs) per
+  /// event — meant for tests and debugging runs, off by default.
+  bool self_audit = false;
 };
 
 struct DriverReport {

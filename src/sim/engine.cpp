@@ -1,11 +1,12 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace gts::sim {
 
 EventHandle Engine::schedule_at(Time when, std::function<void()> handler) {
-  assert(when >= now_ - 1e-9 && "cannot schedule in the past");
+  GTS_DCHECK(when >= now_ - 1e-9, "cannot schedule in the past: when=", when,
+             " now=", now_);
   if (when < now_) when = now_;
   const EventHandle handle = next_sequence_;
   queue_.push({when, next_sequence_, handle});
@@ -34,6 +35,7 @@ bool Engine::step() {
     now_ = entry.when;
     ++fired_;
     handler();
+    if (post_event_hook_) post_event_hook_();
     return true;
   }
   return false;

@@ -56,6 +56,13 @@ class Engine {
 
   std::uint64_t events_fired() const noexcept { return fired_; }
 
+  /// Installs a hook invoked after every fired event, once its handler has
+  /// returned — the seam the Driver's self-audit uses to validate cluster
+  /// state at each event boundary. Pass nullptr to clear.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     Time when;
@@ -75,6 +82,7 @@ class Engine {
   std::unordered_set<EventHandle> cancelled_;
   // Handlers stored separately so cancel() can drop them promptly.
   std::unordered_map<EventHandle, std::function<void()>> handlers_;
+  std::function<void()> post_event_hook_;
 };
 
 }  // namespace gts::sim

@@ -4,12 +4,13 @@
 // error type is always gts::util::Error.
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "check/check.hpp"
 
 namespace gts::util {
 
@@ -60,7 +61,7 @@ class [[nodiscard]] Expected {
   T* operator->() { return &value(); }
 
   const Error& error() const {
-    assert(!has_value());
+    GTS_CHECK(!has_value(), "error() on an engaged Expected");
     return std::get<Error>(data_);
   }
 
@@ -91,7 +92,7 @@ class [[nodiscard]] Status {
   explicit operator bool() const noexcept { return is_ok(); }
 
   const Error& error() const {
-    assert(!is_ok());
+    GTS_CHECK(!is_ok(), "error() on an OK Status");
     return *error_;
   }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Repo lint runner: convention checks (always), clang-tidy and a
+# clang-format check (when the tools are installed).
+#
+# Usage: tools/lint.sh [--no-tidy] [--no-format]
+#   LINT_BUILD_DIR   build dir holding compile_commands.json
+#                    (default: build, then build-release, build-asan-ubsan)
+#
+# Exit status is non-zero if any enabled check fails. Missing optional
+# tools are reported and skipped, not treated as failures, so the script
+# is usable both in the slim dev container and in CI.
+set -u
+
+cd "$(dirname "$0")/.."
+
+run_tidy=1
+run_format=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tidy) run_tidy=0 ;;
+    --no-format) run_format=0 ;;
+    *) echo "usage: tools/lint.sh [--no-tidy] [--no-format]" >&2; exit 2 ;;
+  esac
+done
+
+failures=0
+note() { printf '%s\n' "$*"; }
+fail() { printf 'LINT FAIL: %s\n' "$*" >&2; failures=$((failures + 1)); }
+
+# --- convention: every header uses #pragma once -----------------------------
+headers_missing_pragma=$(grep -rL '^#pragma once$' src --include='*.hpp' || true)
+if [ -n "$headers_missing_pragma" ]; then
+  fail "headers missing '#pragma once':"$'\n'"$headers_missing_pragma"
+else
+  note "ok: #pragma once present in all src/ headers"
+fi
+
+# --- convention: no 'using namespace std' in headers ------------------------
+std_using=$(grep -rn 'using namespace std' src --include='*.hpp' || true)
+if [ -n "$std_using" ]; then
+  fail "'using namespace std' in headers:"$'\n'"$std_using"
+else
+  note "ok: no 'using namespace std' in headers"
+fi
+
+# --- convention: no bare assert() outside src/check -------------------------
+# Invariants must use the GTS_CHECK family (src/check/check.hpp), which
+# survives NDEBUG and routes through the pluggable failure handler.
+# The character class excludes static_assert and identifiers ending in
+# assert; src/check itself is exempt.
+bare_asserts=$(grep -rnE '(^|[^_[:alnum:]])assert\(' src \
+  --include='*.cpp' --include='*.hpp' | grep -v '^src/check/' || true)
+if [ -n "$bare_asserts" ]; then
+  fail "bare assert() outside src/check (use GTS_CHECK/GTS_DCHECK):"$'\n'"$bare_asserts"
+else
+  note "ok: no bare assert() outside src/check"
+fi
+
+# --- clang-format (check-only, no reformat) ---------------------------------
+if [ "$run_format" -eq 1 ]; then
+  if command -v clang-format > /dev/null 2>&1; then
+    format_sources=$(find src tests bench examples \
+      -name '*.cpp' -o -name '*.hpp' | sort)
+    # shellcheck disable=SC2086
+    if ! clang-format --dry-run -Werror $format_sources > /dev/null 2>&1; then
+      fail "clang-format check failed; run: clang-format -i <files>"
+    else
+      note "ok: clang-format clean"
+    fi
+  else
+    note "skip: clang-format not installed"
+  fi
+fi
+
+# --- clang-tidy -------------------------------------------------------------
+if [ "$run_tidy" -eq 1 ]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    build_dir="${LINT_BUILD_DIR:-}"
+    if [ -z "$build_dir" ]; then
+      for candidate in build build-release build-asan-ubsan; do
+        if [ -f "$candidate/compile_commands.json" ]; then
+          build_dir="$candidate"
+          break
+        fi
+      done
+    fi
+    if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+      fail "clang-tidy: no compile_commands.json (configure a build first)"
+    else
+      tidy_sources=$(find src -name '*.cpp' | sort)
+      # shellcheck disable=SC2086
+      if ! clang-tidy -p "$build_dir" --quiet $tidy_sources; then
+        fail "clang-tidy reported diagnostics"
+      else
+        note "ok: clang-tidy clean"
+      fi
+    fi
+  else
+    note "skip: clang-tidy not installed"
+  fi
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "lint: all checks passed"
