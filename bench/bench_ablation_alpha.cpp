@@ -2,48 +2,110 @@
 // Eq. 1/2). The paper fixes equal thirds; this sweep shows how the
 // Table 1 scenario responds when the scheduler over- or under-weights
 // communication cost, interference, or fragmentation.
+//
+// Runs as a (weight-spec x seed) sweep on the experiment runner: each
+// replica is self-contained, --threads fans the specs out, --out emits
+// BENCH_ablation_alpha.json. The scenario is deterministic, so the
+// default is a single seed.
 #include <cstdio>
 
 #include "exp/scenarios.hpp"
 #include "metrics/table.hpp"
 #include "perf/model.hpp"
+#include "runner/sweep.hpp"
 #include "topo/builders.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 
-int main() {
-  using namespace gts;
-  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
-  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
-  const auto jobs = exp::table1_jobs(model, minsky);
+namespace {
 
-  struct WeightSpec {
-    const char* name;
-    sched::UtilityWeights weights;
-  };
-  const WeightSpec specs[] = {
-      {"equal thirds (paper)", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
-      {"comm only", {1.0, 0.0, 0.0}},
-      {"interference only", {0.0, 1.0, 0.0}},
-      {"fragmentation only", {0.0, 0.0, 1.0}},
-      {"comm heavy", {0.6, 0.2, 0.2}},
-      {"interference heavy", {0.2, 0.6, 0.2}},
-      {"fragmentation heavy", {0.2, 0.2, 0.6}},
-  };
+struct WeightSpec {
+  const char* name;
+  gts::sched::UtilityWeights weights;
+};
+
+constexpr WeightSpec kSpecs[] = {
+    {"equal thirds (paper)", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+    {"comm only", {1.0, 0.0, 0.0}},
+    {"interference only", {0.0, 1.0, 0.0}},
+    {"fragmentation only", {0.0, 0.0, 1.0}},
+    {"comm heavy", {0.6, 0.2, 0.2}},
+    {"interference heavy", {0.2, 0.6, 0.2}},
+    {"fragmentation heavy", {0.2, 0.2, 0.6}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gts;
+  util::CliParser cli;
+  cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'", "1");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
+  cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const auto seeds = runner::parse_seed_spec(cli.get("seeds"));
+  if (!seeds) {
+    std::fprintf(stderr, "%s\n", seeds.error().message.c_str());
+    return 1;
+  }
+
+  runner::SweepOptions options;
+  options.name = "ablation_alpha";
+  options.scenarios.clear();
+  for (const WeightSpec& spec : kSpecs) options.scenarios.push_back(spec.name);
+  options.seeds = *seeds;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.metadata["experiment"] = "ablation_alpha";
+  options.metadata["workload"] = "table1";
+
+  const runner::SweepResult result =
+      runner::run_sweep(options, [](const runner::ReplicaContext& context) {
+        const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+        const perf::DlWorkloadModel model(
+            perf::CalibrationParams::paper_minsky());
+        const auto jobs = exp::table1_jobs(model, minsky);
+        const sched::UtilityWeights weights =
+            kSpecs[static_cast<size_t>(context.scenario_index)].weights;
+
+        json::Object policies;
+        double events = 0.0;
+        for (const sched::Policy policy :
+             {sched::Policy::kTopoAware, sched::Policy::kTopoAwareP}) {
+          const auto report =
+              exp::run_policy(policy, jobs, minsky, model, weights);
+          const auto slowdowns = report.recorder.sorted_qos_slowdowns();
+          json::Object entry;
+          entry["makespan_s"] = report.recorder.makespan();
+          entry["slo_violations"] = report.recorder.slo_violations();
+          entry["mean_wait_s"] = report.recorder.mean_waiting_time();
+          entry["worst_qos"] = slowdowns.empty() ? 0.0 : slowdowns.front();
+          policies[std::string(sched::to_string(policy))] = std::move(entry);
+          events += static_cast<double>(report.events);
+        }
+        json::Object payload;
+        payload["events"] = events;
+        payload["policies"] = std::move(policies);
+        return json::Value(payload);
+      });
 
   metrics::Table table({"weights", "policy", "cumulative time(s)",
                         "SLO violations", "mean wait(s)", "worst QoS"});
-  for (const WeightSpec& spec : specs) {
-    for (const sched::Policy policy :
-         {sched::Policy::kTopoAware, sched::Policy::kTopoAwareP}) {
-      const auto report =
-          exp::run_policy(policy, jobs, minsky, model, spec.weights);
-      const auto slowdowns = report.recorder.sorted_qos_slowdowns();
-      table.add_row({spec.name, std::string(sched::to_string(policy)),
-                     util::format_double(report.recorder.makespan(), 1),
-                     std::to_string(report.recorder.slo_violations()),
-                     util::format_double(report.recorder.mean_waiting_time(), 1),
-                     util::format_double(
-                         slowdowns.empty() ? 0.0 : slowdowns.front(), 2)});
+  for (const runner::Replica& replica : result.replicas) {
+    if (replica.seed != result.options.seeds.front()) continue;
+    const std::string& scenario =
+        result.options.scenarios[static_cast<size_t>(replica.scenario_index)];
+    for (const auto& [policy, entry] :
+         replica.payload.at("policies").as_object()) {
+      table.add_row(
+          {scenario, policy,
+           util::format_double(entry.at("makespan_s").as_number(), 1),
+           std::to_string(entry.at("slo_violations").as_int()),
+           util::format_double(entry.at("mean_wait_s").as_number(), 1),
+           util::format_double(entry.at("worst_qos").as_number(), 2)});
     }
   }
   std::fputs(table
@@ -51,5 +113,13 @@ int main() {
                          "Table 1 scenario")
                  .c_str(),
              stdout);
+
+  if (const std::string out = cli.get("out"); !out.empty()) {
+    if (auto status = runner::write_bench_json(result, out); !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
   return 0;
 }

@@ -4,53 +4,119 @@
 // every job's iteration time is multiplied by lognormal noise the
 // scheduler cannot see, at increasing sigma, and the Table 1 scenario is
 // re-run: the topology-aware win should survive realistic variability.
+//
+// Runs as a (sigma x noise-seed) sweep on the experiment runner; the
+// aggregate table reports the mean speedup with its 95% CI across seeds.
+// --threads fans replicas out, --out emits BENCH_ablation_noise.json.
 #include <cstdio>
 
 #include "exp/scenarios.hpp"
-#include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "perf/model.hpp"
+#include "runner/sweep.hpp"
 #include "sched/driver.hpp"
 #include "topo/builders.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 
-int main() {
+namespace {
+constexpr double kSigmas[] = {0.0, 0.05, 0.10, 0.20, 0.30};
+}
+
+int main(int argc, char** argv) {
   using namespace gts;
-  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
-  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
-  const auto jobs = exp::table1_jobs(model, minsky);
+  util::CliParser cli;
+  cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'", "3");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
+  cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const auto seeds = runner::parse_seed_spec(cli.get("seeds"));
+  if (!seeds) {
+    std::fprintf(stderr, "%s\n", seeds.error().message.c_str());
+    return 1;
+  }
 
-  metrics::Table table({"noise sigma", "seed", "BF makespan(s)",
-                        "TOPO-AWARE-P makespan(s)", "speedup",
-                        "P SLO violations"});
-  for (const double sigma : {0.0, 0.05, 0.10, 0.20, 0.30}) {
-    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-      sched::DriverOptions options;
-      options.noise_sigma = sigma;
-      options.noise_seed = seed;
+  runner::SweepOptions options;
+  options.name = "ablation_noise";
+  options.scenarios.clear();
+  for (const double sigma : kSigmas) {
+    options.scenarios.push_back("sigma=" + util::format_double(sigma, 2));
+  }
+  options.seeds = *seeds;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.metadata["experiment"] = "ablation_noise";
+  options.metadata["workload"] = "table1";
+  options.metadata["policies"] =
+      json::Array{json::Value("BF"), json::Value("TOPO-AWARE-P")};
 
-      const auto bf_sched = sched::make_scheduler(sched::Policy::kBestFit);
-      sched::Driver bf_driver(minsky, model, *bf_sched, options);
-      const auto bf = bf_driver.run(jobs);
+  const runner::SweepResult result =
+      runner::run_sweep(options, [](const runner::ReplicaContext& context) {
+        const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+        const perf::DlWorkloadModel model(
+            perf::CalibrationParams::paper_minsky());
+        const auto jobs = exp::table1_jobs(model, minsky);
+        sched::DriverOptions driver_options;
+        driver_options.noise_sigma =
+            kSigmas[static_cast<size_t>(context.scenario_index)];
+        driver_options.noise_seed = context.seed;
 
-      const auto tp_sched = sched::make_scheduler(sched::Policy::kTopoAwareP);
-      sched::Driver tp_driver(minsky, model, *tp_sched, options);
-      const auto tp = tp_driver.run(jobs);
+        const auto bf_sched = sched::make_scheduler(sched::Policy::kBestFit);
+        sched::Driver bf_driver(minsky, model, *bf_sched, driver_options);
+        const auto bf = bf_driver.run(jobs);
 
-      table.add_row(
-          {util::format_double(sigma, 2), std::to_string(seed),
-           util::format_double(bf.recorder.makespan(), 1),
-           util::format_double(tp.recorder.makespan(), 1),
-           util::format_double(
-               bf.recorder.makespan() / tp.recorder.makespan(), 3),
-           std::to_string(tp.recorder.slo_violations())});
-      if (sigma == 0.0) break;  // deterministic: one row suffices
+        const auto tp_sched =
+            sched::make_scheduler(sched::Policy::kTopoAwareP);
+        sched::Driver tp_driver(minsky, model, *tp_sched, driver_options);
+        const auto tp = tp_driver.run(jobs);
+
+        json::Object payload;
+        payload["events"] = static_cast<double>(bf.events + tp.events);
+        payload["bf_makespan_s"] = bf.recorder.makespan();
+        payload["tp_makespan_s"] = tp.recorder.makespan();
+        payload["speedup"] =
+            bf.recorder.makespan() / tp.recorder.makespan();
+        payload["tp_slo_violations"] = tp.recorder.slo_violations();
+        return json::Value(payload);
+      });
+
+  metrics::Table table({"noise sigma", "seeds", "BF makespan(s)",
+                        "TOPO-AWARE-P makespan(s)", "speedup +-CI95",
+                        "P SLO violations (mean)"});
+  for (const std::string& scenario : result.options.scenarios) {
+    metrics::Summary bf{};
+    metrics::Summary tp{};
+    metrics::Summary speedup{};
+    metrics::Summary slo{};
+    for (const runner::MetricAggregate& aggregate : result.aggregates) {
+      if (aggregate.scenario != scenario) continue;
+      if (aggregate.metric == "bf_makespan_s") bf = aggregate.summary;
+      if (aggregate.metric == "tp_makespan_s") tp = aggregate.summary;
+      if (aggregate.metric == "speedup") speedup = aggregate.summary;
+      if (aggregate.metric == "tp_slo_violations") slo = aggregate.summary;
     }
+    table.add_row({scenario, std::to_string(speedup.count),
+                   util::format_double(bf.mean, 1),
+                   util::format_double(tp.mean, 1),
+                   util::format_double(speedup.mean, 3) + " +-" +
+                       util::format_double(speedup.ci95_half, 3),
+                   util::format_double(slo.mean, 1)});
   }
   std::fputs(table
                  .render("Ablation: topology-aware speedup under lognormal "
                          "execution noise invisible to the scheduler")
                  .c_str(),
              stdout);
+
+  if (const std::string out = cli.get("out"); !out.empty()) {
+    if (auto status = runner::write_bench_json(result, out); !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
   return 0;
 }

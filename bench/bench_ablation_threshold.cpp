@@ -4,43 +4,99 @@
 // rescales the multi-GPU threshold to show the trade-off: too low and the
 // policy degenerates to TOPO-AWARE (placements below par); too high and
 // jobs wait for allocations that add little.
+//
+// Runs as a (threshold x seed) sweep on the experiment runner; --threads
+// fans the thresholds out, --out emits BENCH_ablation_threshold.json.
 #include <cstdio>
 
 #include "exp/scenarios.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "perf/model.hpp"
+#include "runner/sweep.hpp"
 #include "topo/builders.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 
-int main() {
+namespace {
+constexpr double kThresholds[] = {0.0, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9};
+}
+
+int main(int argc, char** argv) {
   using namespace gts;
-  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
-  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  util::CliParser cli;
+  cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'", "1");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
+  cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const auto seeds = runner::parse_seed_spec(cli.get("seeds"));
+  if (!seeds) {
+    std::fprintf(stderr, "%s\n", seeds.error().message.c_str());
+    return 1;
+  }
+
+  runner::SweepOptions options;
+  options.name = "ablation_threshold";
+  options.scenarios.clear();
+  for (const double threshold : kThresholds) {
+    options.scenarios.push_back("min_utility=" +
+                                util::format_double(threshold, 1));
+  }
+  options.seeds = *seeds;
+  options.threads = static_cast<int>(cli.get_int("threads"));
+  options.metadata["experiment"] = "ablation_threshold";
+  options.metadata["workload"] = "table1";
+  options.metadata["policy"] = "TOPO-AWARE-P";
+
+  const runner::SweepResult result =
+      runner::run_sweep(options, [](const runner::ReplicaContext& context) {
+        const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+        const perf::DlWorkloadModel model(
+            perf::CalibrationParams::paper_minsky());
+        const double threshold =
+            kThresholds[static_cast<size_t>(context.scenario_index)];
+        auto jobs = exp::table1_jobs(model, minsky);
+        for (auto& job : jobs) {
+          if (job.num_gpus > 1) job.min_utility = threshold;
+        }
+        const auto report =
+            exp::run_policy(sched::Policy::kTopoAwareP, jobs, minsky, model);
+        const auto qos =
+            metrics::summarize(report.recorder.sorted_qos_slowdowns());
+        int unplaced = 0;
+        for (const auto& record : report.recorder.records()) {
+          if (!record.placed()) ++unplaced;
+        }
+        json::Object payload;
+        payload["events"] = static_cast<double>(report.events);
+        payload["makespan_s"] = report.recorder.makespan();
+        payload["slo_violations"] = report.recorder.slo_violations();
+        payload["unplaced_jobs"] = unplaced;
+        payload["mean_wait_s"] = report.recorder.mean_waiting_time();
+        payload["qos_mean"] = qos.mean;
+        payload["qos_max"] = qos.max;
+        return json::Value(payload);
+      });
 
   metrics::Table table({"multi-GPU min utility", "cumulative time(s)",
                         "SLO violations", "unplaced jobs", "mean wait(s)",
                         "QoS mean", "QoS max"});
-  for (const double threshold :
-       {0.0, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-    auto jobs = exp::table1_jobs(model, minsky);
-    for (auto& job : jobs) {
-      if (job.num_gpus > 1) job.min_utility = threshold;
-    }
-    const auto report =
-        exp::run_policy(sched::Policy::kTopoAwareP, jobs, minsky, model);
-    const auto qos = metrics::summarize(report.recorder.sorted_qos_slowdowns());
-    int unplaced = 0;
-    for (const auto& record : report.recorder.records()) {
-      if (!record.placed()) ++unplaced;
-    }
-    table.add_row({util::format_double(threshold, 1),
-                   util::format_double(report.recorder.makespan(), 1),
-                   std::to_string(report.recorder.slo_violations()),
-                   std::to_string(unplaced),
-                   util::format_double(report.recorder.mean_waiting_time(), 1),
-                   util::format_double(qos.mean, 3),
-                   util::format_double(qos.max, 3)});
+  for (const runner::Replica& replica : result.replicas) {
+    if (replica.seed != result.options.seeds.front()) continue;
+    const json::Value& payload = replica.payload;
+    table.add_row(
+        {result.options.scenarios[static_cast<size_t>(replica.scenario_index)],
+         util::format_double(payload.at("makespan_s").as_number(), 1),
+         std::to_string(payload.at("slo_violations").as_int()),
+         std::to_string(payload.at("unplaced_jobs").as_int()),
+         util::format_double(payload.at("mean_wait_s").as_number(), 1),
+         util::format_double(payload.at("qos_mean").as_number(), 3),
+         util::format_double(payload.at("qos_max").as_number(), 3)});
   }
   std::fputs(table
                  .render("Ablation: TOPO-AWARE-P postponement threshold on "
@@ -52,5 +108,13 @@ int main() {
       "multi-GPU jobs — they are postponed forever (the 'unplaced' "
       "column), which is why the paper ties the threshold to the job's "
       "own profile instead of a global constant.\n");
+
+  if (const std::string out = cli.get("out"); !out.empty()) {
+    if (auto status = runner::write_bench_json(result, out); !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
   return 0;
 }

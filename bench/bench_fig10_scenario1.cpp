@@ -1,76 +1,95 @@
-// Figure 10 — Scenario 1: 100 jobs on 5 Minsky machines (Section 5.5.1).
+// Figure 10 — Scenario 1: 100 jobs on 5 Minsky machines (Section 5.5.1),
+// as a multi-seed sweep on the parallel experiment runner.
 //
-// Prints the per-policy slowdown curves (jobs ordered worst to best) for
-// (a) placement-quality QoS and (b) QoS including queue waiting time, plus
-// the SLO-violation counts. Expected shape: TOPO-AWARE-P violates no SLOs
-// and dominates; the greedy algorithms trail, FCFS worst on waiting.
+// Each (seed) replica runs the full four-policy comparison on its own
+// sim::Engine/ClusterState; replicas fan out over --threads workers and
+// the per-replica payloads are byte-identical for any thread count.
+// --out writes the versioned BENCH_fig10.json document. With a single
+// seed, also prints the paper's slowdown curves (jobs ordered worst to
+// best) for (a) placement-quality QoS and (b) QoS + waiting time.
 #include <cstdio>
 #include <vector>
 
-#include "exp/scenarios.hpp"
 #include "metrics/chart.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
+#include "runner/experiments.hpp"
 #include "util/cli.hpp"
-#include "util/strings.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+/// Rebuilds the Fig. 10 line charts from one replica's per-policy
+/// "qos_curve"/"qos_wait_curve" payload arrays.
+void render_curves(const gts::json::Value& payload) {
   using namespace gts;
-  util::CliParser cli;
-  cli.add_option("machines", "cluster size", "5");
-  cli.add_option("jobs", "number of jobs", "100");
-  cli.add_option("seed", "workload seed", "42");
-  if (auto status = cli.parse(argc, argv); !status) {
-    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
-                 cli.usage(argv[0]).c_str());
-    return 1;
-  }
-
-  exp::LargeScaleOptions options;
-  options.machines = static_cast<int>(cli.get_int("machines"));
-  options.jobs = static_cast<int>(cli.get_int("jobs"));
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const exp::PolicyComparison comparison = exp::run_large_scale(options);
-
-  metrics::Table table({"policy", "SLO violations", "QoS mean", "QoS p95",
-                        "QoS max", "QoS+wait mean", "QoS+wait p95",
-                        "mean wait(s)", "mean decision(us)"});
   std::vector<metrics::Series> qos_series;
   std::vector<metrics::Series> wait_series;
-  for (const auto& entry : comparison.entries) {
-    const metrics::Summary qos = metrics::summarize(entry.qos_slowdowns);
-    const metrics::Summary wait =
-        metrics::summarize(entry.qos_wait_slowdowns);
-    table.add_row({entry.name, std::to_string(entry.slo_violations),
-                   util::format_double(qos.mean, 3),
-                   util::format_double(qos.p95, 3),
-                   util::format_double(qos.max, 3),
-                   util::format_double(wait.mean, 3),
-                   util::format_double(wait.p95, 3),
-                   util::format_double(entry.mean_waiting, 1),
-                   util::format_double(entry.mean_decision_us, 1)});
-    metrics::Series q{entry.name, {}};
-    for (size_t i = 0; i < entry.qos_slowdowns.size(); ++i) {
-      q.points.push_back({static_cast<double>(i), entry.qos_slowdowns[i]});
-    }
-    qos_series.push_back(std::move(q));
-    metrics::Series w{entry.name, {}};
-    for (size_t i = 0; i < entry.qos_wait_slowdowns.size(); ++i) {
-      w.points.push_back(
-          {static_cast<double>(i), entry.qos_wait_slowdowns[i]});
-    }
-    wait_series.push_back(std::move(w));
+  for (const auto& [policy, entry] : payload.at("policies").as_object()) {
+    const auto curve_of = [&](const char* key) {
+      metrics::Series series{policy, {}};
+      const json::Array& values = entry.at(key).as_array();
+      for (size_t i = 0; i < values.size(); ++i) {
+        series.points.push_back(
+            {static_cast<double>(i), values[i].as_number()});
+      }
+      return series;
+    };
+    qos_series.push_back(curve_of("qos_curve"));
+    wait_series.push_back(curve_of("qos_wait_curve"));
   }
-  std::printf("Fig. 10 — Scenario 1: %d jobs, %d machines (seed %llu)\n",
-              options.jobs, options.machines,
-              static_cast<unsigned long long>(options.seed));
-  std::fputs(table.render().c_str(), stdout);
-
   metrics::ChartOptions chart;
   chart.x_label = "jobs ordered worst to best";
   chart.y_label = "(a) JOB'S QOS slowdown";
   std::fputs(metrics::line_chart(qos_series, chart).c_str(), stdout);
   chart.y_label = "(b) JOB'S QOS + WAITING TIME slowdown";
   std::fputs(metrics::line_chart(wait_series, chart).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gts;
+  util::CliParser cli;
+  cli.add_option("machines", "cluster size", "5");
+  cli.add_option("jobs", "number of jobs", "100");
+  cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'",
+                 "42,");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
+  cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const auto seeds = runner::parse_seed_spec(cli.get("seeds"));
+  if (!seeds) {
+    std::fprintf(stderr, "%s\n", seeds.error().message.c_str());
+    return 1;
+  }
+
+  runner::LargeScaleSweepConfig config;
+  config.name = "fig10";
+  config.machines = static_cast<int>(cli.get_int("machines"));
+  config.jobs = static_cast<int>(cli.get_int("jobs"));
+  config.seeds = *seeds;
+  config.threads = static_cast<int>(cli.get_int("threads"));
+  config.include_curves = seeds->size() == 1;
+  const runner::SweepResult result = runner::run_large_scale_sweep(config);
+
+  std::printf(
+      "Fig. 10 — Scenario 1: %d jobs, %d machines, %zu seed(s), "
+      "%.2fs wall (%.0f events/s)\n",
+      config.jobs, config.machines, seeds->size(), result.wall_seconds,
+      result.events_per_second());
+  std::fputs(runner::render_large_scale_table(result).c_str(), stdout);
+  if (config.include_curves) {
+    render_curves(result.replicas.front().payload);
+  }
+
+  if (const std::string out = cli.get("out"); !out.empty()) {
+    if (auto status = runner::write_bench_json(result, out); !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
   return 0;
 }

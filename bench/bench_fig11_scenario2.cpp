@@ -1,67 +1,75 @@
 // Figure 11 — Scenario 2: 10k jobs on 1k Minsky machines (Section 5.5.2),
-// plus the Section 5.5.3 per-decision overhead comparison at that scale.
+// plus the Section 5.5.3 per-decision overhead comparison at that scale,
+// as a multi-seed sweep on the parallel experiment runner.
 //
 // Expected shape: FCFS worst, BF next, the topology-aware policies
 // dominate with TOPO-AWARE-P violating no SLOs; topology-aware decisions
 // cost several times a greedy decision.
 //
-// The full 10k/1k configuration takes a few minutes of wall clock; use
-// --jobs/--machines to shrink it for smoke runs.
+// The full 10k/1k configuration takes a few minutes of wall clock per
+// seed; use --jobs/--machines to shrink it for smoke runs, --seeds N and
+// --threads to saturate the machine, --out for BENCH_fig11.json.
 #include <cstdio>
 
-#include "exp/scenarios.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
+#include "runner/experiments.hpp"
 #include "util/cli.hpp"
-#include "util/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace gts;
   util::CliParser cli;
   cli.add_option("machines", "cluster size", "1000");
   cli.add_option("jobs", "number of jobs", "10000");
-  cli.add_option("seed", "workload seed", "42");
+  cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'",
+                 "42,");
+  cli.add_option("threads", "worker threads (0 = all cores)", "0");
+  cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
   if (auto status = cli.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
                  cli.usage(argv[0]).c_str());
     return 1;
   }
-
-  exp::LargeScaleOptions options;
-  options.machines = static_cast<int>(cli.get_int("machines"));
-  options.jobs = static_cast<int>(cli.get_int("jobs"));
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  std::printf("Fig. 11 — Scenario 2: %d jobs, %d machines (seed %llu)\n",
-              options.jobs, options.machines,
-              static_cast<unsigned long long>(options.seed));
-  const exp::PolicyComparison comparison = exp::run_large_scale(options);
-
-  metrics::Table table({"policy", "SLO violations", "QoS mean", "QoS p95",
-                        "QoS max", "QoS+wait mean", "QoS+wait p95",
-                        "mean wait(s)", "mean decision(us)"});
-  for (const auto& entry : comparison.entries) {
-    const metrics::Summary qos = metrics::summarize(entry.qos_slowdowns);
-    const metrics::Summary wait =
-        metrics::summarize(entry.qos_wait_slowdowns);
-    table.add_row({entry.name, std::to_string(entry.slo_violations),
-                   util::format_double(qos.mean, 3),
-                   util::format_double(qos.p95, 3),
-                   util::format_double(qos.max, 3),
-                   util::format_double(wait.mean, 3),
-                   util::format_double(wait.p95, 3),
-                   util::format_double(entry.mean_waiting, 1),
-                   util::format_double(entry.mean_decision_us, 1)});
+  const auto seeds = runner::parse_seed_spec(cli.get("seeds"));
+  if (!seeds) {
+    std::fprintf(stderr, "%s\n", seeds.error().message.c_str());
+    return 1;
   }
-  std::fputs(table.render().c_str(), stdout);
 
+  runner::LargeScaleSweepConfig config;
+  config.name = "fig11";
+  config.machines = static_cast<int>(cli.get_int("machines"));
+  config.jobs = static_cast<int>(cli.get_int("jobs"));
+  config.seeds = *seeds;
+  config.threads = static_cast<int>(cli.get_int("threads"));
+  const runner::SweepResult result = runner::run_large_scale_sweep(config);
+
+  std::printf(
+      "Fig. 11 — Scenario 2: %d jobs, %d machines, %zu seed(s), "
+      "%.2fs wall (%.0f events/s)\n",
+      config.jobs, config.machines, seeds->size(), result.wall_seconds,
+      result.events_per_second());
+  std::fputs(runner::render_large_scale_table(result).c_str(), stdout);
+
+  const std::string& scenario = result.options.scenarios.front();
   const double greedy_us =
-      comparison.entry(sched::Policy::kFcfs).mean_decision_us;
+      runner::find_aggregate(result, scenario,
+                             "policies.FCFS.timing.mean_decision_us")
+          .mean;
   const double topo_us =
-      comparison.entry(sched::Policy::kTopoAwareP).mean_decision_us;
+      runner::find_aggregate(result, scenario,
+                             "policies.TOPO-AWARE-P.timing.mean_decision_us")
+          .mean;
   std::printf(
       "\nSection 5.5.3 overhead at this scale: TOPO-AWARE-P %.1f us/decision "
       "vs FCFS %.1f us/decision (%.1fx; the paper reports ~3 s vs ~0.45 s "
       "with their Python/C prototype)\n",
       topo_us, greedy_us, greedy_us > 0.0 ? topo_us / greedy_us : 0.0);
+
+  if (const std::string out = cli.get("out"); !out.empty()) {
+    if (auto status = runner::write_bench_json(result, out); !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
   return 0;
 }

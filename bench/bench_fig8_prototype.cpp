@@ -6,16 +6,42 @@
 //   (f) QoS + queue-waiting slowdown,
 //   and the cumulative-execution-time speedup (paper: BF 461.7 s, FCFS
 //   456.2 s, TOPO-AWARE 454.2 s, TOPO-AWARE-P 356.9 s => ~1.30x).
+//
+// --golden-out regenerates the golden metrics file the golden_test ctest
+// compares against:
+//   build-release/bench/bench_fig8_prototype --golden-out tests/golden/fig8.json
 #include <cstdio>
 
 #include "exp/scenarios.hpp"
 #include "metrics/table.hpp"
 #include "perf/model.hpp"
+#include "runner/experiments.hpp"
 #include "topo/builders.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gts;
+  util::CliParser cli;
+  cli.add_option("golden-out",
+                 "write the Fig. 8 golden metrics JSON here and exit", "");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  if (const std::string out = cli.get("golden-out"); !out.empty()) {
+    json::WriteOptions pretty;
+    pretty.indent = 2;
+    if (auto status = json::write_file(runner::fig8_payload(), out, pretty);
+        !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  }
+
   const topo::TopologyGraph minsky = topo::builders::power8_minsky();
   const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
   const auto jobs = exp::table1_jobs(model, minsky);

@@ -1,6 +1,7 @@
 #include "cluster/state.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -9,6 +10,13 @@
 
 namespace gts::cluster {
 
+namespace {
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+}  // namespace
+
 ClusterState::ClusterState(const topo::TopologyGraph& topology,
                            const perf::DlWorkloadModel& model)
     : topology_(&topology),
@@ -16,7 +24,8 @@ ClusterState::ClusterState(const topo::TopologyGraph& topology,
       owner_(static_cast<size_t>(topology.gpu_count()), -1),
       flows_(static_cast<size_t>(topology.link_count()), 0),
       jobs_by_machine_(static_cast<size_t>(topology.machine_count())),
-      host_bw_used_(static_cast<size_t>(topology.machine_count()), 0.0) {}
+      host_bw_used_(static_cast<size_t>(topology.machine_count()), 0.0),
+      instance_id_(next_instance_id()) {}
 
 void ClusterState::set_execution_noise(double sigma, std::uint64_t seed) {
   noise_sigma_ = sigma;
@@ -111,6 +120,7 @@ void ClusterState::place(const jobgraph::JobRequest& request,
   const std::vector<int> touched = machines_of(job.gpus);
   if (touched.size() > 1) any_multi_machine_job_ = true;
   jobs_.emplace(request.id, std::move(job));
+  ++version_;
   recompute_rates(now, &touched);
 }
 
@@ -125,6 +135,7 @@ void ClusterState::remove(int job_id, double now) {
     owner_[static_cast<size_t>(gpu)] = -1;
   }
   jobs_.erase(it);
+  ++version_;
   recompute_rates(now, &touched);
 }
 

@@ -63,6 +63,17 @@ class ClusterState {
   int free_gpu_count() const;
   int running_job_count() const { return static_cast<int>(jobs_.size()); }
 
+  /// Monotonic counter bumped by every allocation-relevant mutation
+  /// (place, remove, test-only corruption). Schedulers memoizing placement
+  /// evaluations key their cache validity on it: two calls observing the
+  /// same version see the same GPU ownership, co-runners and link flows.
+  std::uint64_t allocation_version() const noexcept { return version_; }
+
+  /// Process-unique id of this state instance, so a cache keyed on
+  /// (instance, version) can never confuse two states that happen to share
+  /// an address (e.g. a scheduler reused across Driver runs).
+  std::uint64_t instance_id() const noexcept { return instance_id_; }
+
   /// Places a job: banks progress of affected jobs, allocates GPUs,
   /// registers link flows, recomputes rates. `gpus` must all be free.
   void place(const jobgraph::JobRequest& request, std::vector<int> gpus,
@@ -136,6 +147,7 @@ class ClusterState {
   /// catch corruption. Never call outside tests.
   void corrupt_gpu_owner_for_test(int gpu, int job_id) {
     owner_[static_cast<size_t>(gpu)] = job_id;
+    ++version_;
   }
 
  private:
@@ -156,6 +168,8 @@ class ClusterState {
   std::vector<std::vector<int>> jobs_by_machine_;
   std::vector<double> host_bw_used_;  // per machine, GB/s
   bool any_multi_machine_job_ = false;
+  std::uint64_t version_ = 0;
+  std::uint64_t instance_id_ = 0;
   double noise_sigma_ = 0.0;
   util::Rng noise_rng_{1234};
 };

@@ -43,6 +43,7 @@ struct PolicyComparison {
     int slo_violations = 0;
     double mean_waiting = 0.0;
     double mean_decision_us = 0.0;
+    std::uint64_t events = 0;  // engine events fired during this run
     std::vector<double> qos_slowdowns;       // sorted descending
     std::vector<double> qos_wait_slowdowns;  // sorted descending
   };

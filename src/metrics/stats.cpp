@@ -42,6 +42,19 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double ci95_half_width(std::span<const double> values) {
+  // Two-sided 97.5% Student t quantiles for df = 1..30.
+  static constexpr double kT975[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const std::size_t df = n - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.960;
+  return t * stddev(values) / std::sqrt(static_cast<double>(n));
+}
+
 Summary summarize(std::span<const double> values) {
   Summary s;
   s.count = static_cast<int>(values.size());
@@ -53,6 +66,7 @@ Summary summarize(std::span<const double> values) {
   std::vector<double> copy(values.begin(), values.end());
   s.p50 = percentile(copy, 50.0);
   s.p95 = percentile(copy, 95.0);
+  s.ci95_half = ci95_half_width(values);
   return s;
 }
 

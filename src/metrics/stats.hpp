@@ -14,6 +14,11 @@ double max_value(std::span<const double> values);
 /// Linear-interpolated percentile, p in [0, 100].
 double percentile(std::vector<double> values, double p);
 
+/// Half-width of the two-sided 95% confidence interval of the mean:
+/// t_{0.975, n-1} * s / sqrt(n), with Student t quantiles tabulated up to
+/// 30 degrees of freedom and the normal 1.96 beyond. 0 for n < 2.
+double ci95_half_width(std::span<const double> values);
+
 struct Summary {
   int count = 0;
   double mean = 0.0;
@@ -22,6 +27,7 @@ struct Summary {
   double p50 = 0.0;
   double p95 = 0.0;
   double max = 0.0;
+  double ci95_half = 0.0;  // 95% CI of the mean is mean +- ci95_half
 };
 Summary summarize(std::span<const double> values);
 

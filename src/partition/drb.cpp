@@ -47,11 +47,26 @@ class Mapper {
 
   DrbResult run(const std::vector<int>& available_gpus) {
     result_.assignment.assign(static_cast<size_t>(job_.task_count()), -1);
+    if (options_.span == SpanMode::kAntiCollocate &&
+        machines_of(available_gpus, topology_).size() <
+            static_cast<size_t>(job_.task_count())) {
+      // Fewer machines than tasks: the distinct-machine constraint can
+      // never hold (in particular on a single-machine topology, where the
+      // recursion below would never see a machine split to enforce it).
+      return std::move(result_);
+    }
     std::vector<int> tasks = task_order(job_);
     recurse(tasks, available_gpus, 1);
     result_.complete =
         std::none_of(result_.assignment.begin(), result_.assignment.end(),
                      [](int gpu) { return gpu < 0; });
+    if (result_.complete && options_.span == SpanMode::kAntiCollocate) {
+      // The split heuristics enforce the constraint at machine-split
+      // levels; a degenerate bipartition (FM fallback halving straddling a
+      // machine) can still co-locate, so verify the final assignment.
+      const std::set<int> machines = machines_of(result_.assignment, topology_);
+      result_.complete = machines.size() == result_.assignment.size();
+    }
     return std::move(result_);
   }
 

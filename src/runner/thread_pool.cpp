@@ -1,0 +1,67 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gts::runner {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this]() { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, int count,
+                  const std::function<void(int)>& fn) {
+  for (int i = 0; i < count; ++i) {
+    pool.submit([&fn, i]() { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace gts::runner

@@ -1,0 +1,56 @@
+// Fixed-size thread pool for embarrassingly parallel replica fan-out.
+//
+// Deliberately minimal: submit() enqueues a task, wait_idle() blocks until
+// every submitted task has finished. No futures, no work stealing — the
+// sweep runner writes each replica's result into a pre-sized slot indexed
+// by replica number, so completion order never influences output order and
+// results stay byte-identical regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gts::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; <= 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding tasks (wait_idle) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw — wrap fallible work and stash
+  /// the error (the sweep runner records an exception slot per replica).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is mid-task.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(0..count-1) across the pool and waits for all of them.
+void parallel_for(ThreadPool& pool, int count,
+                  const std::function<void(int)>& fn);
+
+}  // namespace gts::runner

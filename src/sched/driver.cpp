@@ -75,6 +75,7 @@ DriverReport Driver::run(std::vector<jobgraph::JobRequest> jobs) {
   }
   engine_.run();
   report_.end_time = report_.recorder.makespan();
+  report_.events = engine_.events_fired();
   return std::move(report_);
 }
 

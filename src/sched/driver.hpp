@@ -49,6 +49,9 @@ struct DriverReport {
   }
   /// Simulated time when the last job finished.
   double end_time = 0.0;
+  /// Discrete events fired by the engine across the run (the runner's
+  /// events/sec throughput denominator).
+  std::uint64_t events = 0;
   /// Jobs dropped because they can never fit the cluster (capacity), kept
   /// at zero by all paper scenarios.
   int rejected_jobs = 0;

@@ -142,6 +142,53 @@ partition::SpanMode span_mode(const jobgraph::JobProfile& profile) {
   return partition::SpanMode::kPreferPack;
 }
 
+void key_append(std::string* key, const void* bytes, size_t size) {
+  key->append(static_cast<const char*>(bytes), size);
+}
+
+void key_append_int(std::string* key, int value) {
+  key_append(key, &value, sizeof(value));
+}
+
+void key_append_double(std::string* key, double value) {
+  key_append(key, &value, sizeof(value));
+}
+
+/// Serializes everything the DRB + utility evaluation of map_onto()
+/// depends on besides cluster state: the candidate GPU set and the job's
+/// shape. Job id and min_utility are deliberately excluded — the id only
+/// feeds co_runners() as a self-exclusion (a queued job is never running),
+/// and min_utility only gates the `satisfied` bit, recomputed per request.
+std::string placement_cache_key(const jobgraph::JobRequest& request,
+                                const std::vector<int>& available) {
+  std::string key;
+  key.reserve(64 + available.size() * sizeof(int) +
+              request.comm_graph.edges().size() * (2 * sizeof(int) + 8));
+  key_append_int(&key, static_cast<int>(available.size()));
+  for (const int gpu : available) key_append_int(&key, gpu);
+  const jobgraph::JobProfile& profile = request.profile;
+  key_append_int(&key, request.num_gpus);
+  key_append_int(&key, static_cast<int>(profile.nn));
+  key_append_int(&key, static_cast<int>(profile.batch));
+  key_append_int(&key, profile.batch_size);
+  key_append_int(&key, (profile.single_node ? 1 : 0) |
+                           (profile.anti_collocate ? 2 : 0));
+  key_append_double(&key, profile.comm_weight);
+  key_append_double(&key, profile.host_bw_demand_gbps);
+  key_append_double(&key, profile.solo_time_pack);
+  key_append_double(&key, profile.solo_time_spread);
+  for (const double slowdown : profile.collocation_slowdown) {
+    key_append_double(&key, slowdown);
+  }
+  key_append_int(&key, request.comm_graph.task_count());
+  for (const jobgraph::CommEdge& edge : request.comm_graph.edges()) {
+    key_append_int(&key, edge.a);
+    key_append_int(&key, edge.b);
+    key_append_double(&key, edge.weight);
+  }
+  return key;
+}
+
 }  // namespace
 
 std::optional<Placement> TopoAwareScheduler::place(
@@ -195,7 +242,45 @@ std::optional<Placement> drb_place(const jobgraph::JobRequest& request,
 std::optional<Placement> TopoAwareScheduler::map_onto(
     const jobgraph::JobRequest& request, const std::vector<int>& available,
     const cluster::ClusterState& state) {
-  return drb_place(request, available, state, utility_, &stats_);
+  if (!cache_enabled_) {
+    return drb_place(request, available, state, utility_, &stats_);
+  }
+
+  // One cache generation per (state object, allocation epoch): any
+  // place/remove changes co-runners, link flows and free sets, all of
+  // which feed the utility, so the whole cache is flushed.
+  if (cache_state_id_ != state.instance_id() ||
+      cache_version_ != state.allocation_version()) {
+    if (!cache_.empty()) {
+      ++cache_stats_.invalidations;
+      cache_.clear();
+    }
+    cache_state_id_ = state.instance_id();
+    cache_version_ = state.allocation_version();
+  }
+
+  const std::string key = placement_cache_key(request, available);
+  ++cache_stats_.lookups;
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_stats_.hits;
+    if (!it->second.mapped) return std::nullopt;
+    Placement placement;
+    placement.gpus = it->second.gpus;
+    placement.utility = it->second.utility;
+    placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
+    return placement;
+  }
+
+  std::optional<Placement> placement =
+      drb_place(request, available, state, utility_, &stats_);
+  CacheEntry entry;
+  entry.mapped = placement.has_value();
+  if (placement) {
+    entry.gpus = placement->gpus;
+    entry.utility = placement->utility;
+  }
+  cache_.emplace(key, std::move(entry));
+  return placement;
 }
 
 std::optional<Placement> TopoAwareScheduler::place_on_best_machine(

@@ -8,10 +8,29 @@
 // TOPO-AWARE always places when resources suffice.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
 #include "partition/drb.hpp"
 #include "sched/scheduler.hpp"
 
 namespace gts::sched {
+
+/// Counters of the memoized placement-evaluation cache (Section 5.5.3
+/// overhead: repeated DRB/FM evaluations of identical cluster states are
+/// the hot path at scale).
+struct PlacementCacheStats {
+  long long lookups = 0;
+  long long hits = 0;
+  long long invalidations = 0;  // cache flushes on allocation/release
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
 
 /// Maps `request` onto the `available` GPUs with the utility-driven DRB
 /// (Algorithms 2/3) and evaluates the resulting placement. The building
@@ -46,7 +65,25 @@ class TopoAwareScheduler final : public Scheduler {
   const UtilityModel& utility_model() const noexcept { return utility_; }
 
   /// Cumulative DRB statistics (for the Section 5.5.3 overhead analysis).
+  /// Cache hits skip the DRB entirely and do not accumulate here.
   const partition::DrbStats& drb_stats() const noexcept { return stats_; }
+
+  /// Memoized placement evaluation. Within one allocation epoch of the
+  /// cluster (no place/remove since), the DRB + utility evaluation of a
+  /// given (available-GPU set, job shape) is a pure function, and one
+  /// scheduling pass at scale evaluates many identical-shaped queued jobs
+  /// against the same free sets. The cache memoizes map_onto() on exactly
+  /// that key and flushes whenever ClusterState::allocation_version()
+  /// moves (any allocation or release). On by default; decisions are
+  /// bit-identical with the cache off (tests/cache_test.cpp).
+  void set_placement_cache_enabled(bool enabled) noexcept {
+    cache_enabled_ = enabled;
+    if (!enabled) cache_.clear();
+  }
+  bool placement_cache_enabled() const noexcept { return cache_enabled_; }
+  const PlacementCacheStats& cache_stats() const noexcept {
+    return cache_stats_;
+  }
 
  private:
   std::optional<Placement> map_onto(const jobgraph::JobRequest& request,
@@ -59,6 +96,19 @@ class TopoAwareScheduler final : public Scheduler {
   UtilityModel utility_;
   bool postpone_;
   partition::DrbStats stats_;
+
+  /// A mapped placement (or a proven failure) for one cache key; the SLO
+  /// `satisfied` bit is recomputed per request from its min_utility.
+  struct CacheEntry {
+    bool mapped = false;
+    std::vector<int> gpus;
+    double utility = 0.0;
+  };
+  bool cache_enabled_ = true;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t cache_state_id_ = 0;   // ClusterState::instance_id (0: none)
+  std::uint64_t cache_version_ = ~0ULL;
+  PlacementCacheStats cache_stats_;
 };
 
 }  // namespace gts::sched

@@ -55,6 +55,15 @@ class Rng {
     return child;
   }
 
+  /// Pure (seed, stream) derivation: unlike fork(), does not consume state
+  /// from any generator, so replica N of a sweep gets the same sequence no
+  /// matter which worker thread runs it or in what order replicas start.
+  /// This is the runner's determinism contract (DESIGN.md).
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    SplitMix64 sm(seed ^ (0x853c49e6748fea9bULL * (stream + 1)));
+    return Rng(sm.next());
+  }
+
   std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;

@@ -1,0 +1,206 @@
+// The memoized placement-evaluation cache in TopoAwareScheduler: caching
+// must be a pure optimization — every scheduling decision on a seeded
+// trace is identical with the cache on and off — and the hit-rate
+// counters must stay coherent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/recorder.hpp"
+#include "perf/model.hpp"
+#include "sched/driver.hpp"
+#include "sched/topo_aware.hpp"
+#include "topo/builders.hpp"
+#include "trace/generator.hpp"
+
+namespace gts::sched {
+namespace {
+
+using topo::builders::MachineShape;
+
+std::vector<jobgraph::JobRequest> seeded_trace(
+    const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology,
+    int jobs, std::uint64_t seed) {
+  trace::GeneratorOptions options;
+  options.job_count = jobs;
+  options.seed = seed;
+  return trace::generate_workload(options, model, topology);
+}
+
+DriverReport run_trace(const topo::TopologyGraph& topology,
+                       const perf::DlWorkloadModel& model,
+                       TopoAwareScheduler& scheduler,
+                       const std::vector<jobgraph::JobRequest>& jobs) {
+  DriverOptions options;
+  options.record_series = false;
+  Driver driver(topology, model, scheduler, options);
+  return driver.run(jobs);
+}
+
+void expect_identical_records(const cluster::Recorder& cached,
+                              const cluster::Recorder& uncached) {
+  ASSERT_EQ(cached.records().size(), uncached.records().size());
+  for (size_t i = 0; i < cached.records().size(); ++i) {
+    const cluster::JobRecord& a = cached.records()[i];
+    const cluster::JobRecord& b = uncached.records()[i];
+    EXPECT_EQ(a.id, b.id) << "record " << i;
+    EXPECT_EQ(a.gpus, b.gpus) << "record " << i;
+    EXPECT_DOUBLE_EQ(a.start, b.start) << "record " << i;
+    EXPECT_DOUBLE_EQ(a.end, b.end) << "record " << i;
+    EXPECT_DOUBLE_EQ(a.placement_utility, b.placement_utility)
+        << "record " << i;
+    EXPECT_EQ(a.p2p, b.p2p) << "record " << i;
+  }
+}
+
+// The headline property: a seeded 500-job trace on a 5-machine cluster
+// schedules identically (same GPUs, same times, same utilities, job by
+// job) whether or not the cache is enabled, for both postponement modes.
+TEST(PlacementCacheTest, CacheOnAndOffPlaceIdenticallyOn500JobTrace) {
+  const topo::TopologyGraph topology =
+      topo::builders::cluster(5, MachineShape::kPower8Minsky);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = seeded_trace(model, topology, 500, /*seed=*/20260806);
+
+  for (const bool postpone : {false, true}) {
+    TopoAwareScheduler cached({}, postpone);
+    cached.set_placement_cache_enabled(true);
+    const DriverReport with_cache = run_trace(topology, model, cached, jobs);
+
+    TopoAwareScheduler uncached({}, postpone);
+    uncached.set_placement_cache_enabled(false);
+    const DriverReport without_cache =
+        run_trace(topology, model, uncached, jobs);
+
+    ASSERT_EQ(with_cache.recorder.records().size(), 500u);
+    expect_identical_records(with_cache.recorder, without_cache.recorder);
+    EXPECT_EQ(with_cache.recorder.slo_violations(),
+              without_cache.recorder.slo_violations());
+
+    // Counter sanity: the cached run did real lookups, flushed on
+    // allocations, and never hit more than it looked up. Hits require an
+    // evaluation that does NOT change the cluster (a postponed placement):
+    // TOPO-AWARE enacts everything it evaluates, flushing the epoch cache
+    // each time, so only TOPO-AWARE-P is guaranteed repeat evaluations.
+    const PlacementCacheStats& stats = cached.cache_stats();
+    EXPECT_GT(stats.lookups, 0) << "postpone=" << postpone;
+    if (postpone) {
+      EXPECT_GT(stats.hits, 0);
+    }
+    EXPECT_LE(stats.hits, stats.lookups) << "postpone=" << postpone;
+    EXPECT_GT(stats.invalidations, 0) << "postpone=" << postpone;
+    EXPECT_GE(stats.hit_rate(), 0.0);
+    EXPECT_LE(stats.hit_rate(), 1.0);
+    // The disabled scheduler never counted anything.
+    EXPECT_EQ(uncached.cache_stats().lookups, 0);
+    EXPECT_EQ(uncached.cache_stats().hits, 0);
+  }
+}
+
+// Hits actually skip DRB work: with many same-shaped jobs evaluated
+// against the same free set, the cached run performs fewer bipartitions.
+TEST(PlacementCacheTest, HitsSkipDrbWork) {
+  const topo::TopologyGraph topology =
+      topo::builders::cluster(5, MachineShape::kPower8Minsky);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = seeded_trace(model, topology, 200, /*seed=*/7);
+
+  TopoAwareScheduler cached({}, /*postpone=*/true);
+  run_trace(topology, model, cached, jobs);
+  TopoAwareScheduler uncached({}, /*postpone=*/true);
+  uncached.set_placement_cache_enabled(false);
+  run_trace(topology, model, uncached, jobs);
+
+  EXPECT_GT(cached.cache_stats().hits, 0);
+  EXPECT_LT(cached.drb_stats().bipartitions,
+            uncached.drb_stats().bipartitions);
+}
+
+// Allocation epochs: placing or removing a job bumps the cluster's
+// allocation version, and the cache must re-evaluate rather than serve a
+// stale placement (which would hand out an occupied GPU).
+TEST(PlacementCacheTest, AllocationInvalidatesCache) {
+  const topo::TopologyGraph topology = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  cluster::ClusterState state(topology, model);
+  // A job small enough that the machine still has room for a second
+  // attempt after it is enacted (so the cache path is reached again).
+  const auto jobs = seeded_trace(model, topology, 10, /*seed=*/3);
+  const auto small = std::find_if(
+      jobs.begin(), jobs.end(),
+      [](const jobgraph::JobRequest& job) { return job.num_gpus <= 2; });
+  ASSERT_NE(small, jobs.end());
+
+  TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  const auto first = scheduler.place(*small, state);
+  ASSERT_TRUE(first.has_value());
+  // Same request against the unchanged state: a hit with the same answer.
+  const auto repeat = scheduler.place(*small, state);
+  ASSERT_TRUE(repeat.has_value());
+  EXPECT_EQ(repeat->gpus, first->gpus);
+  EXPECT_DOUBLE_EQ(repeat->utility, first->utility);
+  EXPECT_GT(scheduler.cache_stats().hits, 0);
+
+  // Enact the placement; the next identical request must not receive the
+  // now-occupied GPUs.
+  state.place(*small, first->gpus, /*now=*/0.0, first->utility);
+  const long long invalidations_before =
+      scheduler.cache_stats().invalidations;
+  jobgraph::JobRequest same_shape = *small;
+  same_shape.id = small->id + 1000;
+  const auto after = scheduler.place(same_shape, state);
+  EXPECT_GT(scheduler.cache_stats().invalidations, invalidations_before);
+  if (after.has_value()) {
+    for (const int gpu : after->gpus) {
+      EXPECT_TRUE(state.gpu_free(gpu)) << "GPU " << gpu << " already owned";
+    }
+  }
+}
+
+// Two distinct ClusterState instances never share cache entries, even
+// when their allocation versions coincide.
+TEST(PlacementCacheTest, DistinctStatesDoNotShareEntries) {
+  const topo::TopologyGraph topology = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const auto jobs = seeded_trace(model, topology, 1, /*seed=*/11);
+
+  TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  cluster::ClusterState first(topology, model);
+  ASSERT_TRUE(scheduler.place(jobs[0], first).has_value());
+  const long long hits_before = scheduler.cache_stats().hits;
+
+  // Fresh state, same version (0): must be a miss, not a stale hit.
+  cluster::ClusterState second(topology, model);
+  EXPECT_NE(first.instance_id(), second.instance_id());
+  EXPECT_EQ(first.allocation_version(), second.allocation_version());
+  ASSERT_TRUE(scheduler.place(jobs[0], second).has_value());
+  EXPECT_EQ(scheduler.cache_stats().hits, hits_before);
+}
+
+// min_utility is part of the request, not the cache key: the same shape
+// with a different threshold reuses the entry but re-derives `satisfied`.
+TEST(PlacementCacheTest, SatisfiedBitRecomputedPerRequest) {
+  const topo::TopologyGraph topology = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  cluster::ClusterState state(topology, model);
+  const auto jobs = seeded_trace(model, topology, 1, /*seed=*/5);
+
+  TopoAwareScheduler scheduler({}, /*postpone=*/false);
+  jobgraph::JobRequest lenient = jobs[0];
+  lenient.min_utility = 0.0;
+  const auto relaxed = scheduler.place(lenient, state);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_TRUE(relaxed->satisfied);
+
+  jobgraph::JobRequest strict = lenient;
+  strict.min_utility = relaxed->utility + 0.1;
+  const long long hits_before = scheduler.cache_stats().hits;
+  const auto demanding = scheduler.place(strict, state);
+  EXPECT_GT(scheduler.cache_stats().hits, hits_before);
+  ASSERT_TRUE(demanding.has_value());
+  EXPECT_EQ(demanding->gpus, relaxed->gpus);
+  EXPECT_FALSE(demanding->satisfied);
+}
+
+}  // namespace
+}  // namespace gts::sched

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Sweep-matrix driver: runs the runner-based bench binaries across the
+# experiment matrix and collects the versioned BENCH_*.json documents.
+#
+#   tools/bench.sh --seeds 8 --threads "$(nproc)"          # default matrix
+#   tools/bench.sh --quick --seeds 2 --threads 2           # CI smoke sizes
+#   tools/bench.sh --scenario fig10 --seeds 8 --out-dir out
+#
+# Determinism contract: every file except its "run" block (wall clock,
+# events/sec) is byte-identical for any --threads value; see DESIGN.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEEDS=8
+THREADS="$(nproc)"
+OUT_DIR="bench-out"
+BUILD_DIR="build"
+SCENARIOS=()
+QUICK=0
+FULL=0
+# Tractable default for Fig. 11; --full restores the paper's 10k/1k scale.
+FIG11_MACHINES=50
+FIG11_JOBS=500
+
+usage() {
+  sed -n '2,10p' "$0" | sed 's/^# \{0,1\}//'
+  cat <<EOF
+Options:
+  --seeds SPEC       replica count N (seeds 1..N) or explicit list 'a,b,c'
+                     (default: ${SEEDS})
+  --threads N        worker threads per binary, 0 = all cores
+                     (default: nproc = $(nproc))
+  --out-dir DIR      where BENCH_*.json land (default: ${OUT_DIR})
+  --build-dir DIR    cmake build tree with bench/ binaries (default: ${BUILD_DIR})
+  --scenario NAME    run one scenario (repeatable); default: the full matrix
+                     (fig10 fig11 ablation_alpha ablation_threshold ablation_noise)
+  --quick            CI smoke sizes (tiny clusters / job counts)
+  --full             paper-scale Fig. 11 (10000 jobs on 1000 machines)
+  -h, --help         this text
+EOF
+}
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seeds) SEEDS="$2"; shift 2 ;;
+    --threads) THREADS="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --scenario) SCENARIOS+=("$2"); shift 2 ;;
+    --quick) QUICK=1; shift ;;
+    --full) FULL=1; shift ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "unknown option: $1" >&2; usage >&2; exit 1 ;;
+  esac
+done
+
+if [[ ${#SCENARIOS[@]} -eq 0 ]]; then
+  SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise)
+fi
+
+FIG10_MACHINES=5
+FIG10_JOBS=100
+if [[ "$QUICK" -eq 1 ]]; then
+  FIG10_MACHINES=3
+  FIG10_JOBS=30
+  FIG11_MACHINES=8
+  FIG11_JOBS=60
+elif [[ "$FULL" -eq 1 ]]; then
+  FIG11_MACHINES=1000
+  FIG11_JOBS=10000
+fi
+
+bench_bin() {
+  local bin="${BUILD_DIR}/bench/$1"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  echo "$bin"
+}
+
+mkdir -p "$OUT_DIR"
+started="$(date +%s)"
+
+for scenario in "${SCENARIOS[@]}"; do
+  out="${OUT_DIR}/BENCH_${scenario}.json"
+  echo "=== ${scenario} -> ${out} (seeds ${SEEDS}, threads ${THREADS}) ==="
+  case "$scenario" in
+    fig10)
+      "$(bench_bin bench_fig10_scenario1)" \
+        --machines "$FIG10_MACHINES" --jobs "$FIG10_JOBS" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      ;;
+    fig11)
+      "$(bench_bin bench_fig11_scenario2)" \
+        --machines "$FIG11_MACHINES" --jobs "$FIG11_JOBS" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      ;;
+    ablation_alpha)
+      "$(bench_bin bench_ablation_alpha)" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      ;;
+    ablation_threshold)
+      "$(bench_bin bench_ablation_threshold)" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      ;;
+    ablation_noise)
+      "$(bench_bin bench_ablation_noise)" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      ;;
+    *)
+      echo "unknown scenario: $scenario" >&2
+      exit 1
+      ;;
+  esac
+done
+
+echo "done in $(( $(date +%s) - started ))s; documents in ${OUT_DIR}/:"
+ls -l "$OUT_DIR"/BENCH_*.json
