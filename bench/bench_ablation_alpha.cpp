@@ -11,6 +11,7 @@
 
 #include "exp/scenarios.hpp"
 #include "metrics/table.hpp"
+#include "obs/obs.hpp"
 #include "perf/model.hpp"
 #include "runner/sweep.hpp"
 #include "topo/builders.hpp"
@@ -42,9 +43,14 @@ int main(int argc, char** argv) {
   cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'", "1");
   cli.add_option("threads", "worker threads (0 = all cores)", "0");
   cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
+  obs::add_cli_flags(cli);
   if (auto status = cli.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
                  cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  if (auto status = obs::configure_from_cli(cli); !status) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
     return 1;
   }
   const auto seeds = runner::parse_seed_spec(cli.get("seeds"));
@@ -120,6 +126,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", out.c_str());
+  }
+  const auto obs_written = obs::finalize();
+  if (!obs_written) {
+    std::fprintf(stderr, "%s\n", obs_written.error().message.c_str());
+    return 1;
+  }
+  for (const std::string& path : *obs_written) {
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "jobgraph/manifest.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "obs/obs.hpp"
 #include "perf/model.hpp"
 #include "perf/profile.hpp"
 #include "sched/driver.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace gts;
   util::CliParser cli;
   cli.add_option("write-samples", "write sample configs into a directory");
+  obs::add_cli_flags(cli);
   if (auto status = cli.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
                  cli.usage(argv[0]).c_str());
@@ -51,6 +53,16 @@ int main(int argc, char** argv) {
       config::load_configuration(cli.positional()[0], algo_paths);
   if (!loaded) {
     std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  // Observability: the sys-config [obs] section first, then any CLI
+  // --trace-out/--metrics-out/--explain-out overrides on top.
+  if (auto status = obs::configure(loaded->system.obs); !status) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
+    return 1;
+  }
+  if (auto status = obs::configure_from_cli(cli); !status) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
     return 1;
   }
 
@@ -106,5 +118,13 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.render("per-algorithm runs (Appendix A.3 workflow)").c_str(),
              stdout);
+  const auto obs_written = obs::finalize();
+  if (!obs_written) {
+    std::fprintf(stderr, "%s\n", obs_written.error().message.c_str());
+    return 1;
+  }
+  for (const std::string& path : *obs_written) {
+    std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

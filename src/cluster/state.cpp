@@ -7,6 +7,8 @@
 #include <set>
 
 #include "check/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gts::cluster {
 
@@ -122,6 +124,9 @@ void ClusterState::place(const jobgraph::JobRequest& request,
   jobs_.emplace(request.id, std::move(job));
   ++version_;
   recompute_rates(now, &touched);
+  GTS_METRIC_COUNT("cluster.placements", 1);
+  GTS_TRACE_INSTANT(obs::kCluster, "cluster.place", "job", request.id);
+  publish_occupancy_metrics();
 }
 
 void ClusterState::remove(int job_id, double now) {
@@ -137,6 +142,39 @@ void ClusterState::remove(int job_id, double now) {
   jobs_.erase(it);
   ++version_;
   recompute_rates(now, &touched);
+  GTS_METRIC_COUNT("cluster.releases", 1);
+  GTS_TRACE_INSTANT(obs::kCluster, "cluster.release", "job", job_id);
+  publish_occupancy_metrics();
+}
+
+void ClusterState::publish_occupancy_metrics() const {
+  if (!obs::metrics_enabled() && !obs::tracing_enabled(obs::kCluster)) {
+    return;
+  }
+  const int free = free_gpu_count();
+  // Fragmentation: fraction of machines left partially occupied — free
+  // GPUs stranded next to co-runners, the condition Eq. 5 penalizes.
+  int fragmented = 0;
+  const int machine_count = topology_->machine_count();
+  for (int machine = 0; machine < machine_count; ++machine) {
+    const std::vector<int>& gpus = topology_->gpus_of_machine(machine);
+    int machine_free = 0;
+    for (const int gpu : gpus) {
+      if (gpu_free(gpu)) ++machine_free;
+    }
+    if (machine_free > 0 && machine_free < static_cast<int>(gpus.size())) {
+      ++fragmented;
+    }
+  }
+  const double fragmentation =
+      machine_count > 0
+          ? static_cast<double>(fragmented) / static_cast<double>(machine_count)
+          : 0.0;
+  GTS_METRIC_GAUGE_SET("cluster.free_gpus", static_cast<double>(free));
+  GTS_METRIC_GAUGE_SET("cluster.fragmentation", fragmentation);
+  GTS_TRACE_COUNTER(obs::kCluster, "cluster.free_gpus",
+                    static_cast<double>(free));
+  GTS_TRACE_COUNTER(obs::kCluster, "cluster.fragmentation", fragmentation);
 }
 
 const RunningJob* ClusterState::find(int job_id) const {

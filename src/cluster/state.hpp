@@ -159,6 +159,9 @@ class ClusterState {
                        const std::vector<int>* touched_machines = nullptr);
   void add_flows(const RunningJob& job, int delta);
   void index_job(const RunningJob& job, bool insert);
+  /// Updates the obs gauges / trace counters that track occupancy; a
+  /// single branch when neither metrics nor cluster tracing is enabled.
+  void publish_occupancy_metrics() const;
 
   const topo::TopologyGraph* topology_;
   const perf::DlWorkloadModel* model_;

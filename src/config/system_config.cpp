@@ -39,6 +39,13 @@ util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
   if (gen.job_count < 1) {
     return util::Error{"sys-config: workload jobs must be >= 1"};
   }
+
+  config.obs.trace_out = ini.get_or("obs", "trace_out", "");
+  config.obs.metrics_out = ini.get_or("obs", "metrics_out", "");
+  config.obs.explain_out = ini.get_or("obs", "explain_out", "");
+  auto mask = obs::parse_categories(ini.get_or("obs", "categories", "all"));
+  if (!mask) return mask.error().with_context("sys-config [obs]");
+  config.obs.categories = *mask;
   return config;
 }
 
@@ -66,6 +73,12 @@ Ini SystemConfig::to_ini() const {
   ini.set("workload", "iterations", std::to_string(generator.iterations));
   ini.set("workload", "seed",
           std::to_string(static_cast<long long>(generator.seed)));
+  if (!obs.trace_out.empty()) ini.set("obs", "trace_out", obs.trace_out);
+  if (!obs.metrics_out.empty()) ini.set("obs", "metrics_out", obs.metrics_out);
+  if (!obs.explain_out.empty()) ini.set("obs", "explain_out", obs.explain_out);
+  if ((obs.categories & obs::kAllCategories) != obs::kAllCategories) {
+    ini.set("obs", "categories", obs::categories_to_string(obs.categories));
+  }
   return ini;
 }
 

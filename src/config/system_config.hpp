@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "config/ini.hpp"
+#include "obs/obs.hpp"
 #include "sched/scheduler.hpp"
 #include "topo/builders.hpp"
 #include "trace/generator.hpp"
@@ -37,6 +38,10 @@ struct SystemConfig {
   /// Run the check-subsystem self-audit after every simulated event
   /// (sched::DriverOptions::self_audit).
   bool self_audit = false;
+  /// [obs] observability sinks (DESIGN.md section 13): trace_out,
+  /// metrics_out, explain_out, categories. Empty paths leave every pillar
+  /// off; the caller applies this with obs::configure().
+  obs::ObsConfig obs;
 
   static util::Expected<SystemConfig> from_ini(const Ini& ini);
   Ini to_ini() const;

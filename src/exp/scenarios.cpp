@@ -68,14 +68,24 @@ sched::DriverReport run_policy(sched::Policy policy,
                                const topo::TopologyGraph& topology,
                                const perf::DlWorkloadModel& model,
                                sched::UtilityWeights weights,
-                               bool record_series) {
+                               bool record_series, SchedulerStats* stats) {
   const std::unique_ptr<sched::Scheduler> scheduler =
       sched::make_scheduler(policy, weights);
   sched::DriverOptions options;
   options.utility_weights = weights;
   options.record_series = record_series;
   sched::Driver driver(topology, model, *scheduler, options);
-  return driver.run(std::move(jobs));
+  sched::DriverReport report = driver.run(std::move(jobs));
+  if (stats != nullptr) {
+    *stats = SchedulerStats{};
+    if (const auto* topo_aware =
+            dynamic_cast<const sched::TopoAwareScheduler*>(scheduler.get())) {
+      stats->has_cache = true;
+      stats->cache = topo_aware->cache_stats();
+      stats->drb = topo_aware->drb_stats();
+    }
+  }
+  return report;
 }
 
 const PolicyComparison::Entry& PolicyComparison::entry(
@@ -95,8 +105,9 @@ PolicyComparison compare_policies(const std::vector<jobgraph::JobRequest>& jobs,
   for (const sched::Policy policy :
        {sched::Policy::kBestFit, sched::Policy::kFcfs,
         sched::Policy::kTopoAware, sched::Policy::kTopoAwareP}) {
-    sched::DriverReport report =
-        run_policy(policy, jobs, topology, model, weights, record_series);
+    SchedulerStats stats;
+    sched::DriverReport report = run_policy(policy, jobs, topology, model,
+                                            weights, record_series, &stats);
     PolicyComparison::Entry entry;
     entry.policy = policy;
     entry.name = std::string(sched::to_string(policy));
@@ -107,6 +118,8 @@ PolicyComparison compare_policies(const std::vector<jobgraph::JobRequest>& jobs,
     entry.events = report.events;
     entry.qos_slowdowns = report.recorder.sorted_qos_slowdowns();
     entry.qos_wait_slowdowns = report.recorder.sorted_qos_wait_slowdowns();
+    entry.sched_stats = stats;
+    entry.decision_latency_us = std::move(report.decision_latency_us);
     comparison.entries.push_back(std::move(entry));
   }
   return comparison;

@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "partition/drb.hpp"
 #include "perf/model.hpp"
 #include "sched/driver.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/topo_aware.hpp"
 #include "topo/topology.hpp"
 
 namespace gts::exp {
@@ -26,13 +29,25 @@ std::vector<jobgraph::JobRequest> table1_jobs(
     const perf::DlWorkloadModel& model, const topo::TopologyGraph& topology,
     long long iterations = 700);
 
-/// Runs one policy over a workload and returns the full report.
+/// Internal scheduler counters surfaced into BENCH documents: the
+/// placement-cache counters and DRB statistics of topology-aware runs.
+/// Both are deterministic (decision-sequence functions), so they live
+/// outside the "timing" subtree.
+struct SchedulerStats {
+  bool has_cache = false;  // true for TOPO-AWARE / TOPO-AWARE-P runs
+  sched::PlacementCacheStats cache;
+  partition::DrbStats drb;
+};
+
+/// Runs one policy over a workload and returns the full report. `stats`,
+/// when given, receives the scheduler's internal counters after the run.
 sched::DriverReport run_policy(sched::Policy policy,
                                std::vector<jobgraph::JobRequest> jobs,
                                const topo::TopologyGraph& topology,
                                const perf::DlWorkloadModel& model,
                                sched::UtilityWeights weights = {},
-                               bool record_series = true);
+                               bool record_series = true,
+                               SchedulerStats* stats = nullptr);
 
 /// Comparison across the four policies of one workload.
 struct PolicyComparison {
@@ -46,6 +61,9 @@ struct PolicyComparison {
     std::uint64_t events = 0;  // engine events fired during this run
     std::vector<double> qos_slowdowns;       // sorted descending
     std::vector<double> qos_wait_slowdowns;  // sorted descending
+    SchedulerStats sched_stats;
+    /// Per-decision latency distribution of this run (microseconds).
+    obs::HistogramData decision_latency_us;
   };
   std::vector<Entry> entries;
 

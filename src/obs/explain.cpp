@@ -1,0 +1,161 @@
+#include "obs/explain.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/obs.hpp"
+
+namespace gts::obs {
+
+namespace {
+
+thread_local DecisionScope* g_current_scope = nullptr;
+
+json::Value gpus_to_json(const std::vector<int>& gpus) {
+  json::Array out;
+  for (const int gpu : gpus) out.push_back(gpu);
+  return out;
+}
+
+}  // namespace
+
+json::Value UtilityTerms::to_json() const {
+  json::Object o;
+  o["utility"] = utility;
+  o["has_breakdown"] = has_breakdown;
+  if (has_breakdown) {
+    o["comm_cost"] = comm_cost;
+    o["comm_utility"] = comm_utility;
+    o["interference"] = interference;
+    o["frag_omega"] = frag_omega;
+    o["frag_utility"] = frag_utility;
+    o["comm_weight"] = comm_weight;
+  }
+  return o;
+}
+
+json::Value DecisionRecord::to_json() const {
+  json::Object o;
+  o["sequence"] = sequence;
+  o["sim_time"] = sim_time;
+  o["policy"] = policy;
+  o["job_id"] = job_id;
+  o["num_gpus"] = num_gpus;
+  o["min_utility"] = min_utility;
+  o["outcome"] = outcome;
+  o["gpus"] = gpus_to_json(gpus);
+  o["chosen"] = chosen.to_json();
+  o["satisfied"] = satisfied;
+  o["decision_us"] = decision_us;
+  json::Array cands;
+  for (const ExplainCandidate& candidate : candidates) {
+    json::Object c;
+    c["gpus"] = gpus_to_json(candidate.gpus);
+    c["terms"] = candidate.terms.to_json();
+    c["source"] = candidate.source;
+    cands.push_back(std::move(c));
+  }
+  o["candidates"] = std::move(cands);
+  return o;
+}
+
+ExplainLog& ExplainLog::instance() {
+  static ExplainLog* log = new ExplainLog();
+  return *log;
+}
+
+util::Status ExplainLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::Error{"explain: cannot open '" + path + "' for writing"};
+  }
+  file_ = file;
+  sequence_ = 0;
+  return util::Status::ok();
+}
+
+bool ExplainLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_ != nullptr;
+}
+
+void ExplainLog::append(DecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  record.sequence = sequence_++;
+  json::WriteOptions options;
+  options.indent = 0;
+  const std::string line = json::write(record.to_json(), options);
+  std::fputs(line.c_str(), static_cast<std::FILE*>(file_));
+  std::fputc('\n', static_cast<std::FILE*>(file_));
+}
+
+void ExplainLog::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+long long ExplainLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sequence_;
+}
+
+DecisionScope::DecisionScope(std::string policy, int job_id, int num_gpus,
+                             double min_utility, double sim_time) {
+  record_.policy = std::move(policy);
+  record_.job_id = job_id;
+  record_.num_gpus = num_gpus;
+  record_.min_utility = min_utility;
+  record_.sim_time = sim_time;
+  previous_ = g_current_scope;
+  g_current_scope = this;
+}
+
+DecisionScope::~DecisionScope() { g_current_scope = previous_; }
+
+DecisionScope* DecisionScope::current() noexcept {
+  if (!explain_enabled()) return nullptr;
+  return g_current_scope;
+}
+
+void DecisionScope::add_candidate(ExplainCandidate candidate) {
+  record_.candidates.push_back(std::move(candidate));
+}
+
+void DecisionScope::commit() {
+  if (committed_) return;
+  committed_ = true;
+  ExplainLog::instance().append(record_);
+}
+
+util::Expected<std::vector<json::Value>> read_explain_jsonl(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Error{"explain: cannot open '" + path + "'"};
+  }
+  std::vector<json::Value> records;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = json::parse(line);
+    if (!parsed) {
+      return parsed.error().with_context("explain: " + path + ":" +
+                                         std::to_string(line_no));
+    }
+    records.push_back(std::move(*parsed));
+  }
+  return records;
+}
+
+}  // namespace gts::obs

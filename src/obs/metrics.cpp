@@ -1,0 +1,304 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gts::obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (portable to pre-C++20 ABIs).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected && !target.compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected && !target.compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::span<const double> latency_bounds_us() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    b.push_back(1e7);
+    return b;
+  }();
+  return bounds;
+}
+
+std::span<const double> depth_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double d = 1.0; d <= 24.0; d += 1.0) b.push_back(d);
+    return b;
+  }();
+  return bounds;
+}
+
+std::span<const double> cost_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double v = 1.0; v <= 1.1e6; v *= 2.0) b.push_back(v);
+    return b;
+  }();
+  return bounds;
+}
+
+HistogramData::HistogramData(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), counts_(bounds.size() + 1, 0) {}
+
+void HistogramData::record(double value) noexcept {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count_ == 0) return;
+  if (bounds_ == other.bounds_) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return;
+  }
+  // Layout mismatch: re-bucket by bound midpoints (lossy, diagnostics only).
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    const double representative =
+        i < other.bounds_.size() ? other.bounds_[i] : other.max_;
+    for (long long k = 0; k < other.counts_[i]; ++k) record(representative);
+  }
+}
+
+void HistogramData::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double HistogramData::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const long long next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      if (i >= bounds_.size()) return max_;  // overflow bucket
+      const double lower =
+          i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+json::Value HistogramData::to_json() const {
+  json::Object o;
+  o["count"] = count_;
+  o["sum"] = sum_;
+  o["mean"] = mean();
+  o["min"] = min();
+  o["max"] = max();
+  o["p50"] = percentile(0.50);
+  o["p95"] = percentile(0.95);
+  json::Array bounds;
+  for (const double bound : bounds_) bounds.push_back(bound);
+  o["bounds"] = std::move(bounds);
+  json::Array counts;
+  for (const long long count : counts_) counts.push_back(count);
+  o["counts"] = std::move(counts);
+  return o;
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.empty()
+                  ? std::vector<double>(latency_bounds_us().begin(),
+                                        latency_bounds_us().end())
+                  : std::vector<double>(bounds.begin(), bounds.end())),
+      counts_(bounds_.size() + 1) {}
+
+void Histogram::record(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  const long long before = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  if (before == 0) {
+    // First sample initializes the extrema (benign race with concurrent
+    // first samples: both run the CAS loops below as well).
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData data{std::span<const double>(bounds_)};
+  long long total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    data.counts_[i] = counts_[i].load(std::memory_order_relaxed);
+    total += data.counts_[i];
+  }
+  data.count_ = total;
+  data.sum_ = sum_.load(std::memory_order_relaxed);
+  data.min_ = min_.load(std::memory_order_relaxed);
+  data.max_ = max_.load(std::memory_order_relaxed);
+  return data;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::size_t Registry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+json::Value Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = counter->value();
+  }
+  json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = gauge->value();
+  }
+  json::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    histograms[name] = histogram->snapshot().to_json();
+  }
+  json::Object doc;
+  doc["counters"] = std::move(counters);
+  doc["gauges"] = std::move(gauges);
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+json::Value metrics_document() {
+  json::Object doc;
+  doc["schema_version"] = 1;
+  doc["kind"] = "metrics";
+  doc["metrics"] = Registry::instance().snapshot_json();
+  return doc;
+}
+
+util::Status write_metrics_json(const std::string& path) {
+  json::WriteOptions options;
+  options.indent = 2;
+  return json::write_file(metrics_document(), path, options);
+}
+
+util::Status validate_metrics_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return util::Error{"metrics: document is not an object"};
+  }
+  if (doc.at("schema_version").as_int(-1) != 1) {
+    return util::Error{"metrics: schema_version missing or unsupported"};
+  }
+  if (doc.at("kind").as_string() != "metrics") {
+    return util::Error{"metrics: kind must be 'metrics'"};
+  }
+  const json::Value& metrics = doc.at("metrics");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!metrics.at(section).is_object()) {
+      return util::Error{std::string("metrics: missing section ") + section};
+    }
+  }
+  for (const auto& [name, histogram] : metrics.at("histograms").as_object()) {
+    const std::size_t bounds = histogram.at("bounds").as_array().size();
+    const std::size_t counts = histogram.at("counts").as_array().size();
+    if (counts != bounds + 1) {
+      return util::Error{"metrics: histogram '" + name +
+                         "' counts must have bounds+1 entries"};
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace gts::obs

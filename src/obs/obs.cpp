@@ -1,0 +1,201 @@
+#include "obs/obs.hpp"
+
+#include <mutex>
+
+#include "obs/explain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace gts::obs {
+
+namespace detail {
+std::atomic<unsigned> trace_mask{0};
+std::atomic<bool> metrics_on{false};
+std::atomic<bool> explain_on{false};
+}  // namespace detail
+
+namespace {
+
+std::mutex g_config_mutex;
+ObsConfig g_config;
+bool g_log_sink_installed = false;
+
+/// Mirrors every emitted log line into the trace timeline (kLog instants)
+/// while keeping the default stderr output.
+void install_log_mirror_sink() {
+  util::Logger::instance().set_sink(
+      [](util::LogLevel level, std::string_view component,
+         std::string_view message) {
+        util::Logger::write_stderr(level, component, message);
+        std::string text;
+        text.reserve(component.size() + message.size() + 16);
+        text.append("[").append(util::to_string(level)).append("] ");
+        text.append(component).append(": ").append(message);
+        trace_instant_text(kLog, "log.line", std::move(text));
+      });
+  g_log_sink_installed = true;
+}
+
+void remove_log_mirror_sink() {
+  if (!g_log_sink_installed) return;
+  util::Logger::instance().set_sink({});
+  g_log_sink_installed = false;
+}
+
+constexpr struct {
+  Category category;
+  std::string_view name;
+} kCategoryNames[] = {
+    {kSched, "sched"},     {kSim, "sim"},         {kDrb, "drb"},
+    {kFm, "fm"},           {kCache, "cache"},     {kRunner, "runner"},
+    {kCluster, "cluster"}, {kBench, "bench"},     {kLog, "log"},
+};
+
+}  // namespace
+
+std::string_view category_name(Category category) noexcept {
+  for (const auto& entry : kCategoryNames) {
+    if (entry.category == category) return entry.name;
+  }
+  return "other";
+}
+
+std::string categories_to_string(unsigned mask) {
+  if ((mask & kAllCategories) == kAllCategories) return "all";
+  std::string spec;
+  for (const auto& entry : kCategoryNames) {
+    if ((mask & static_cast<unsigned>(entry.category)) == 0u) continue;
+    if (!spec.empty()) spec += ',';
+    spec += entry.name;
+  }
+  return spec;
+}
+
+util::Expected<unsigned> parse_categories(const std::string& spec) {
+  const std::string lower = util::to_lower(spec);
+  if (lower.empty() || lower == "all") return kAllCategories;
+  unsigned mask = 0;
+  for (const std::string& token : util::split(lower, ',')) {
+    if (token.empty()) continue;
+    bool found = false;
+    for (const auto& entry : kCategoryNames) {
+      if (entry.name == token) {
+        mask |= static_cast<unsigned>(entry.category);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return util::Error{"unknown obs category '" + token + "'"};
+    }
+  }
+  if (mask == 0) return util::Error{"obs categories: empty selection"};
+  return mask;
+}
+
+util::Status configure(const ObsConfig& config) {
+  ObsConfig effective = config;
+  // A non-empty output path implies its pillar.
+  if (!effective.trace_out.empty()) effective.tracing = true;
+  if (!effective.metrics_out.empty()) effective.metrics = true;
+  if (!effective.explain_out.empty()) effective.explain = true;
+
+  if (effective.explain && !effective.explain_out.empty()) {
+    if (auto status = ExplainLog::instance().open(effective.explain_out);
+        !status) {
+      return status;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_config = effective;
+  }
+  detail::trace_mask.store(
+      effective.tracing ? (effective.categories & kCompiledCategories) : 0u,
+      std::memory_order_relaxed);
+  detail::metrics_on.store(effective.metrics, std::memory_order_relaxed);
+  detail::explain_on.store(
+      effective.explain && ExplainLog::instance().is_open(),
+      std::memory_order_relaxed);
+  if (tracing_enabled(kLog)) {
+    install_log_mirror_sink();
+  } else {
+    remove_log_mirror_sink();
+  }
+  return util::Status::ok();
+}
+
+ObsConfig config() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  return g_config;
+}
+
+util::Expected<std::vector<std::string>> finalize() {
+  const ObsConfig current = config();
+  std::vector<std::string> written;
+  if (!current.trace_out.empty()) {
+    if (auto status = write_trace_json(current.trace_out); !status) {
+      return status.error();
+    }
+    written.push_back(current.trace_out);
+  }
+  if (!current.metrics_out.empty()) {
+    if (auto status = write_metrics_json(current.metrics_out); !status) {
+      return status.error();
+    }
+    written.push_back(current.metrics_out);
+  }
+  if (ExplainLog::instance().is_open()) {
+    ExplainLog::instance().close();
+    if (!current.explain_out.empty()) written.push_back(current.explain_out);
+  }
+  return written;
+}
+
+void reset() {
+  detail::trace_mask.store(0u, std::memory_order_relaxed);
+  detail::metrics_on.store(false, std::memory_order_relaxed);
+  detail::explain_on.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_config = ObsConfig{};
+  }
+  remove_log_mirror_sink();
+  ExplainLog::instance().close();
+  clear_trace();
+  Registry::instance().reset();
+}
+
+void add_cli_flags(util::CliParser& cli) {
+  cli.add_option("trace-out",
+                 "write a Chrome trace_event JSON here (enables tracing)",
+                 "");
+  cli.add_option("metrics-out",
+                 "write the metrics-registry snapshot here (enables metrics)",
+                 "");
+  cli.add_option("explain-out",
+                 "write per-decision explain JSONL here (enables explain)",
+                 "");
+  cli.add_option("obs-categories",
+                 "trace categories, e.g. 'sched,drb' (default: all)", "");
+}
+
+util::Status configure_from_cli(const util::CliParser& cli) {
+  ObsConfig obs_config;
+  obs_config.trace_out = cli.get("trace-out");
+  obs_config.metrics_out = cli.get("metrics-out");
+  obs_config.explain_out = cli.get("explain-out");
+  const auto mask = parse_categories(cli.get("obs-categories"));
+  if (!mask) return mask.error();
+  obs_config.categories = *mask;
+  if (obs_config.trace_out.empty() && obs_config.metrics_out.empty() &&
+      obs_config.explain_out.empty()) {
+    return util::Status::ok();  // observability not requested
+  }
+  return configure(obs_config);
+}
+
+}  // namespace gts::obs

@@ -1,0 +1,284 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gts::obs {
+
+namespace {
+
+/// Per-thread event buffer. Buffers are owned by the global registry (so
+/// export can see finished threads' events) and capped to keep runaway
+/// instrumented loops from exhausting memory.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  std::size_t dropped = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* instance = new BufferRegistry();
+  return *instance;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    created->tid = reg.next_tid++;
+    reg.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+/// Trace epoch: first use of the clock. steady_clock keeps durations
+/// monotonic; the exported ts values are relative microseconds.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+namespace detail {
+
+const double*& sim_clock() noexcept {
+  thread_local const double* clock = nullptr;
+  return clock;
+}
+
+std::int64_t now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void emit(const TraceEvent& event) {
+  ThreadBuffer& buffer = thread_buffer();
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+}  // namespace detail
+
+namespace {
+
+void emit_point(Category category, const char* name,
+                TraceEvent::Phase phase) noexcept {
+  if (!tracing_enabled(category)) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = phase;
+  event.ts_us = detail::now_us();
+  event.sim_s = detail::sim_clock() != nullptr ? *detail::sim_clock() : -1.0;
+  detail::emit(event);
+}
+
+}  // namespace
+
+void trace_begin(Category category, const char* name) noexcept {
+  emit_point(category, name, TraceEvent::Phase::kBegin);
+}
+
+void trace_end(Category category, const char* name) noexcept {
+  emit_point(category, name, TraceEvent::Phase::kEnd);
+}
+
+void trace_instant(Category category, const char* name) noexcept {
+  emit_point(category, name, TraceEvent::Phase::kInstant);
+}
+
+void trace_instant(Category category, const char* name, const char* key,
+                   double value) noexcept {
+  if (!tracing_enabled(category)) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.ts_us = detail::now_us();
+  event.sim_s = detail::sim_clock() != nullptr ? *detail::sim_clock() : -1.0;
+  event.args[0] = {key, value};
+  event.arg_count = 1;
+  detail::emit(event);
+}
+
+void trace_instant_text(Category category, const char* name,
+                        std::string text) {
+  if (!tracing_enabled(category)) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.ts_us = detail::now_us();
+  event.sim_s = detail::sim_clock() != nullptr ? *detail::sim_clock() : -1.0;
+  event.text = std::move(text);
+  detail::emit(event);
+}
+
+void trace_counter(Category category, const char* name,
+                   double value) noexcept {
+  if (!tracing_enabled(category)) return;
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = TraceEvent::Phase::kCounter;
+  event.ts_us = detail::now_us();
+  event.sim_s = detail::sim_clock() != nullptr ? *detail::sim_clock() : -1.0;
+  event.args[0] = {"value", value};
+  event.arg_count = 1;
+  detail::emit(event);
+}
+
+std::size_t trace_event_count() {
+  BufferRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : reg.buffers) total += buffer->events.size();
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  BufferRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : reg.buffers) total += buffer->dropped;
+  return total;
+}
+
+void clear_trace() {
+  BufferRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buffer : reg.buffers) {
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+json::Value trace_to_json() {
+  // Snapshot under the registry lock; serialization happens outside it.
+  std::vector<std::shared_ptr<ThreadBuffer>> snapshot;
+  {
+    BufferRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    snapshot = reg.buffers;
+  }
+
+  json::Array events;
+  // Metadata: one process, named threads.
+  {
+    json::Object meta;
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = 0;
+    json::Object args;
+    args["name"] = "gpu-topo-sched";
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+  for (const auto& buffer : snapshot) {
+    json::Object meta;
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = static_cast<long long>(buffer->tid);
+    json::Object args;
+    args["name"] = "thread-" + std::to_string(buffer->tid);
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+
+  for (const auto& buffer : snapshot) {
+    for (const TraceEvent& event : buffer->events) {
+      json::Object o;
+      o["name"] = event.name != nullptr ? event.name : "?";
+      o["cat"] = std::string(category_name(event.category));
+      o["ph"] = std::string(1, static_cast<char>(event.phase));
+      o["ts"] = static_cast<double>(event.ts_us);
+      if (event.phase == TraceEvent::Phase::kComplete) {
+        o["dur"] = static_cast<double>(event.dur_us);
+      }
+      if (event.phase == TraceEvent::Phase::kInstant) {
+        o["s"] = "t";  // thread-scoped instant
+      }
+      o["pid"] = 1;
+      o["tid"] = static_cast<long long>(buffer->tid);
+      json::Object args;
+      if (event.sim_s >= 0.0) args["sim_s"] = event.sim_s;
+      for (int i = 0; i < event.arg_count; ++i) {
+        args[event.args[i].key] = event.args[i].value;
+      }
+      if (!event.text.empty()) args["text"] = event.text;
+      if (!args.empty()) o["args"] = std::move(args);
+      events.push_back(std::move(o));
+    }
+  }
+
+  json::Object doc;
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  const std::size_t dropped = trace_dropped_count();
+  if (dropped > 0) {
+    json::Object meta;
+    meta["dropped_events"] = static_cast<long long>(dropped);
+    doc["metadata"] = std::move(meta);
+  }
+  return doc;
+}
+
+util::Status write_trace_json(const std::string& path) {
+  json::WriteOptions options;
+  options.indent = 0;  // traces are large; compact on purpose
+  return json::write_file(trace_to_json(), path, options);
+}
+
+util::Status validate_trace_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return util::Error{"trace: document is not an object"};
+  }
+  const json::Value& events = doc.at("traceEvents");
+  if (!events.is_array()) {
+    return util::Error{"trace: missing traceEvents array"};
+  }
+  for (const json::Value& event : events.as_array()) {
+    if (!event.is_object()) {
+      return util::Error{"trace: event is not an object"};
+    }
+    if (!event.at("name").is_string() || !event.at("ph").is_string() ||
+        event.at("ph").as_string().size() != 1) {
+      return util::Error{"trace: event missing name/ph"};
+    }
+    if (!event.contains("pid") || !event.contains("tid")) {
+      return util::Error{"trace: event missing pid/tid"};
+    }
+    const std::string& phase = event.at("ph").as_string();
+    if (phase == "M") continue;  // metadata events carry no ts
+    if (!event.at("ts").is_number()) {
+      return util::Error{"trace: event missing ts"};
+    }
+    if (phase == "X" && !event.at("dur").is_number()) {
+      return util::Error{"trace: complete event missing dur"};
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace gts::obs

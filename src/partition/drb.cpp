@@ -4,6 +4,8 @@
 #include <set>
 
 #include "check/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include "partition/fm.hpp"
 
@@ -314,7 +316,15 @@ std::vector<int> physical_bipartition(const std::vector<int>& gpus,
     for (int i = 0; i < n / 2; ++i) initial[static_cast<size_t>(i)] = 0;
   }
 
+  obs::SpanGuard fm_span(obs::kFm, "fm.bipartition");
+  fm_span.arg("vertices", n);
   FmResult fm = fm_bipartition(graph, std::move(initial), FmOptions{});
+  fm_span.arg("passes", fm.passes)
+      .arg("cut", fm.cut_weight)
+      .arg("gain", fm.initial_cut - fm.cut_weight);
+  GTS_METRIC_COUNT("drb.bipartitions", 1);
+  GTS_METRIC_COUNT("fm.passes", fm.passes);
+  GTS_METRIC_HISTOGRAM("drb.cut_cost", fm.cut_weight, obs::cost_bounds());
   if (stats != nullptr) {
     ++stats->bipartitions;
     stats->fm_passes += fm.passes;

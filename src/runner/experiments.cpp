@@ -10,6 +10,28 @@ namespace gts::runner {
 
 namespace {
 
+/// Deterministic scheduler-internal counters (cache + DRB); lives outside
+/// the "timing" subtree on purpose — the counters are pure functions of
+/// the decision sequence.
+json::Value scheduler_stats_json(const exp::SchedulerStats& stats) {
+  json::Object o;
+  o["has_cache"] = stats.has_cache;
+  if (stats.has_cache) {
+    json::Object cache;
+    cache["lookups"] = stats.cache.lookups;
+    cache["hits"] = stats.cache.hits;
+    cache["invalidations"] = stats.cache.invalidations;
+    cache["hit_rate"] = stats.cache.hit_rate();
+    o["cache"] = std::move(cache);
+    json::Object drb;
+    drb["bipartitions"] = stats.drb.bipartitions;
+    drb["fm_passes"] = stats.drb.fm_passes;
+    drb["max_depth"] = stats.drb.max_depth;
+    o["drb"] = std::move(drb);
+  }
+  return o;
+}
+
 json::Value policy_entry_json(const exp::PolicyComparison::Entry& entry,
                               bool include_curves) {
   const metrics::Summary qos = metrics::summarize(entry.qos_slowdowns);
@@ -23,10 +45,12 @@ json::Value policy_entry_json(const exp::PolicyComparison::Entry& entry,
   o["qos_wait_mean"] = wait.mean;
   o["qos_wait_p95"] = wait.p95;
   o["mean_wait_s"] = entry.mean_waiting;
+  o["sched_stats"] = scheduler_stats_json(entry.sched_stats);
   // Wall-clock measurement: reserved "timing" subtree, excluded from the
   // determinism contract (see runner::kTimingKey).
   json::Object timing;
   timing["mean_decision_us"] = entry.mean_decision_us;
+  timing["decision_latency_us"] = entry.decision_latency_us.to_json();
   o[kTimingKey] = std::move(timing);
   if (include_curves) {
     json::Array qos_curve;
@@ -41,9 +65,8 @@ json::Value policy_entry_json(const exp::PolicyComparison::Entry& entry,
 
 }  // namespace
 
-json::Value large_scale_payload(const exp::LargeScaleOptions& options,
-                                bool include_curves) {
-  const exp::PolicyComparison comparison = exp::run_large_scale(options);
+json::Value policy_comparison_payload(const exp::PolicyComparison& comparison,
+                                      bool include_curves) {
   json::Object payload;
   double events = 0.0;
   json::Object policies;
@@ -54,6 +77,12 @@ json::Value large_scale_payload(const exp::LargeScaleOptions& options,
   payload["events"] = events;
   payload["policies"] = std::move(policies);
   return payload;
+}
+
+json::Value large_scale_payload(const exp::LargeScaleOptions& options,
+                                bool include_curves) {
+  return policy_comparison_payload(exp::run_large_scale(options),
+                                   include_curves);
 }
 
 SweepResult run_large_scale_sweep(const LargeScaleSweepConfig& config) {
@@ -136,12 +165,15 @@ json::Value fig8_payload() {
   for (const sched::Policy policy :
        {sched::Policy::kBestFit, sched::Policy::kFcfs,
         sched::Policy::kTopoAware, sched::Policy::kTopoAwareP}) {
+    exp::SchedulerStats stats;
     const sched::DriverReport report =
-        exp::run_policy(policy, jobs, minsky, model);
+        exp::run_policy(policy, jobs, minsky, model, {},
+                        /*record_series=*/true, &stats);
     json::Object entry;
     entry["cumulative_time_s"] = report.recorder.makespan();
     entry["slo_violations"] = report.recorder.slo_violations();
     entry["mean_wait_s"] = report.recorder.mean_waiting_time();
+    entry["sched_stats"] = scheduler_stats_json(stats);
     json::Array job_array;
     for (const cluster::JobRecord& record : report.recorder.records()) {
       json::Object job;

@@ -24,6 +24,13 @@ namespace gts::runner {
 json::Value large_scale_payload(const exp::LargeScaleOptions& options,
                                 bool include_curves = false);
 
+/// Flattens a finished four-policy comparison into the standard payload
+/// object described above: per-policy QoS metrics, deterministic
+/// "sched_stats" (cache + DRB counters), and a "timing" subtree carrying
+/// the mean decision latency plus the full per-decision histogram.
+json::Value policy_comparison_payload(const exp::PolicyComparison& comparison,
+                                      bool include_curves = false);
+
 struct LargeScaleSweepConfig {
   std::string name = "fig10";   // BENCH_<name>.json
   int machines = 5;

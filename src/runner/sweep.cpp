@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "check/check.hpp"
+#include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "util/strings.hpp"
 
@@ -108,6 +109,10 @@ SweepResult run_sweep(const SweepOptions& options, const ReplicaFn& fn) {
       Replica& slot = result.replicas[static_cast<size_t>(index)];
       slot.scenario_index = scenario_index;
       slot.seed = context.seed;
+      obs::SpanGuard replica_span(obs::kRunner, "runner.replica");
+      replica_span.arg("scenario", scenario_index)
+          .arg("seed", static_cast<double>(context.seed))
+          .arg("replica", index);
       try {
         slot.payload = fn(context);
       } catch (...) {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "check/audit.hpp"
 #include "check/check.hpp"
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gts::sched {
@@ -114,6 +117,8 @@ void Driver::arm_completion_event() {
 
 void Driver::scheduling_pass() {
   const double now = engine_.now();
+  obs::SpanGuard pass_span(obs::kSched, "sched.pass");
+  pass_span.arg("queue", static_cast<double>(queue_.size()));
 
   // Algorithm 1: offer queued jobs oldest-first while resources remain.
   bool placed_any = false;
@@ -127,15 +132,37 @@ void Driver::scheduling_pass() {
     }
     const jobgraph::JobRequest& request = it->request;
 
+    obs::SpanGuard decision_span(obs::kSched, "sched.decide");
+    decision_span.arg("job", request.id)
+        .arg("gpus", request.num_gpus);
+    std::optional<obs::DecisionScope> explain_scope;
+    if (obs::explain_enabled()) {
+      explain_scope.emplace(scheduler_.name(), request.id, request.num_gpus,
+                            request.min_utility, now);
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     std::optional<Placement> placement = scheduler_.place(request, state_);
     const auto t1 = std::chrono::steady_clock::now();
-    report_.decision_seconds +=
+    const double decision_seconds =
         std::chrono::duration<double>(t1 - t0).count();
+    report_.decision_seconds += decision_seconds;
     ++report_.decision_count;
+    const double decision_us = decision_seconds * 1e6;
+    report_.decision_latency_us.record(decision_us);
+    GTS_METRIC_COUNT("sched.decisions", 1);
+    GTS_METRIC_HISTOGRAM("sched.decision_latency_us", decision_us,
+                         obs::latency_bounds_us());
 
     if (!placement) {
       it->attempted_version = capacity_version_;
+      GTS_METRIC_COUNT("sched.declines", 1);
+      if (explain_scope) {
+        explain_scope->record().outcome =
+            scheduler_.blocking_queue() ? "postponed" : "declined";
+        explain_scope->record().decision_us = decision_us;
+        explain_scope->commit();
+      }
       if (scheduler_.blocking_queue()) break;  // strict FIFO head blocking
       ++it;
       continue;
@@ -151,10 +178,31 @@ void Driver::scheduling_pass() {
       utility =
           shared_utility_.placement_utility(request, placement->gpus, state_);
     }
+    if (explain_scope) {
+      // Eq. 3/4/5 breakdown of the chosen mapping, evaluated against the
+      // pre-placement state (interference looks at the disturbed jobs).
+      const UtilityBreakdown breakdown =
+          shared_utility_.evaluate(request, placement->gpus, state_);
+      obs::DecisionRecord& record = explain_scope->record();
+      record.outcome = "placed";
+      record.gpus = placement->gpus;
+      record.satisfied = placement->satisfied;
+      record.decision_us = decision_us;
+      record.chosen.comm_cost = breakdown.comm_cost;
+      record.chosen.comm_utility = breakdown.comm_utility;
+      record.chosen.interference = breakdown.interference;
+      record.chosen.frag_omega = breakdown.frag_omega;
+      record.chosen.frag_utility = breakdown.frag_utility;
+      record.chosen.comm_weight = breakdown.comm_weight;
+      record.chosen.utility = utility != 0.0 ? utility : breakdown.utility;
+      record.chosen.has_breakdown = true;
+      explain_scope->commit();
+    }
     state_.place(request, placement->gpus, now, utility);
     const cluster::RunningJob* running = state_.find(request.id);
     report_.recorder.on_place(request.id, now, placement->gpus, utility,
                               running != nullptr && running->p2p);
+    GTS_METRIC_COUNT("sched.placements", 1);
     it = queue_.erase(it);
     placed_any = true;
   }

@@ -12,6 +12,7 @@
 
 #include "cluster/recorder.hpp"
 #include "cluster/state.hpp"
+#include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 
@@ -42,6 +43,11 @@ struct DriverReport {
   /// the number of placement attempts (Section 5.5.3).
   double decision_seconds = 0.0;
   long long decision_count = 0;
+  /// Per-decision latency distribution (microseconds), recorded for every
+  /// run — this is the report-local histogram bench_overhead aggregates;
+  /// the obs registry histogram "sched.decision_latency_us" is only fed
+  /// when metrics are enabled.
+  obs::HistogramData decision_latency_us;
   double mean_decision_seconds() const {
     return decision_count == 0 ? 0.0
                                : decision_seconds /

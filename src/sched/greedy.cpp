@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
+
 namespace gts::sched {
 
 namespace {
@@ -16,6 +19,12 @@ std::optional<Placement> place_on_machine_gpus(std::vector<int> gpus,
   gpus.resize(static_cast<size_t>(num_gpus));
   Placement placement;
   placement.gpus = std::move(gpus);
+  if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+    obs::ExplainCandidate candidate;
+    candidate.gpus = placement.gpus;
+    candidate.source = "greedy";
+    scope->add_candidate(std::move(candidate));
+  }
   return placement;
 }
 
@@ -23,6 +32,7 @@ std::optional<Placement> place_on_machine_gpus(std::vector<int> gpus,
 
 std::optional<Placement> FcfsScheduler::place(
     const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  GTS_TRACE_SPAN(obs::kSched, "fcfs.place");
   const topo::TopologyGraph& topology = state.topology();
   // First machine that fits, lowest GPU ids first.
   for (int machine = 0; machine < topology.machine_count(); ++machine) {
@@ -43,6 +53,7 @@ std::optional<Placement> FcfsScheduler::place(
 
 std::optional<Placement> BestFitScheduler::place(
     const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  GTS_TRACE_SPAN(obs::kSched, "bestfit.place");
   const topo::TopologyGraph& topology = state.topology();
 
   // Tightest machine that fits.

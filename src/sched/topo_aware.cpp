@@ -5,6 +5,10 @@
 #include <map>
 #include <set>
 
+#include "obs/explain.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gts::sched {
 
 namespace {
@@ -193,6 +197,8 @@ std::string placement_cache_key(const jobgraph::JobRequest& request,
 
 std::optional<Placement> TopoAwareScheduler::place(
     const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
+  obs::SpanGuard span(obs::kSched, "topo.place");
+  span.arg("job", request.id).arg("gpus", request.num_gpus);
   std::optional<Placement> placement;
   if (request.profile.single_node && !request.profile.anti_collocate &&
       state.topology().machine_count() > direct_drb_machine_limit) {
@@ -220,6 +226,9 @@ std::optional<Placement> drb_place(const jobgraph::JobRequest& request,
                                    const cluster::ClusterState& state,
                                    const UtilityModel& utility,
                                    partition::DrbStats* stats) {
+  obs::SpanGuard span(obs::kDrb, "drb.map");
+  span.arg("tasks", request.num_gpus)
+      .arg("available", static_cast<double>(available.size()));
   const TaskUtility callbacks(request, state, utility);
   partition::DrbOptions options;
   options.span = span_mode(request.profile);
@@ -230,12 +239,24 @@ std::optional<Placement> drb_place(const jobgraph::JobRequest& request,
     stats->fm_passes += result.stats.fm_passes;
     stats->max_depth = std::max(stats->max_depth, result.stats.max_depth);
   }
+  span.arg("bipartitions", static_cast<double>(result.stats.bipartitions))
+      .arg("depth", static_cast<double>(result.stats.max_depth));
+  GTS_METRIC_HISTOGRAM("drb.depth",
+                       static_cast<double>(result.stats.max_depth),
+                       obs::depth_bounds());
   if (!result.complete) return std::nullopt;
 
   Placement placement;
   placement.gpus = result.assignment;
   placement.utility = utility.placement_utility(request, placement.gpus, state);
   placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
+  if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+    obs::ExplainCandidate candidate;
+    candidate.gpus = placement.gpus;
+    candidate.terms.utility = placement.utility;
+    candidate.source = "drb";
+    scope->add_candidate(std::move(candidate));
+  }
   return placement;
 }
 
@@ -253,6 +274,8 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
       cache_version_ != state.allocation_version()) {
     if (!cache_.empty()) {
       ++cache_stats_.invalidations;
+      GTS_METRIC_COUNT("cache.invalidations", 1);
+      GTS_TRACE_INSTANT(obs::kCache, "cache.flush");
       cache_.clear();
     }
     cache_state_id_ = state.instance_id();
@@ -261,13 +284,23 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
 
   const std::string key = placement_cache_key(request, available);
   ++cache_stats_.lookups;
+  GTS_METRIC_COUNT("cache.lookups", 1);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++cache_stats_.hits;
+    GTS_METRIC_COUNT("cache.hits", 1);
+    GTS_TRACE_INSTANT(obs::kCache, "cache.hit", "job", request.id);
     if (!it->second.mapped) return std::nullopt;
     Placement placement;
     placement.gpus = it->second.gpus;
     placement.utility = it->second.utility;
     placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
+    if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+      obs::ExplainCandidate candidate;
+      candidate.gpus = placement.gpus;
+      candidate.terms.utility = placement.utility;
+      candidate.source = "cache";
+      scope->add_candidate(std::move(candidate));
+    }
     return placement;
   }
 
@@ -331,8 +364,17 @@ std::optional<Placement> TopoAwareScheduler::place_on_best_machine(
   for (const Candidate& candidate : candidates) {
     const std::vector<int> free = state.free_gpus_of_machine(candidate.machine);
     std::optional<Placement> placement = map_onto(request, free, state);
-    if (placement && (!best || placement->utility > best->utility)) {
-      best = std::move(placement);
+    if (placement) {
+      if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+        obs::ExplainCandidate explain;
+        explain.gpus = placement->gpus;
+        explain.terms.utility = placement->utility;
+        explain.source = "best-machine:" + std::to_string(candidate.machine);
+        scope->add_candidate(std::move(explain));
+      }
+      if (!best || placement->utility > best->utility) {
+        best = std::move(placement);
+      }
     }
   }
   return best;

@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
 #include "check/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gts::sim {
 
@@ -34,7 +36,11 @@ bool Engine::step() {
     handlers_.erase(it);
     now_ = entry.when;
     ++fired_;
-    handler();
+    {
+      GTS_TRACE_SPAN(obs::kSim, "sim.event");
+      GTS_METRIC_COUNT("sim.events", 1);
+      handler();
+    }
     if (post_event_hook_) post_event_hook_();
     return true;
   }
@@ -42,12 +48,15 @@ bool Engine::step() {
 }
 
 std::uint64_t Engine::run(std::uint64_t limit) {
+  // Spans recorded while the engine runs carry the simulated time too.
+  obs::SimClockScope sim_clock(&now_);
   std::uint64_t count = 0;
   while (count < limit && step()) ++count;
   return count;
 }
 
 void Engine::run_until(Time until) {
+  obs::SimClockScope sim_clock(&now_);
   while (!queue_.empty()) {
     // Peek past cancelled entries.
     Entry entry = queue_.top();

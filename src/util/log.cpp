@@ -1,6 +1,9 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
 
 namespace gts::util {
 
@@ -22,19 +25,106 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
+Expected<LogLevel> parse_log_level(std::string_view text) {
+  const std::string lower = to_lower(trim(text));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return Error{"unknown log level '" + std::string(text) + "'"};
+}
+
+Logger::Logger() {
+  if (const char* spec = std::getenv("GTS_LOG");
+      spec != nullptr && spec[0] != '\0') {
+    if (const Status status = configure_from_spec(spec); !status) {
+      std::fprintf(stderr, "[WARN] log: ignoring GTS_LOG: %s\n",
+                   status.error().message.c_str());
+    }
+  }
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
-void Logger::write(LogLevel level, std::string_view component,
-                   std::string_view message) {
+bool Logger::enabled(LogLevel level, std::string_view component) const {
+  if (!has_overrides_) return enabled(level);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = component_levels_.find(component);
+      it != component_levels_.end()) {
+    return static_cast<int>(level) >= static_cast<int>(it->second);
+  }
+  return enabled(level);
+}
+
+void Logger::set_component_level(std::string_view component, LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  component_levels_.insert_or_assign(std::string(component), level);
+  has_overrides_ = true;
+}
+
+void Logger::clear_component_levels() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  component_levels_.clear();
+  has_overrides_ = false;
+}
+
+Status Logger::configure_from_spec(std::string_view spec) {
+  // Parse fully before applying so a bad token leaves the logger unchanged.
+  std::optional<LogLevel> global;
+  std::vector<std::pair<std::string, LogLevel>> overrides;
+  for (const std::string& token : split(spec, ',')) {
+    const std::string_view trimmed = trim(token);
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      const auto level = parse_log_level(trimmed);
+      if (!level) return level.error();
+      global = *level;
+      continue;
+    }
+    const std::string_view component = trim(trimmed.substr(0, eq));
+    if (component.empty()) {
+      return Error{"log spec: empty component in '" + std::string(trimmed) +
+                   "'"};
+    }
+    const auto level = parse_log_level(trimmed.substr(eq + 1));
+    if (!level) return level.error();
+    overrides.emplace_back(std::string(component), *level);
+  }
+  if (global) level_ = *global;
+  for (const auto& [component, level] : overrides) {
+    set_component_level(component, level);
+  }
+  return Status::ok();
+}
+
+void Logger::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::write_stderr(LogLevel level, std::string_view component,
+                          std::string_view message) {
   std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
                static_cast<int>(to_string(level).size()),
                to_string(level).data(), static_cast<int>(component.size()),
                component.data(), static_cast<int>(message.size()),
                message.data());
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_) {
+    sink_(level, component, message);
+  } else {
+    write_stderr(level, component, message);
+  }
 }
 
 }  // namespace gts::util

@@ -3,12 +3,23 @@
 // The library is deterministic and single-threaded by design (the
 // discrete-event simulator owns time), but the logger is still guarded by a
 // mutex so that example programs may log from worker threads safely.
+//
+// Output is pluggable: set_sink() replaces the stderr writer (the obs layer
+// uses this to mirror log lines into the trace timeline), and per-component
+// level overrides allow e.g. GTS_LOG=sched=debug,fm=trace to open up two
+// components without drowning in the rest. The GTS_LOG environment variable
+// is applied on first use; its grammar is a comma list of either a bare
+// level (the global threshold) or "<component>=<level>".
 #pragma once
 
+#include <functional>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "util/expected.hpp"
 
 namespace gts::util {
 
@@ -24,25 +35,61 @@ enum class LogLevel : int {
 /// Returns the short uppercase tag for a level ("INFO", "WARN", ...).
 std::string_view to_string(LogLevel level) noexcept;
 
-/// Global logger. Writes to stderr; level filter is process-wide.
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off".
+Expected<LogLevel> parse_log_level(std::string_view text);
+
+/// Receives every emitted line. Installed via Logger::set_sink.
+using LogSink =
+    std::function<void(LogLevel, std::string_view /*component*/,
+                       std::string_view /*message*/)>;
+
+/// Global logger. Writes to stderr by default; level filter is process-wide
+/// with optional per-component overrides.
 class Logger {
  public:
   static Logger& instance();
 
   void set_level(LogLevel level) noexcept { level_ = level; }
   LogLevel level() const noexcept { return level_; }
+
+  /// Global-threshold check (cheap pre-filter; ignores overrides).
   bool enabled(LogLevel level) const noexcept {
     return static_cast<int>(level) >= static_cast<int>(level_);
   }
 
-  /// Emit one line: "[LEVEL] component: message".
+  /// Effective check for one component: the component's override wins over
+  /// the global threshold when present.
+  bool enabled(LogLevel level, std::string_view component) const;
+
+  /// Per-component threshold override ("fm" at kTrace while the global
+  /// level stays kWarn). An override may lower or raise the threshold.
+  void set_component_level(std::string_view component, LogLevel level);
+  void clear_component_levels();
+
+  /// Applies a GTS_LOG-style spec: comma-separated tokens, each either a
+  /// bare level name (global threshold) or "<component>=<level>".
+  /// "sched=debug,fm=trace" or "info,drb=trace".
+  Status configure_from_spec(std::string_view spec);
+
+  /// Replaces the output sink; an empty function restores the stderr
+  /// default. The sink is called with the level filter already applied.
+  void set_sink(LogSink sink);
+
+  /// The default stderr writer: "[LEVEL] component: message".
+  static void write_stderr(LogLevel level, std::string_view component,
+                           std::string_view message);
+
+  /// Emit one line through the current sink.
   void write(LogLevel level, std::string_view component,
              std::string_view message);
 
  private:
-  Logger() = default;
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
-  std::mutex mutex_;
+  bool has_overrides_ = false;
+  std::map<std::string, LogLevel, std::less<>> component_levels_;
+  LogSink sink_;
+  mutable std::mutex mutex_;
 };
 
 namespace detail {
@@ -54,11 +101,12 @@ void append_all(std::ostringstream& os, const T& value, const Rest&... rest) {
 }
 }  // namespace detail
 
-/// Streams all arguments into one log line if `level` is enabled.
+/// Streams all arguments into one log line if `level` is enabled for
+/// `component`.
 template <typename... Args>
 void log(LogLevel level, std::string_view component, const Args&... args) {
   Logger& logger = Logger::instance();
-  if (!logger.enabled(level)) return;
+  if (!logger.enabled(level, component)) return;
   std::ostringstream os;
   detail::append_all(os, args...);
   logger.write(level, component, os.str());

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Sweep-matrix driver: runs the runner-based bench binaries across the
-# experiment matrix and collects the versioned BENCH_*.json documents.
+# experiment matrix and collects the versioned BENCH_*.json documents
+# (plus the per-scenario METRICS_*.json observability snapshots).
 #
 #   tools/bench.sh --seeds 8 --threads "$(nproc)"          # default matrix
 #   tools/bench.sh --quick --seeds 2 --threads 2           # CI smoke sizes
 #   tools/bench.sh --scenario fig10 --seeds 8 --out-dir out
 #
 # Determinism contract: every file except its "run" block (wall clock,
-# events/sec) is byte-identical for any --threads value; see DESIGN.md.
-set -euo pipefail
+# events/sec) and "timing" subtrees is byte-identical for any --threads
+# value; see DESIGN.md. A scenario failure does not stop the matrix: the
+# remaining scenarios still run and the script exits non-zero listing
+# every failed scenario.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -34,7 +38,8 @@ Options:
   --out-dir DIR      where BENCH_*.json land (default: ${OUT_DIR})
   --build-dir DIR    cmake build tree with bench/ binaries (default: ${BUILD_DIR})
   --scenario NAME    run one scenario (repeatable); default: the full matrix
-                     (fig10 fig11 ablation_alpha ablation_threshold ablation_noise)
+                     (fig10 fig11 ablation_alpha ablation_threshold
+                      ablation_noise overhead)
   --quick            CI smoke sizes (tiny clusters / job counts)
   --full             paper-scale Fig. 11 (10000 jobs on 1000 machines)
   -h, --help         this text
@@ -56,16 +61,23 @@ while [[ $# -gt 0 ]]; do
 done
 
 if [[ ${#SCENARIOS[@]} -eq 0 ]]; then
-  SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise)
+  SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise
+             overhead)
 fi
 
 FIG10_MACHINES=5
 FIG10_JOBS=100
+OVERHEAD_MACHINES="5,20,50"
+OVERHEAD_TASKS="2,4,8"
+OVERHEAD_JOBS=40
 if [[ "$QUICK" -eq 1 ]]; then
   FIG10_MACHINES=3
   FIG10_JOBS=30
   FIG11_MACHINES=8
   FIG11_JOBS=60
+  OVERHEAD_MACHINES="2,4,8"
+  OVERHEAD_TASKS="2,4,8"
+  OVERHEAD_JOBS=15
 elif [[ "$FULL" -eq 1 ]]; then
   FIG11_MACHINES=1000
   FIG11_JOBS=10000
@@ -75,46 +87,72 @@ bench_bin() {
   local bin="${BUILD_DIR}/bench/$1"
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-    exit 1
+    return 1
   fi
   echo "$bin"
 }
 
 mkdir -p "$OUT_DIR"
 started="$(date +%s)"
+FAILED=()
 
-for scenario in "${SCENARIOS[@]}"; do
-  out="${OUT_DIR}/BENCH_${scenario}.json"
+run_scenario() {
+  local scenario="$1" bin
+  local out="${OUT_DIR}/BENCH_${scenario}.json"
+  local metrics="${OUT_DIR}/METRICS_${scenario}.json"
   echo "=== ${scenario} -> ${out} (seeds ${SEEDS}, threads ${THREADS}) ==="
   case "$scenario" in
     fig10)
-      "$(bench_bin bench_fig10_scenario1)" \
-        --machines "$FIG10_MACHINES" --jobs "$FIG10_JOBS" \
-        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      bin="$(bench_bin bench_fig10_scenario1)" || return 1
+      "$bin" --machines "$FIG10_MACHINES" --jobs "$FIG10_JOBS" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out" \
+        --metrics-out "$metrics"
       ;;
     fig11)
-      "$(bench_bin bench_fig11_scenario2)" \
-        --machines "$FIG11_MACHINES" --jobs "$FIG11_JOBS" \
-        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      bin="$(bench_bin bench_fig11_scenario2)" || return 1
+      "$bin" --machines "$FIG11_MACHINES" --jobs "$FIG11_JOBS" \
+        --seeds "$SEEDS" --threads "$THREADS" --out "$out" \
+        --metrics-out "$metrics"
       ;;
     ablation_alpha)
-      "$(bench_bin bench_ablation_alpha)" \
-        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      bin="$(bench_bin bench_ablation_alpha)" || return 1
+      "$bin" --seeds "$SEEDS" --threads "$THREADS" --out "$out" \
+        --metrics-out "$metrics"
       ;;
     ablation_threshold)
-      "$(bench_bin bench_ablation_threshold)" \
-        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      bin="$(bench_bin bench_ablation_threshold)" || return 1
+      "$bin" --seeds "$SEEDS" --threads "$THREADS" --out "$out" \
+        --metrics-out "$metrics"
       ;;
     ablation_noise)
-      "$(bench_bin bench_ablation_noise)" \
-        --seeds "$SEEDS" --threads "$THREADS" --out "$out"
+      bin="$(bench_bin bench_ablation_noise)" || return 1
+      "$bin" --seeds "$SEEDS" --threads "$THREADS" --out "$out" \
+        --metrics-out "$metrics"
+      ;;
+    overhead)
+      bin="$(bench_bin bench_overhead)" || return 1
+      "$bin" --machines "$OVERHEAD_MACHINES" --tasks "$OVERHEAD_TASKS" \
+        --jobs "$OVERHEAD_JOBS" --seeds "$SEEDS" --threads "$THREADS" \
+        --out "$out" --metrics-out "$metrics"
       ;;
     *)
       echo "unknown scenario: $scenario" >&2
-      exit 1
+      return 1
       ;;
   esac
+}
+
+for scenario in "${SCENARIOS[@]}"; do
+  if ! run_scenario "$scenario"; then
+    echo "FAILED: ${scenario}" >&2
+    FAILED+=("$scenario")
+  fi
 done
 
 echo "done in $(( $(date +%s) - started ))s; documents in ${OUT_DIR}/:"
-ls -l "$OUT_DIR"/BENCH_*.json
+ls -l "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/METRICS_*.json 2>/dev/null || true
+
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  echo "failed scenarios: ${FAILED[*]}" >&2
+  exit 1
+fi

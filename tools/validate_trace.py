@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts (stdlib only).
+
+Checks the three document kinds src/obs/ emits:
+
+  * Chrome trace_event JSON (--trace-out): loadable by Perfetto / chrome://
+    tracing — a traceEvents array whose events carry name/ph/pid/tid, ts on
+    non-metadata events, dur on complete ('X') events, and balanced B/E
+    nesting per thread;
+  * metrics registry snapshots (--metrics-out): schema_version 1 documents
+    with counters/gauges/histograms sections, each histogram having
+    len(counts) == len(bounds) + 1 and count == sum(counts);
+  * decision-explain JSONL (--explain-out): one JSON object per line with
+    the per-decision fields, candidate utility-term breakdowns, and
+    strictly increasing sequence numbers.
+
+Usage:
+  tools/validate_trace.py trace.json [more.json ...]
+  tools/validate_trace.py --kind metrics metrics.json
+  tools/validate_trace.py --kind explain decisions.jsonl
+  tools/validate_trace.py --kind auto out/*.json   # sniff per file (default)
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(path, message):
+    raise ValueError(f"{path}: {message}")
+
+
+def validate_trace(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "trace document must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "missing or empty traceEvents array")
+    open_spans = {}  # tid -> stack of names
+    counts = {"X": 0, "B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            fail(path, f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(path, f"{where}: missing '{key}'")
+        phase = event["ph"]
+        if not isinstance(phase, str) or len(phase) != 1:
+            fail(path, f"{where}: bad phase {phase!r}")
+        counts[phase] = counts.get(phase, 0) + 1
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            fail(path, f"{where}: non-metadata event missing numeric ts")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            fail(path, f"{where}: complete event missing numeric dur")
+        stack = open_spans.setdefault(event["tid"], [])
+        if phase == "B":
+            stack.append(event["name"])
+        elif phase == "E":
+            if not stack:
+                fail(path, f"{where}: 'E' without matching 'B' on tid "
+                           f"{event['tid']}")
+            stack.pop()
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(path, f"unclosed 'B' events on tid {tid}: {stack}")
+    return (f"trace ok: {len(events)} events "
+            f"(X={counts['X']} B/E={counts['B']}/{counts['E']} "
+            f"i={counts['i']} C={counts['C']} M={counts['M']})")
+
+
+def validate_histogram(path, name, hist):
+    where = f"histograms['{name}']"
+    for key in ("count", "sum", "mean", "min", "max", "p50", "p95",
+                "bounds", "counts"):
+        if key not in hist:
+            fail(path, f"{where}: missing '{key}'")
+    bounds, counts = hist["bounds"], hist["counts"]
+    if len(counts) != len(bounds) + 1:
+        fail(path, f"{where}: len(counts) must be len(bounds)+1")
+    if sorted(bounds) != bounds:
+        fail(path, f"{where}: bounds not sorted")
+    if sum(counts) != hist["count"]:
+        fail(path, f"{where}: count != sum(counts)")
+    if any(c < 0 for c in counts):
+        fail(path, f"{where}: negative bucket count")
+
+
+def validate_metrics(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "metrics document must be an object")
+    if doc.get("schema_version") != 1:
+        fail(path, f"bad schema_version {doc.get('schema_version')!r}")
+    if doc.get("kind") != "metrics":
+        fail(path, f"bad kind {doc.get('kind')!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(path, "missing metrics object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(path, f"missing metrics.{section} object")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(path, f"counters['{name}']: bad value {value!r}")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(path, f"gauges['{name}']: bad value {value!r}")
+    for name, hist in metrics["histograms"].items():
+        validate_histogram(path, name, hist)
+    return (f"metrics ok: {len(metrics['counters'])} counters, "
+            f"{len(metrics['gauges'])} gauges, "
+            f"{len(metrics['histograms'])} histograms")
+
+
+def validate_explain(path, lines):
+    last_sequence = -1
+    records = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"line {number}: {error}")
+        where = f"line {number}"
+        for key in ("sequence", "sim_time", "policy", "job_id", "num_gpus",
+                    "min_utility", "outcome", "gpus", "chosen", "satisfied",
+                    "decision_us", "candidates"):
+            if key not in record:
+                fail(path, f"{where}: missing '{key}'")
+        if record["sequence"] <= last_sequence:
+            fail(path, f"{where}: sequence not increasing")
+        last_sequence = record["sequence"]
+        if record["outcome"] not in ("placed", "postponed", "declined"):
+            fail(path, f"{where}: bad outcome {record['outcome']!r}")
+        for slot, candidate in enumerate([*record["candidates"],
+                                          {"gpus": record["gpus"],
+                                           "source": "chosen",
+                                           "terms": record["chosen"]}]):
+            cwhere = f"{where}: candidates[{slot}]"
+            for key in ("gpus", "terms", "source"):
+                if key not in candidate:
+                    fail(path, f"{cwhere}: missing '{key}'")
+            terms = candidate["terms"]
+            if "utility" not in terms or "has_breakdown" not in terms:
+                fail(path, f"{cwhere}: terms missing utility/has_breakdown")
+            if terms["has_breakdown"]:
+                # The Eq. 3/4/5 decomposition: communication, interference
+                # and fragmentation terms.
+                for key in ("comm_cost", "comm_utility", "interference",
+                            "frag_omega", "frag_utility", "comm_weight"):
+                    if key not in terms:
+                        fail(path, f"{cwhere}: breakdown missing '{key}'")
+        if record["outcome"] == "placed" and not record["gpus"]:
+            fail(path, f"{where}: placed decision with empty gpus")
+        records += 1
+    if records == 0:
+        fail(path, "no explain records")
+    return f"explain ok: {records} records"
+
+
+def sniff_kind(path, text):
+    if path.endswith(".jsonl"):
+        return "explain"
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return "explain"  # JSONL files are not one JSON document
+    if isinstance(doc, dict) and doc.get("kind") == "metrics":
+        return "metrics"
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace"
+    fail(path, "cannot determine document kind (trace/metrics/explain)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", choices=("auto", "trace", "metrics",
+                                           "explain"), default="auto")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            kind = args.kind if args.kind != "auto" else sniff_kind(path, text)
+            if kind == "trace":
+                message = validate_trace(path, json.loads(text))
+            elif kind == "metrics":
+                message = validate_metrics(path, json.loads(text))
+            else:
+                message = validate_explain(path, text.splitlines())
+            print(f"{path}: {message}")
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"FAIL {error}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
