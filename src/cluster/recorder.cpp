@@ -47,6 +47,13 @@ void Recorder::on_finish(int job_id, double t) {
   }
 }
 
+void Recorder::on_cancel(int job_id, double t) {
+  if (JobRecord* record = find(job_id)) {
+    record->end = t;
+    record->cancelled = true;
+  }
+}
+
 void Recorder::sample(const ClusterState& state, double t) {
   double p2p_gbps = 0.0;
   double host_gbps = 0.0;
@@ -125,7 +132,7 @@ std::string Recorder::render_timeline(const topo::TopologyGraph& topology,
       char cell = '.';
       for (const JobRecord& record : records_) {
         if (!record.placed()) continue;
-        const double end = record.finished() ? record.end : t_end;
+        const double end = record.end >= 0.0 ? record.end : t_end;
         if (t >= record.start && t < end &&
             std::find(record.gpus.begin(), record.gpus.end(), gpu) !=
                 record.gpus.end()) {

@@ -23,7 +23,11 @@ struct JobRecord {
   double min_utility = 0.0;
   double arrival = 0.0;
   double start = -1.0;  // placement time, -1 while queued
-  double end = -1.0;    // completion time, -1 while running
+  double end = -1.0;    // completion / cancellation time, -1 while running
+  /// Cancelled via the svc `cancel` verb (or Driver::cancel): the job was
+  /// withdrawn while queued or running. Cancelled jobs carry no QoS
+  /// slowdown and are excluded from makespan and the Fig. 10/11 curves.
+  bool cancelled = false;
   std::vector<int> gpus;
   double placement_utility = 0.0;
   bool p2p = false;
@@ -31,7 +35,7 @@ struct JobRecord {
   double best_solo_time = 0.0;
 
   bool placed() const noexcept { return start >= 0.0; }
-  bool finished() const noexcept { return end >= 0.0; }
+  bool finished() const noexcept { return end >= 0.0 && !cancelled; }
   double waiting_time() const { return placed() ? start - arrival : -1.0; }
   double execution_time() const { return finished() ? end - start : -1.0; }
 
@@ -49,7 +53,7 @@ struct JobRecord {
   /// SLO violated when the job was forced onto a placement below its
   /// declared minimum utility.
   bool slo_violated() const {
-    return placed() && placement_utility + 1e-9 < min_utility;
+    return placed() && !cancelled && placement_utility + 1e-9 < min_utility;
   }
 };
 
@@ -64,6 +68,8 @@ class Recorder {
   void on_place(int job_id, double t, const std::vector<int>& gpus,
                 double utility, bool p2p);
   void on_finish(int job_id, double t);
+  /// Marks a queued or running job withdrawn at `t`.
+  void on_cancel(int job_id, double t);
 
   /// Appends one sample of the aggregate bandwidth (P2P and host-routed,
   /// GB/s) and mean running-job utility series. Call at every state change.

@@ -129,6 +129,29 @@ void ClusterState::place(const jobgraph::JobRequest& request,
   publish_occupancy_metrics();
 }
 
+void ClusterState::restore_job(const jobgraph::JobRequest& request,
+                               std::vector<int> gpus, double start_time,
+                               double progress_iterations,
+                               double placement_utility, double noise_factor,
+                               double now) {
+  GTS_CHECK(start_time <= now + 1e-9, "restored job ", request.id,
+            " starts in the future: start=", start_time, " now=", now);
+  GTS_CHECK(progress_iterations >= 0.0 &&
+                progress_iterations <=
+                    static_cast<double>(request.iterations) + 1e-6,
+            "restored job ", request.id,
+            " progress out of bounds: ", progress_iterations);
+  place(request, std::move(gpus), now, placement_utility);
+  RunningJob& job = jobs_.at(request.id);
+  job.start_time = start_time;
+  job.progress_iterations = progress_iterations;
+  job.noise_factor = noise_factor;
+  job.last_update = now;
+  ++version_;
+  // The noise factor scales the job's rate; recompute with it in effect.
+  recompute_rates(now);
+}
+
 void ClusterState::remove(int job_id, double now) {
   const auto it = jobs_.find(job_id);
   GTS_CHECK(it != jobs_.end(), "removing unknown job ", job_id);

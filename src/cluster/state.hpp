@@ -82,6 +82,17 @@ class ClusterState {
   /// Removes a finished/cancelled job and recomputes the others' rates.
   void remove(int job_id, double now);
 
+  /// Snapshot-restore seam (svc subsystem): re-registers a job captured by
+  /// a snapshot. Equivalent to place() at `now` followed by overwriting
+  /// the recorded start time, banked progress, and execution-noise factor,
+  /// then recomputing every rate — so the restored regime is exactly the
+  /// piecewise-integration state the snapshot saw. `gpus` must be free;
+  /// callers audit feasibility first (check::audit_placement).
+  void restore_job(const jobgraph::JobRequest& request,
+                   std::vector<int> gpus, double start_time,
+                   double progress_iterations, double placement_utility,
+                   double noise_factor, double now);
+
   const RunningJob* find(int job_id) const;
   const std::map<int, RunningJob>& running_jobs() const { return jobs_; }
 

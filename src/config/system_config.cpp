@@ -6,6 +6,32 @@
 
 namespace gts::config {
 
+namespace {
+
+/// INI spelling of a policy (inverse of parse_policy).
+const char* policy_ini_name(sched::Policy policy) {
+  switch (policy) {
+    case sched::Policy::kFcfs: return "fcfs";
+    case sched::Policy::kBestFit: return "bf";
+    case sched::Policy::kTopoAware: return "topo-aware";
+    case sched::Policy::kTopoAwareP: return "topo-aware-p";
+  }
+  return "topo-aware-p";
+}
+
+}  // namespace
+
+util::Expected<sched::Policy> parse_policy(const std::string& name) {
+  const std::string policy = util::to_lower(name);
+  if (policy == "fcfs") return sched::Policy::kFcfs;
+  if (policy == "bf" || policy == "best-fit" || policy == "bestfit") {
+    return sched::Policy::kBestFit;
+  }
+  if (policy == "topo-aware") return sched::Policy::kTopoAware;
+  if (policy == "topo-aware-p") return sched::Policy::kTopoAwareP;
+  return util::Error{util::fmt("unknown policy '{}'", name)};
+}
+
 util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
   SystemConfig config;
   config.simulation = ini.get_bool("system", "simulation", true);
@@ -46,6 +72,23 @@ util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
   auto mask = obs::parse_categories(ini.get_or("obs", "categories", "all"));
   if (!mask) return mask.error().with_context("sys-config [obs]");
   config.obs.categories = *mask;
+
+  ServiceConfig& svc = config.service;
+  auto policy = parse_policy(ini.get_or("service", "policy", "topo-aware-p"));
+  if (!policy) return policy.error().with_context("sys-config [service]");
+  svc.policy = *policy;
+  svc.max_queue = static_cast<int>(
+      ini.get_int("service", "max_queue", svc.max_queue));
+  if (svc.max_queue < 1) {
+    return util::Error{"sys-config [service]: max_queue must be >= 1"};
+  }
+  svc.retry_after_ms =
+      ini.get_double("service", "retry_after_ms", svc.retry_after_ms);
+  svc.socket = ini.get_or("service", "socket", "");
+  svc.listen = ini.get_or("service", "listen", "");
+  svc.snapshot_path = ini.get_or("service", "snapshot_path", "");
+  svc.snapshot_every_s =
+      ini.get_double("service", "snapshot_every_s", svc.snapshot_every_s);
   return config;
 }
 
@@ -79,6 +122,19 @@ Ini SystemConfig::to_ini() const {
   if ((obs.categories & obs::kAllCategories) != obs::kAllCategories) {
     ini.set("obs", "categories", obs::categories_to_string(obs.categories));
   }
+  ini.set("service", "policy", policy_ini_name(service.policy));
+  ini.set("service", "max_queue", std::to_string(service.max_queue));
+  ini.set("service", "retry_after_ms",
+          util::format_double(service.retry_after_ms, 1));
+  if (!service.socket.empty()) ini.set("service", "socket", service.socket);
+  if (!service.listen.empty()) ini.set("service", "listen", service.listen);
+  if (!service.snapshot_path.empty()) {
+    ini.set("service", "snapshot_path", service.snapshot_path);
+  }
+  if (service.snapshot_every_s > 0.0) {
+    ini.set("service", "snapshot_every_s",
+            util::format_double(service.snapshot_every_s, 2));
+  }
   return ini;
 }
 
@@ -86,20 +142,9 @@ util::Expected<AlgoConfig> AlgoConfig::from_ini(const std::string& name,
                                                 const Ini& ini) {
   AlgoConfig config;
   config.name = name;
-  const std::string policy =
-      util::to_lower(ini.get_or("scheduler", "policy", "topo-aware-p"));
-  if (policy == "fcfs") {
-    config.policy = sched::Policy::kFcfs;
-  } else if (policy == "bf" || policy == "best-fit" || policy == "bestfit") {
-    config.policy = sched::Policy::kBestFit;
-  } else if (policy == "topo-aware") {
-    config.policy = sched::Policy::kTopoAware;
-  } else if (policy == "topo-aware-p") {
-    config.policy = sched::Policy::kTopoAwareP;
-  } else {
-    return util::Error{
-        util::fmt("algo-config {}: unknown policy '{}'", name, policy)};
-  }
+  auto policy = parse_policy(ini.get_or("scheduler", "policy", "topo-aware-p"));
+  if (!policy) return policy.error().with_context(util::fmt("algo-config {}", name));
+  config.policy = *policy;
   config.weights.alpha_cc =
       ini.get_double("utility", "alpha_cc", config.weights.alpha_cc);
   config.weights.alpha_b =
@@ -117,20 +162,7 @@ util::Expected<AlgoConfig> AlgoConfig::from_ini(const std::string& name,
 
 Ini AlgoConfig::to_ini() const {
   Ini ini;
-  switch (policy) {
-    case sched::Policy::kFcfs:
-      ini.set("scheduler", "policy", "fcfs");
-      break;
-    case sched::Policy::kBestFit:
-      ini.set("scheduler", "policy", "bf");
-      break;
-    case sched::Policy::kTopoAware:
-      ini.set("scheduler", "policy", "topo-aware");
-      break;
-    case sched::Policy::kTopoAwareP:
-      ini.set("scheduler", "policy", "topo-aware-p");
-      break;
-  }
+  ini.set("scheduler", "policy", policy_ini_name(policy));
   ini.set("utility", "alpha_cc", util::format_double(weights.alpha_cc, 4));
   ini.set("utility", "alpha_b", util::format_double(weights.alpha_b, 4));
   ini.set("utility", "alpha_d", util::format_double(weights.alpha_d, 4));

@@ -24,6 +24,25 @@
 
 namespace gts::config {
 
+/// [service] section of sys-config.ini: the long-running scheduler
+/// daemon (src/svc/, DESIGN.md section 14). Every field has a CLI
+/// override on gts_schedd.
+struct ServiceConfig {
+  /// Placement policy the admission queue feeds.
+  sched::Policy policy = sched::Policy::kTopoAwareP;
+  /// Admission-queue bound; submits beyond it get a backpressure error
+  /// with a retry_after_ms hint.
+  int max_queue = 256;
+  double retry_after_ms = 50.0;
+  /// Unix-domain socket path the daemon listens on ("" = TCP only).
+  std::string socket;
+  /// TCP bind "host:port" ("" = Unix socket only).
+  std::string listen;
+  /// Periodic crash-recovery snapshot target ("" = disabled).
+  std::string snapshot_path;
+  double snapshot_every_s = 0.0;
+};
+
 /// Parsed sys-config.ini.
 struct SystemConfig {
   bool simulation = true;
@@ -42,6 +61,8 @@ struct SystemConfig {
   /// metrics_out, explain_out, categories. Empty paths leave every pillar
   /// off; the caller applies this with obs::configure().
   obs::ObsConfig obs;
+  /// [service] scheduler-daemon settings (DESIGN.md section 14).
+  ServiceConfig service;
 
   static util::Expected<SystemConfig> from_ini(const Ini& ini);
   Ini to_ini() const;
@@ -61,6 +82,11 @@ struct AlgoConfig {
 /// Resolves the machine shape string.
 util::Expected<topo::builders::MachineShape> parse_machine_shape(
     const std::string& name);
+
+/// Resolves a scheduler policy name ("fcfs", "bf"/"best-fit",
+/// "topo-aware", "topo-aware-p"); shared by the algo configs, the
+/// [service] section, and gts_schedd --policy.
+util::Expected<sched::Policy> parse_policy(const std::string& name);
 
 /// Builds the topology a SystemConfig describes.
 util::Expected<topo::TopologyGraph> build_topology(const SystemConfig& config);

@@ -54,6 +54,11 @@ class Parser {
   }
 
  private:
+  util::Error too_deep() const {
+    return error(
+        util::fmt("nesting deeper than {} levels", kMaxParseDepth));
+  }
+
   util::Error error(const std::string& message) const {
     int line = 1;
     int column = 1;
@@ -114,6 +119,14 @@ class Parser {
   }
 
   util::Expected<Value> parse_object() {
+    if (depth_ >= kMaxParseDepth) return too_deep();
+    ++depth_;
+    auto result = parse_object_body();
+    --depth_;
+    return result;
+  }
+
+  util::Expected<Value> parse_object_body() {
     advance();  // '{'
     Object object;
     skip_whitespace();
@@ -140,6 +153,14 @@ class Parser {
   }
 
   util::Expected<Value> parse_array() {
+    if (depth_ >= kMaxParseDepth) return too_deep();
+    ++depth_;
+    auto result = parse_array_body();
+    --depth_;
+    return result;
+  }
+
+  util::Expected<Value> parse_array_body() {
     advance();  // '['
     Array array;
     skip_whitespace();
@@ -193,6 +214,13 @@ class Parser {
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
             else return error("invalid \\u escape");
           }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            // Surrogate range: either half of a non-BMP pair or a lone
+            // surrogate. The library is BMP-only; reject cleanly rather
+            // than emit CESU-8 / invalid UTF-8.
+            return error(
+                "surrogate \\u escape (non-BMP or unpaired) unsupported");
+          }
           append_utf8(out, code);
           break;
         }
@@ -245,6 +273,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void write_escaped(std::ostringstream& os, const std::string& s) {

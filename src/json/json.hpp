@@ -8,6 +8,12 @@
 // Supported: objects, arrays, strings (with \uXXXX escapes, BMP only),
 // numbers (doubles), booleans, null. Trailing commas and comments are
 // rejected, mirroring strict RFC 8259 behaviour.
+//
+// The parser also handles untrusted bytes (the svc wire protocol feeds it
+// socket input): surrogate-range \uXXXX escapes — paired (non-BMP) or
+// lone — are rejected with a clean error instead of emitting invalid
+// UTF-8, and container nesting deeper than kMaxParseDepth is rejected
+// instead of recursing toward stack exhaustion.
 #pragma once
 
 #include <cstdint>
@@ -103,6 +109,11 @@ class Value {
   Array array_;
   Object object_;
 };
+
+/// Maximum object/array nesting the parser accepts. Deeper documents get
+/// a clean error; the bound keeps recursion far from stack limits even
+/// under sanitizers.
+inline constexpr int kMaxParseDepth = 192;
 
 /// Parses a complete JSON document. Errors carry 1-based line/column info.
 util::Expected<Value> parse(std::string_view text);

@@ -52,6 +52,7 @@ constexpr struct {
     {kSched, "sched"},     {kSim, "sim"},         {kDrb, "drb"},
     {kFm, "fm"},           {kCache, "cache"},     {kRunner, "runner"},
     {kCluster, "cluster"}, {kBench, "bench"},     {kLog, "log"},
+    {kSvc, "svc"},
 };
 
 }  // namespace

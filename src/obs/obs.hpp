@@ -35,6 +35,7 @@ enum Category : unsigned {
   kCluster = 1u << 6,  // cluster state transitions
   kBench = 1u << 7,    // bench/example harness phases
   kLog = 1u << 8,      // GTS_LOG_* lines mirrored as instants
+  kSvc = 1u << 9,      // scheduler service requests & sessions
   kAllCategories = 0xffffffffu,
 };
 

@@ -9,6 +9,7 @@
 #include "obs/explain.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace gts::sched {
 
@@ -60,6 +61,16 @@ bool Driver::job_can_ever_fit(const jobgraph::JobRequest& request) const {
   return request.num_gpus <= topology_.gpu_count();
 }
 
+std::string_view to_string(SubmitResult result) noexcept {
+  switch (result) {
+    case SubmitResult::kAccepted: return "accepted";
+    case SubmitResult::kNeverFits: return "never_fits";
+    case SubmitResult::kDuplicate: return "duplicate";
+    case SubmitResult::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
 DriverReport Driver::run(std::vector<jobgraph::JobRequest> jobs) {
   std::stable_sort(jobs.begin(), jobs.end(),
                    [](const jobgraph::JobRequest& a,
@@ -67,22 +78,150 @@ DriverReport Driver::run(std::vector<jobgraph::JobRequest> jobs) {
                      return a.arrival_time < b.arrival_time;
                    });
   for (const jobgraph::JobRequest& job : jobs) {
-    report_.recorder.on_submit(job);
-    if (!job_can_ever_fit(job)) {
-      ++report_.rejected_jobs;
-      GTS_LOG_WARN("driver", "job ", job.id, " can never fit; rejected");
-      continue;
-    }
-    engine_.schedule_at(job.arrival_time,
-                        [this, job]() { on_arrival(job); });
+    const SubmitResult result = submit(job);
+    if (result == SubmitResult::kDuplicate) ++report_.rejected_jobs;
   }
   engine_.run();
+  sync_report();
   report_.end_time = report_.recorder.makespan();
-  report_.events = engine_.events_fired();
   return std::move(report_);
 }
 
+SubmitResult Driver::submit(const jobgraph::JobRequest& request) {
+  if (draining_) return SubmitResult::kDraining;
+  if (report_.recorder.find(request.id) != nullptr) {
+    GTS_LOG_WARN("driver", "duplicate job id ", request.id, "; refused");
+    return SubmitResult::kDuplicate;
+  }
+  jobgraph::JobRequest job = request;
+  if (job.arrival_time < engine_.now()) job.arrival_time = engine_.now();
+  report_.recorder.on_submit(job);
+  if (!job_can_ever_fit(job)) {
+    ++report_.rejected_jobs;
+    GTS_LOG_WARN("driver", "job ", job.id, " can never fit; rejected");
+    return SubmitResult::kNeverFits;
+  }
+  const sim::EventHandle handle = engine_.schedule_at(
+      job.arrival_time, [this, job]() { on_arrival(job); });
+  pending_arrivals_.emplace(job.id, std::make_pair(handle, job));
+  return SubmitResult::kAccepted;
+}
+
+bool Driver::cancel(int job_id) {
+  const double now = engine_.now();
+  if (const auto pending = pending_arrivals_.find(job_id);
+      pending != pending_arrivals_.end()) {
+    engine_.cancel(pending->second.first);
+    pending_arrivals_.erase(pending);
+    report_.recorder.on_cancel(job_id, now);
+    return true;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->request.id == job_id) {
+      queue_.erase(it);
+      report_.recorder.on_cancel(job_id, now);
+      return true;
+    }
+  }
+  if (state_.find(job_id) != nullptr) {
+    state_.remove(job_id, now);
+    report_.recorder.on_cancel(job_id, now);
+    // Freed capacity: let waiting jobs take it right away.
+    ++capacity_version_;
+    scheduling_pass();
+    return true;
+  }
+  return false;
+}
+
+void Driver::advance_to(double t) {
+  GTS_DCHECK(t >= engine_.now() - 1e-9, "advance into the past: t=", t,
+             " now=", engine_.now());
+  engine_.run_until(t);
+  sync_report();
+}
+
+double Driver::advance_all() {
+  engine_.run();
+  sync_report();
+  return engine_.now();
+}
+
+std::vector<jobgraph::JobRequest> Driver::pending_arrivals() const {
+  std::vector<jobgraph::JobRequest> pending;
+  pending.reserve(pending_arrivals_.size());
+  for (const auto& [id, entry] : pending_arrivals_) {
+    pending.push_back(entry.second);
+  }
+  return pending;
+}
+
+void Driver::sync_report() {
+  report_.events = engine_.events_fired();
+  const double makespan = report_.recorder.makespan();
+  if (makespan > report_.end_time) report_.end_time = makespan;
+}
+
+util::Status Driver::begin_restore(double now,
+                                   std::uint64_t capacity_version) {
+  if (state_.running_job_count() > 0 || !queue_.empty() ||
+      engine_.has_pending() || report_.decision_count > 0) {
+    return util::Error{"restore requires a freshly constructed driver"};
+  }
+  if (now < 0.0) return util::Error{"restore: negative simulated time"};
+  engine_.fast_forward(now);
+  capacity_version_ = capacity_version;
+  return util::Status::ok();
+}
+
+util::Status Driver::restore_running(const jobgraph::JobRequest& request,
+                                     const std::vector<int>& gpus,
+                                     double start_time,
+                                     double progress_iterations,
+                                     double placement_utility,
+                                     double noise_factor) {
+  // Replay the placement through the feasibility audit before enacting
+  // it: a corrupted or stale snapshot must not poison the cluster state.
+  if (util::Status audit = check::audit_placement(request, gpus, state_);
+      !audit) {
+    return audit.error().with_context(
+        util::fmt("restore job {}", request.id));
+  }
+  if (progress_iterations < 0.0 ||
+      progress_iterations >
+          static_cast<double>(request.iterations) + 1e-6) {
+    return util::Error{util::fmt("restore job {}: progress {} out of bounds",
+                                 request.id, progress_iterations)};
+  }
+  if (noise_factor <= 0.0) {
+    return util::Error{
+        util::fmt("restore job {}: noise_factor must be > 0", request.id)};
+  }
+  report_.recorder.on_submit(request);
+  state_.restore_job(request, gpus, start_time, progress_iterations,
+                     placement_utility, noise_factor, engine_.now());
+  const cluster::RunningJob* running = state_.find(request.id);
+  report_.recorder.on_place(request.id, start_time, gpus, placement_utility,
+                            running != nullptr && running->p2p);
+  return util::Status::ok();
+}
+
+void Driver::restore_waiting(const jobgraph::JobRequest& request,
+                             std::uint64_t attempted_version) {
+  report_.recorder.on_submit(request);
+  queue_.push_back({request, attempted_version});
+}
+
+util::Status Driver::finish_restore() {
+  if (util::Status status = check::validate(state_); !status) {
+    return status.error().with_context("restored cluster state");
+  }
+  arm_completion_event();
+  return util::Status::ok();
+}
+
 void Driver::on_arrival(const jobgraph::JobRequest& request) {
+  pending_arrivals_.erase(request.id);
   queue_.push_back({request, ~0ULL});
   scheduling_pass();
 }
@@ -102,6 +241,11 @@ void Driver::on_completion_event() {
   }
   if (!done.empty()) ++capacity_version_;
   scheduling_pass();
+}
+
+void Driver::checkpoint_progress() {
+  state_.bank_progress(engine_.now());
+  arm_completion_event();
 }
 
 void Driver::arm_completion_event() {

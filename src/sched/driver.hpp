@@ -6,8 +6,20 @@
 // completions, runs a scheduling pass over the queue, and tracks the
 // wall-clock cost of placement decisions (the Section 5.5.3 overhead
 // analysis).
+//
+// Two operating modes share the same queue discipline:
+//
+//   * batch (`run`): submit a whole workload, run the engine to
+//     completion — the paper's Section 5 experiments;
+//   * online (`submit` / `cancel` / `drain` / `advance_to` /
+//     `advance_all`): jobs arrive one at a time while the caller controls
+//     how far simulated time advances — the scheduler service
+//     (src/svc/) drives this API, including its snapshot/restore seams
+//     (`begin_restore` / `restore_running` / `restore_waiting` /
+//     `finish_restore`).
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "cluster/recorder.hpp"
@@ -15,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "util/expected.hpp"
 
 namespace gts::sched {
 
@@ -63,21 +76,100 @@ struct DriverReport {
   int rejected_jobs = 0;
 };
 
+/// Outcome of an online submit.
+enum class SubmitResult {
+  kAccepted,   // arrival event scheduled (or queued immediately)
+  kNeverFits,  // exceeds cluster capacity under its constraints; rejected
+  kDuplicate,  // a job with this id was already submitted
+  kDraining,   // driver is draining; new work refused
+};
+std::string_view to_string(SubmitResult result) noexcept;
+
 class Driver {
  public:
   Driver(const topo::TopologyGraph& topology,
          const perf::DlWorkloadModel& model, Scheduler& scheduler,
          DriverOptions options = {});
 
+  struct QueueEntry {
+    jobgraph::JobRequest request;
+    /// Capacity version at the last failed attempt: a declined job is only
+    /// re-offered after a completion frees capacity (placements never make
+    /// a previously-declined placement viable, they only add contention).
+    std::uint64_t attempted_version = ~0ULL;
+  };
+
   /// Runs the whole workload to completion and returns the report.
   /// `jobs` need not be sorted; arrival order is established internally.
   DriverReport run(std::vector<jobgraph::JobRequest> jobs);
+
+  // --- online mode ---------------------------------------------------------
+  /// Admits one job. Its arrival event fires at
+  /// max(request.arrival_time, now); an arrival at `now` is only enacted
+  /// by the next advance_to/advance_all call.
+  SubmitResult submit(const jobgraph::JobRequest& request);
+
+  /// Withdraws a job: pending arrival events are cancelled, queued jobs
+  /// leave the queue, running jobs release their GPUs (freed capacity is
+  /// offered to the queue immediately). False when the id is unknown or
+  /// the job already finished.
+  bool cancel(int job_id);
+
+  /// Refuses all subsequent submits; queued and running work proceeds.
+  void drain() noexcept { draining_ = true; }
+  bool draining() const noexcept { return draining_; }
+
+  /// Fires every event with timestamp <= t and leaves the clock at t.
+  void advance_to(double t);
+  /// Runs until no events remain (all admitted work finished or stuck
+  /// waiting for capacity that will never free). Returns the clock.
+  double advance_all();
+  /// Banks every running job's progress at the current clock and re-arms
+  /// the completion event from the banked values. Taking a snapshot calls
+  /// this first so the snapshotting process and a process restored from
+  /// the snapshot continue with bitwise-identical progress arithmetic
+  /// (both then extrapolate from `now`, not from the last event).
+  void checkpoint_progress();
+  /// True when nothing is running, queued, or pending arrival.
+  bool idle() const {
+    return state_.running_job_count() == 0 && queue_.empty() &&
+           !engine_.has_pending();
+  }
+
+  double now() const noexcept { return engine_.now(); }
+  int queue_depth() const noexcept { return static_cast<int>(queue_.size()); }
+  const std::vector<QueueEntry>& waiting() const noexcept { return queue_; }
+  /// Jobs submitted with a future arrival time, not yet in the queue.
+  std::vector<jobgraph::JobRequest> pending_arrivals() const;
+  std::uint64_t capacity_version() const noexcept { return capacity_version_; }
+  const cluster::ClusterState& state() const noexcept { return state_; }
+  const DriverReport& report() const noexcept { return report_; }
+  const cluster::Recorder& recorder() const noexcept {
+    return report_.recorder;
+  }
+
+  // --- snapshot restore ----------------------------------------------------
+  /// Restore protocol (svc snapshots): on a freshly constructed driver,
+  ///   begin_restore(now, capacity_version)
+  ///   restore_running(...) per running job   (audited, placement replay)
+  ///   restore_waiting(...)  per queued job   (queue order preserved)
+  ///   submit(...)           per pending future arrival
+  ///   finish_restore()                       (validate + arm completions)
+  util::Status begin_restore(double now, std::uint64_t capacity_version);
+  util::Status restore_running(const jobgraph::JobRequest& request,
+                               const std::vector<int>& gpus,
+                               double start_time, double progress_iterations,
+                               double placement_utility, double noise_factor);
+  void restore_waiting(const jobgraph::JobRequest& request,
+                       std::uint64_t attempted_version);
+  util::Status finish_restore();
 
  private:
   void on_arrival(const jobgraph::JobRequest& request);
   void on_completion_event();
   void scheduling_pass();
   void arm_completion_event();
+  void sync_report();
   bool job_can_ever_fit(const jobgraph::JobRequest& request) const;
 
   const topo::TopologyGraph& topology_;
@@ -88,15 +180,14 @@ class Driver {
 
   sim::Engine engine_;
   cluster::ClusterState state_;
-  struct QueueEntry {
-    jobgraph::JobRequest request;
-    /// Capacity version at the last failed attempt: a declined job is only
-    /// re-offered after a completion frees capacity (placements never make
-    /// a previously-declined placement viable, they only add contention).
-    std::uint64_t attempted_version = ~0ULL;
-  };
   std::vector<QueueEntry> queue_;  // waiting, arrival-ordered
+  /// Submitted jobs whose arrival event has not fired yet (id -> handle +
+  /// request), so online cancels can intercept them and snapshots can
+  /// carry them.
+  std::map<int, std::pair<sim::EventHandle, jobgraph::JobRequest>>
+      pending_arrivals_;
   std::uint64_t capacity_version_ = 0;
+  bool draining_ = false;
   DriverReport report_;
   sim::EventHandle completion_event_ = sim::kInvalidEvent;
 };

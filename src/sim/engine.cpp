@@ -55,6 +55,14 @@ std::uint64_t Engine::run(std::uint64_t limit) {
   return count;
 }
 
+void Engine::fast_forward(Time t) {
+  GTS_CHECK(handlers_.empty(),
+            "fast_forward with pending events: ", handlers_.size());
+  GTS_CHECK(t >= now_ - 1e-9, "fast_forward into the past: t=", t,
+            " now=", now_);
+  if (t > now_) now_ = t;
+}
+
 void Engine::run_until(Time until) {
   obs::SimClockScope sim_clock(&now_);
   while (!queue_.empty()) {

@@ -54,6 +54,12 @@ class Engine {
   /// or the queue drains.
   void run_until(Time until);
 
+  /// Moves the clock to `t` (>= now) without firing anything. Restore
+  /// seam for the svc snapshot path: a freshly built engine is
+  /// fast-forwarded to the snapshot's simulated time before the restored
+  /// events are scheduled. Requires an empty event queue.
+  void fast_forward(Time t);
+
   std::uint64_t events_fired() const noexcept { return fired_; }
 
   /// Installs a hook invoked after every fired event, once its handler has

@@ -1,0 +1,139 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace gts::svc {
+
+namespace {
+
+util::Error socket_error(const char* what) {
+  return util::Error{util::fmt("{}: {}", what,
+                               std::string(std::strerror(errno)))};
+}
+
+}  // namespace
+
+util::Expected<Client> Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return util::Error{util::fmt("unix socket path too long: {}", path)};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const util::Error error = socket_error("connect");
+    ::close(fd);
+    return error.with_context(path);
+  }
+  return Client(fd);
+}
+
+util::Expected<Client> Client::connect_tcp(const std::string& host,
+                                           int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Error{util::fmt("invalid TCP address '{}'", host)};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const util::Error error = socket_error("connect");
+    ::close(fd);
+    return error.with_context(util::fmt("{}:{}", host, port));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Status Client::send_all(const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return socket_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::Status::ok();
+}
+
+util::Expected<std::string> Client::read_line() {
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      return util::Error{"server reply exceeds the line-size bound"};
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return util::Error{"connection closed by server"};
+    if (errno == EINTR) continue;
+    return socket_error("recv");
+  }
+}
+
+util::Expected<Response> Client::roundtrip_raw(const std::string& line) {
+  if (auto status = send_all(line); !status) return status.error();
+  auto reply = read_line();
+  if (!reply) return reply.error();
+  return parse_response(*reply);
+}
+
+util::Expected<Response> Client::roundtrip(const Request& request) {
+  return roundtrip_raw(encode(request));
+}
+
+util::Expected<Response> Client::call(const std::string& verb,
+                                      json::Value params) {
+  Request request;
+  request.id = next_id_++;
+  request.verb = verb;
+  request.params = std::move(params);
+  return roundtrip(request);
+}
+
+}  // namespace gts::svc

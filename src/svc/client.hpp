@@ -1,0 +1,51 @@
+// Blocking client for the scheduler-service wire protocol: connects to a
+// gts_schedd daemon over its Unix-domain or TCP socket and performs
+// request/response round trips. Used by gts_ctl, bench_service_load, and
+// the service tests; sessions are single-threaded (one outstanding
+// request at a time), matching the protocol's per-connection ordering.
+#pragma once
+
+#include <string>
+
+#include "json/json.hpp"
+#include "svc/protocol.hpp"
+#include "util/expected.hpp"
+
+namespace gts::svc {
+
+class Client {
+ public:
+  static util::Expected<Client> connect_unix(const std::string& path);
+  static util::Expected<Client> connect_tcp(const std::string& host,
+                                            int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One round trip; request ids are assigned sequentially per client.
+  /// The returned Response may be a failure (ok == false) — transport
+  /// errors are the Expected error, protocol errors are in the Response.
+  util::Expected<Response> call(const std::string& verb,
+                                json::Value params = {});
+
+  /// Round trip for a caller-built request (tests exercise malformed
+  /// versions through this).
+  util::Expected<Response> roundtrip(const Request& request);
+
+  /// Sends raw bytes and reads one reply line (adversarial tests).
+  util::Expected<Response> roundtrip_raw(const std::string& line);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  util::Status send_all(const std::string& data);
+  util::Expected<std::string> read_line();
+
+  int fd_ = -1;
+  long long next_id_ = 1;
+  std::string buffer_;  // bytes past the last consumed newline
+};
+
+}  // namespace gts::svc

@@ -1,0 +1,158 @@
+#include "svc/protocol.hpp"
+
+#include "util/strings.hpp"
+
+namespace gts::svc {
+
+namespace {
+
+constexpr struct {
+  ErrorCode code;
+  std::string_view name;
+} kErrorCodeNames[] = {
+    {ErrorCode::kParse, "parse"},
+    {ErrorCode::kUnsupportedVersion, "unsupported_version"},
+    {ErrorCode::kBadRequest, "bad_request"},
+    {ErrorCode::kUnknownVerb, "unknown_verb"},
+    {ErrorCode::kBackpressure, "backpressure"},
+    {ErrorCode::kDraining, "draining"},
+    {ErrorCode::kNotFound, "not_found"},
+    {ErrorCode::kConflict, "conflict"},
+    {ErrorCode::kInternal, "internal"},
+};
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) noexcept {
+  for (const auto& entry : kErrorCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return "internal";
+}
+
+util::Expected<ErrorCode> parse_error_code(std::string_view name) {
+  for (const auto& entry : kErrorCodeNames) {
+    if (entry.name == name) return entry.code;
+  }
+  return util::Error{util::fmt("unknown error code '{}'", std::string(name))};
+}
+
+json::Value Request::to_json() const {
+  json::Value doc;
+  doc.set("v", version);
+  doc.set("id", id);
+  doc.set("verb", verb);
+  if (!params.is_null()) doc.set("params", params);
+  return doc;
+}
+
+Response Response::success(long long id, json::Value result) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  response.result = std::move(result);
+  return response;
+}
+
+Response Response::failure(long long id, ErrorCode code, std::string message,
+                           double retry_after_ms) {
+  Response response;
+  response.id = id;
+  response.ok = false;
+  response.code = code;
+  response.message = std::move(message);
+  response.retry_after_ms = retry_after_ms;
+  return response;
+}
+
+json::Value Response::to_json() const {
+  json::Value doc;
+  doc.set("v", version);
+  doc.set("id", id);
+  doc.set("ok", ok);
+  if (ok) {
+    doc.set("result", result);
+  } else {
+    json::Value error;
+    error.set("code", std::string(to_string(code)));
+    error.set("message", message);
+    if (retry_after_ms >= 0.0) error.set("retry_after_ms", retry_after_ms);
+    doc.set("error", std::move(error));
+  }
+  return doc;
+}
+
+namespace {
+
+util::Expected<json::Value> parse_line(std::string_view line) {
+  if (line.size() > kMaxLineBytes) {
+    return util::Error{util::fmt("line exceeds {} bytes", kMaxLineBytes)};
+  }
+  auto doc = json::parse(line);
+  if (!doc) return doc.error();
+  if (!doc->is_object()) return util::Error{"message is not a JSON object"};
+  return doc;
+}
+
+}  // namespace
+
+util::Expected<Request> parse_request(std::string_view line) {
+  auto doc = parse_line(line);
+  if (!doc) return doc.error();
+  Request request;
+  if (!doc->at("v").is_number()) return util::Error{"missing numeric 'v'"};
+  request.version = static_cast<int>(doc->at("v").as_int());
+  if (!doc->at("id").is_number()) return util::Error{"missing numeric 'id'"};
+  request.id = doc->at("id").as_int();
+  if (!doc->at("verb").is_string() || doc->at("verb").as_string().empty()) {
+    return util::Error{"missing string 'verb'"};
+  }
+  request.verb = doc->at("verb").as_string();
+  if (doc->contains("params")) {
+    if (!doc->at("params").is_object()) {
+      return util::Error{"'params' must be an object"};
+    }
+    request.params = doc->at("params");
+  }
+  return request;
+}
+
+util::Expected<Response> parse_response(std::string_view line) {
+  auto doc = parse_line(line);
+  if (!doc) return doc.error();
+  Response response;
+  if (!doc->at("v").is_number()) return util::Error{"missing numeric 'v'"};
+  response.version = static_cast<int>(doc->at("v").as_int());
+  if (!doc->at("id").is_number()) return util::Error{"missing numeric 'id'"};
+  response.id = doc->at("id").as_int();
+  if (!doc->at("ok").is_bool()) return util::Error{"missing boolean 'ok'"};
+  response.ok = doc->at("ok").as_bool();
+  if (response.ok) {
+    response.result = doc->at("result");
+    return response;
+  }
+  const json::Value& error = doc->at("error");
+  if (!error.is_object()) return util::Error{"failure without 'error' object"};
+  auto code = parse_error_code(error.at("code").as_string());
+  if (!code) return code.error();
+  response.code = *code;
+  response.message = error.at("message").as_string();
+  response.retry_after_ms =
+      error.contains("retry_after_ms") ? error.at("retry_after_ms").as_number()
+                                       : -1.0;
+  return response;
+}
+
+std::string encode(const Request& request) {
+  std::string line = json::write(request.to_json());
+  line.push_back('\n');
+  return line;
+}
+
+std::string encode(const Response& response) {
+  std::string line = json::write(response.to_json());
+  line.push_back('\n');
+  return line;
+}
+
+}  // namespace gts::svc

@@ -1,0 +1,88 @@
+// Scheduler-service wire protocol (DESIGN.md section 14).
+//
+// The daemon (gts_schedd) and its clients (gts_ctl, bench_service_load)
+// exchange line-delimited JSON over a Unix-domain or TCP socket: one
+// request object per line, one response object per line, in order.
+//
+//   request  {"v":1,"id":7,"verb":"submit","params":{...}}
+//   success  {"v":1,"id":7,"ok":true,"result":{...}}
+//   failure  {"v":1,"id":7,"ok":false,
+//             "error":{"code":"backpressure","message":"...",
+//                      "retry_after_ms":50.0}}
+//
+// `id` is a client-chosen correlation number echoed verbatim; `params`
+// is an object (may be omitted). Lines longer than kMaxLineBytes and
+// documents that fail to parse are answered with a `parse` error carrying
+// id 0, then the session is closed (framing is lost at that point).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "json/json.hpp"
+#include "util/expected.hpp"
+
+namespace gts::svc {
+
+/// Protocol revision; requests carrying any other "v" are refused with
+/// an `unsupported_version` error naming this value.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one request or response line (bytes, newline included).
+/// Bounds per-session buffering against hostile or broken peers.
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+enum class ErrorCode {
+  kParse,               // malformed JSON / not an object / oversize line
+  kUnsupportedVersion,  // "v" != kProtocolVersion
+  kBadRequest,          // missing/invalid params for the verb
+  kUnknownVerb,
+  kBackpressure,        // admission queue full; retry after retry_after_ms
+  kDraining,            // daemon refuses new work
+  kNotFound,            // unknown job id
+  kConflict,            // duplicate job id
+  kInternal,
+};
+std::string_view to_string(ErrorCode code) noexcept;
+util::Expected<ErrorCode> parse_error_code(std::string_view name);
+
+struct Request {
+  int version = kProtocolVersion;
+  long long id = 0;
+  std::string verb;
+  json::Value params;  // object; null when the verb takes none
+
+  json::Value to_json() const;
+};
+
+struct Response {
+  int version = kProtocolVersion;
+  long long id = 0;
+  bool ok = false;
+  json::Value result;  // success payload (ok == true)
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  /// Suggested client backoff; only meaningful (>= 0) with kBackpressure.
+  double retry_after_ms = -1.0;
+
+  static Response success(long long id, json::Value result);
+  static Response failure(long long id, ErrorCode code, std::string message,
+                          double retry_after_ms = -1.0);
+
+  json::Value to_json() const;
+};
+
+/// Parses one request line (without the trailing newline). Enforces the
+/// line-size bound, JSON well-formedness, and the required fields; the
+/// version is carried through unchecked so the dispatcher can answer a
+/// mismatch on the request's own id.
+util::Expected<Request> parse_request(std::string_view line);
+
+/// Parses one response line (client side).
+util::Expected<Response> parse_response(std::string_view line);
+
+/// Compact single-line serialization, newline-terminated.
+std::string encode(const Request& request);
+std::string encode(const Response& response);
+
+}  // namespace gts::svc

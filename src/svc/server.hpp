@@ -1,0 +1,94 @@
+// Socket front-end of the scheduler service: a single-threaded poll()
+// reactor multiplexing any number of client sessions onto one
+// ServiceCore (DESIGN.md section 14.2).
+//
+// Listens on a Unix-domain socket, a TCP endpoint, or both. Each session
+// gets independent in/out buffers; requests are dispatched in arrival
+// order per session (the protocol is strictly request/response per
+// connection). A self-pipe makes stop() safe from signal handlers and
+// other threads. When configured, a wall-clock timer writes periodic
+// crash-recovery snapshots — snapshotting is read-only, so the timer
+// cannot perturb the virtual-time decision sequence.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "util/expected.hpp"
+
+namespace gts::svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty = no UDS listener. A stale file at
+  /// the path is removed before binding.
+  std::string unix_socket;
+  /// TCP bind address; port 0 picks an ephemeral port (see Server::port),
+  /// empty host = no TCP listener.
+  std::string tcp_host;
+  int tcp_port = 0;
+  /// Periodic snapshot: every `snapshot_every_s` wall seconds to
+  /// `snapshot_path` (both must be set; 0 disables).
+  std::string snapshot_path;
+  double snapshot_every_s = 0.0;
+};
+
+class Server {
+ public:
+  Server(ServiceCore& core, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and the self-pipe. At least one
+  /// listener must be configured.
+  util::Status start();
+
+  /// Runs the reactor until stop() is called or a client issues the
+  /// `shutdown` verb (pending replies are flushed first).
+  util::Status run();
+
+  /// Requests run() to return. Async-signal-safe (one write to the
+  /// self-pipe); callable from any thread.
+  void stop();
+
+  /// Bound TCP port (after start); -1 without a TCP listener. Lets tests
+  /// bind port 0 and discover the ephemeral port.
+  int port() const noexcept { return tcp_port_; }
+
+  /// Number of currently connected sessions (diagnostics/tests).
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    /// Set after an unrecoverable framing error: flush `out`, then close.
+    bool close_after_flush = false;
+  };
+
+  util::Status listen_unix(const std::string& path);
+  util::Status listen_tcp(const std::string& host, int port);
+  void accept_clients(int listener_fd);
+  /// Reads available bytes and dispatches complete lines; returns false
+  /// when the session should be dropped.
+  bool service_input(Session& session);
+  /// Flushes buffered output; returns false when the session should be
+  /// dropped.
+  bool service_output(Session& session);
+  void close_session(Session& session);
+  void write_periodic_snapshot();
+
+  ServiceCore& core_;
+  ServerOptions options_;
+  std::vector<int> listeners_;
+  int tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::vector<std::unique_ptr<Session>> sessions_;
+  bool started_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gts::svc

@@ -1,0 +1,456 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "jobgraph/manifest.hpp"
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "perf/profile.hpp"
+#include "util/strings.hpp"
+
+namespace gts::svc {
+
+namespace {
+
+sched::DriverOptions make_driver_options(const ServiceOptions& options) {
+  sched::DriverOptions driver_options;
+  driver_options.utility_weights = options.weights;
+  driver_options.self_audit = options.self_audit;
+  return driver_options;
+}
+
+json::Value int_array(const std::vector<int>& values) {
+  json::Array array;
+  array.reserve(values.size());
+  for (const int value : values) array.push_back(value);
+  return json::Value{std::move(array)};
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(const topo::TopologyGraph& topology,
+                         const perf::DlWorkloadModel& model,
+                         ServiceOptions options)
+    : topology_(topology),
+      model_(model),
+      options_(std::move(options)),
+      scheduler_(sched::make_scheduler(options_.config.policy,
+                                       options_.weights)),
+      driver_(topology_, model_, *scheduler_, make_driver_options(options_)) {}
+
+int ServiceCore::admission_depth() const noexcept {
+  return driver_.queue_depth() +
+         static_cast<int>(driver_.pending_arrivals().size());
+}
+
+Response ServiceCore::handle(const Request& request) {
+  obs::SpanGuard span(obs::kSvc, "svc.request");
+  span.arg("request_id", static_cast<double>(request.id));
+  const auto t0 = std::chrono::steady_clock::now();
+  Response response = dispatch(request);
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  span.arg("ok", response.ok ? 1.0 : 0.0);
+  GTS_METRIC_COUNT("svc.requests", 1);
+  if (!response.ok) GTS_METRIC_COUNT("svc.request_errors", 1);
+  GTS_METRIC_HISTOGRAM("svc.request_latency_us", latency_us,
+                       obs::latency_bounds_us());
+  GTS_METRIC_GAUGE_SET("svc.queue_depth",
+                       static_cast<double>(admission_depth()));
+  return response;
+}
+
+Response ServiceCore::handle_line(std::string_view line) {
+  auto request = parse_request(line);
+  if (!request) {
+    return Response::failure(0, ErrorCode::kParse, request.error().message);
+  }
+  return handle(*request);
+}
+
+Response ServiceCore::dispatch(const Request& request) {
+  if (request.version != kProtocolVersion) {
+    return Response::failure(
+        request.id, ErrorCode::kUnsupportedVersion,
+        util::fmt("protocol version {} unsupported; this daemon speaks {}",
+                  request.version, kProtocolVersion));
+  }
+  if (request.verb == "ping") return verb_ping(request);
+  if (request.verb == "submit") return verb_submit(request);
+  if (request.verb == "status") return verb_status(request);
+  if (request.verb == "list") return verb_list(request);
+  if (request.verb == "cancel") return verb_cancel(request);
+  if (request.verb == "topology") return verb_topology(request);
+  if (request.verb == "metrics") return verb_metrics(request);
+  if (request.verb == "advance") return verb_advance(request);
+  if (request.verb == "snapshot") return verb_snapshot(request);
+  if (request.verb == "drain") return verb_drain(request);
+  if (request.verb == "shutdown") return verb_shutdown(request);
+  return Response::failure(request.id, ErrorCode::kUnknownVerb,
+                           util::fmt("unknown verb '{}'", request.verb));
+}
+
+Response ServiceCore::verb_ping(const Request& request) {
+  json::Value result;
+  result.set("now", driver_.now());
+  result.set("protocol", kProtocolVersion);
+  result.set("policy", std::string(scheduler_->name()));
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::submit_one(long long request_id,
+                                 jobgraph::JobRequest job) {
+  if (admission_depth() >= options_.config.max_queue) {
+    GTS_METRIC_COUNT("svc.backpressure", 1);
+    return Response::failure(
+        request_id, ErrorCode::kBackpressure,
+        util::fmt("admission queue full ({} jobs); retry later",
+                  options_.config.max_queue),
+        options_.config.retry_after_ms);
+  }
+  // Wire submissions carry only the manifest; the profile anchors come
+  // from the same model-backed profiling the batch paths use, keeping
+  // service and prototype placements identical on the same workload.
+  perf::fill_profile(job, model_, topology_);
+  const sched::SubmitResult outcome = driver_.submit(job);
+  switch (outcome) {
+    case sched::SubmitResult::kAccepted: {
+      if (job.id >= next_auto_id_) next_auto_id_ = job.id + 1;
+      json::Value result;
+      result.set("id", job.id);
+      result.set("status", "accepted");
+      result.set("queue_depth", admission_depth());
+      return Response::success(request_id, std::move(result));
+    }
+    case sched::SubmitResult::kDuplicate:
+      return Response::failure(
+          request_id, ErrorCode::kConflict,
+          util::fmt("job id {} already submitted", job.id));
+    case sched::SubmitResult::kNeverFits: {
+      rejected_.insert(job.id);
+      json::Value record;
+      record.set("id", job.id);
+      record.set("state", "rejected");
+      record.set("arrival", job.arrival_time);
+      record.set("num_gpus", job.num_gpus);
+      history_[job.id] = std::move(record);
+      return Response::failure(
+          request_id, ErrorCode::kBadRequest,
+          util::fmt("job {} can never fit this cluster", job.id));
+    }
+    case sched::SubmitResult::kDraining:
+      return Response::failure(request_id, ErrorCode::kDraining,
+                               "daemon is draining; submit refused");
+  }
+  return Response::failure(request_id, ErrorCode::kInternal,
+                           "unhandled submit outcome");
+}
+
+Response ServiceCore::verb_submit(const Request& request) {
+  const json::Value& params = request.params;
+  const bool has_job = params.contains("job");
+  const bool has_manifest = params.contains("manifest");
+  if (has_job == has_manifest) {
+    return Response::failure(
+        request.id, ErrorCode::kBadRequest,
+        "submit takes exactly one of params.job (manifest object) or "
+        "params.manifest (manifest file path)");
+  }
+  if (has_job) {
+    json::Value manifest = params.at("job");
+    if (!manifest.is_object()) {
+      return Response::failure(request.id, ErrorCode::kBadRequest,
+                               "params.job must be a manifest object");
+    }
+    if (!manifest.contains("id")) manifest.set("id", next_auto_id_);
+    auto job = jobgraph::from_manifest(manifest);
+    if (!job) {
+      return Response::failure(request.id, ErrorCode::kBadRequest,
+                               job.error().message);
+    }
+    return submit_one(request.id, std::move(*job));
+  }
+  const std::string path = params.at("manifest").as_string();
+  auto jobs = jobgraph::load_manifest_file(path);
+  if (!jobs) {
+    return Response::failure(request.id, ErrorCode::kBadRequest,
+                             jobs.error().message);
+  }
+  // Batch submit: per-job outcomes, so one full queue or duplicate id
+  // doesn't hide what happened to the rest of the file.
+  json::Array results;
+  int accepted = 0;
+  for (jobgraph::JobRequest& job : *jobs) {
+    const int job_id = job.id;
+    const Response outcome = submit_one(request.id, std::move(job));
+    json::Value entry;
+    entry.set("id", job_id);
+    if (outcome.ok) {
+      entry.set("status", "accepted");
+      ++accepted;
+    } else {
+      entry.set("status", std::string(to_string(outcome.code)));
+      entry.set("message", outcome.message);
+      if (outcome.retry_after_ms >= 0.0) {
+        entry.set("retry_after_ms", outcome.retry_after_ms);
+      }
+    }
+    results.push_back(std::move(entry));
+  }
+  json::Value result;
+  result.set("accepted", accepted);
+  result.set("total", results.size());
+  result.set("results", std::move(results));
+  result.set("queue_depth", admission_depth());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_status(const Request& request) {
+  if (!request.params.at("id").is_number()) {
+    return Response::failure(request.id, ErrorCode::kBadRequest,
+                             "status requires numeric params.id");
+  }
+  const int job_id = static_cast<int>(request.params.at("id").as_int());
+  reconcile_history();
+  json::Value result;
+  result.set("id", job_id);
+  if (const cluster::RunningJob* running = driver_.state().find(job_id)) {
+    result.set("state", "running");
+    result.set("arrival", running->request.arrival_time);
+    result.set("start", running->start_time);
+    result.set("gpus", int_array(running->gpus));
+    // Progress is banked lazily on state changes; report it as of `now`.
+    const double live_progress =
+        running->progress_iterations +
+        running->rate * (driver_.now() - running->last_update);
+    result.set("progress_iterations",
+               std::min(live_progress,
+                        static_cast<double>(running->request.iterations)));
+    result.set("iterations", running->request.iterations);
+    result.set("placement_utility", running->placement_utility);
+    return Response::success(request.id, std::move(result));
+  }
+  for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
+    if (entry.request.id != job_id) continue;
+    result.set("state", "queued");
+    result.set("arrival", entry.request.arrival_time);
+    result.set("num_gpus", entry.request.num_gpus);
+    return Response::success(request.id, std::move(result));
+  }
+  for (const jobgraph::JobRequest& pending : driver_.pending_arrivals()) {
+    if (pending.id != job_id) continue;
+    result.set("state", "pending_arrival");
+    result.set("arrival", pending.arrival_time);
+    return Response::success(request.id, std::move(result));
+  }
+  if (const auto it = history_.find(job_id); it != history_.end()) {
+    return Response::success(request.id, it->second);
+  }
+  return Response::failure(request.id, ErrorCode::kNotFound,
+                           util::fmt("unknown job id {}", job_id));
+}
+
+Response ServiceCore::verb_list(const Request& request) {
+  reconcile_history();
+  json::Array running;
+  for (const auto& [id, job] : driver_.state().running_jobs()) {
+    running.push_back(id);
+  }
+  json::Array queued;
+  for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
+    queued.push_back(entry.request.id);
+  }
+  json::Array pending;
+  for (const jobgraph::JobRequest& job : driver_.pending_arrivals()) {
+    pending.push_back(job.id);
+  }
+  json::Array finished;
+  json::Array cancelled;
+  json::Array rejected;
+  for (const auto& [id, record] : history_) {
+    const std::string& state = record.at("state").as_string();
+    if (state == "finished") {
+      finished.push_back(id);
+    } else if (state == "cancelled") {
+      cancelled.push_back(id);
+    } else {
+      rejected.push_back(id);
+    }
+  }
+  json::Value result;
+  result.set("now", driver_.now());
+  result.set("draining", driver_.draining());
+  result.set("queue_depth", admission_depth());
+  result.set("capacity_version", driver_.capacity_version());
+  result.set("running", std::move(running));
+  result.set("queued", std::move(queued));
+  result.set("pending", std::move(pending));
+  result.set("finished", std::move(finished));
+  result.set("cancelled", std::move(cancelled));
+  result.set("rejected", std::move(rejected));
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_cancel(const Request& request) {
+  if (!request.params.at("id").is_number()) {
+    return Response::failure(request.id, ErrorCode::kBadRequest,
+                             "cancel requires numeric params.id");
+  }
+  const int job_id = static_cast<int>(request.params.at("id").as_int());
+  reconcile_history();
+  if (driver_.cancel(job_id)) {
+    reconcile_history();
+    json::Value result;
+    result.set("id", job_id);
+    result.set("cancelled", true);
+    result.set("now", driver_.now());
+    return Response::success(request.id, std::move(result));
+  }
+  if (history_.count(job_id) > 0) {
+    return Response::failure(
+        request.id, ErrorCode::kConflict,
+        util::fmt("job {} already {}", job_id,
+                  history_.at(job_id).at("state").as_string()));
+  }
+  return Response::failure(request.id, ErrorCode::kNotFound,
+                           util::fmt("unknown job id {}", job_id));
+}
+
+Response ServiceCore::verb_topology(const Request& request) {
+  json::Value result;
+  result.set("machines", topology_.machine_count());
+  result.set("gpus", topology_.gpu_count());
+  result.set("free_gpus", driver_.state().free_gpu_count());
+  result.set("fragmentation", driver_.state().fragmentation());
+  result.set("allocation_version", driver_.state().allocation_version());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_metrics(const Request& request) {
+  reconcile_history();
+  const sched::DriverReport& report = driver_.report();
+  json::Value result;
+  result.set("now", driver_.now());
+  result.set("queue_depth", admission_depth());
+  result.set("running", driver_.state().running_job_count());
+  result.set("terminal", history_.size());
+  result.set("decisions", report.decision_count);
+  result.set("decision_seconds", report.decision_seconds);
+  result.set("events", report.events);
+  result.set("rejected_jobs", report.rejected_jobs);
+  result.set("capacity_version", driver_.capacity_version());
+  result.set("draining", driver_.draining());
+  if (obs::metrics_enabled()) {
+    result.set("registry", obs::Registry::instance().snapshot_json());
+  }
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_advance(const Request& request) {
+  const json::Value& params = request.params;
+  const bool has_to = params.contains("to");
+  const bool run_all = params.at("all").as_bool(false);
+  if (has_to == run_all) {
+    return Response::failure(
+        request.id, ErrorCode::kBadRequest,
+        "advance takes exactly one of params.to (seconds) or params.all");
+  }
+  if (has_to) {
+    if (!params.at("to").is_number()) {
+      return Response::failure(request.id, ErrorCode::kBadRequest,
+                               "params.to must be a number");
+    }
+    const double to = params.at("to").as_number();
+    if (to < driver_.now() - 1e-9) {
+      return Response::failure(
+          request.id, ErrorCode::kBadRequest,
+          util::fmt("cannot advance into the past (now={})", driver_.now()));
+    }
+    driver_.advance_to(to);
+  } else {
+    driver_.advance_all();
+  }
+  reconcile_history();
+  json::Value result;
+  result.set("now", driver_.now());
+  result.set("idle", driver_.idle());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_snapshot(const Request& request) {
+  reconcile_history();
+  // Bank running-job progress and re-arm the completion event before
+  // serializing: the origin process and one restored from this snapshot
+  // then continue with bitwise-identical arithmetic (a snapshot request
+  // is part of the decision-determining request sequence).
+  driver_.checkpoint_progress();
+  const std::string path = request.params.at("path").as_string();
+  if (path.empty()) {
+    json::Value result;
+    result.set("snapshot", snapshot_json());
+    return Response::success(request.id, std::move(result));
+  }
+  if (auto status = save_snapshot(path); !status) {
+    return Response::failure(request.id, ErrorCode::kInternal,
+                             status.error().message);
+  }
+  json::Value result;
+  result.set("path", path);
+  result.set("now", driver_.now());
+  result.set("running", driver_.state().running_job_count());
+  result.set("queued", driver_.queue_depth());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_drain(const Request& request) {
+  driver_.drain();
+  const bool wait = request.params.at("wait").as_bool(true);
+  if (wait) driver_.advance_all();
+  reconcile_history();
+  json::Value result;
+  result.set("draining", true);
+  result.set("now", driver_.now());
+  result.set("idle", driver_.idle());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_shutdown(const Request& request) {
+  driver_.drain();
+  shutdown_requested_ = true;
+  json::Value result;
+  result.set("shutdown", true);
+  result.set("now", driver_.now());
+  return Response::success(request.id, std::move(result));
+}
+
+json::Value ServiceCore::terminal_record(const cluster::JobRecord& record,
+                                         std::string state) const {
+  json::Value value;
+  value.set("id", record.id);
+  value.set("state", std::move(state));
+  value.set("arrival", record.arrival);
+  value.set("start", record.start);
+  value.set("end", record.end);
+  value.set("num_gpus", record.num_gpus);
+  value.set("gpus", int_array(record.gpus));
+  value.set("placement_utility", record.placement_utility);
+  return value;
+}
+
+void ServiceCore::reconcile_history() {
+  for (const cluster::JobRecord& record : driver_.recorder().records()) {
+    if (history_.count(record.id) > 0) continue;
+    if (record.cancelled) {
+      history_[record.id] = terminal_record(record, "cancelled");
+    } else if (record.end >= 0.0) {
+      history_[record.id] = terminal_record(record, "finished");
+    }
+  }
+}
+
+}  // namespace gts::svc

@@ -1,0 +1,118 @@
+// Scheduler service core: the verb dispatcher behind the gts_schedd
+// daemon (DESIGN.md section 14).
+//
+// The core is transport-agnostic and single-threaded: the socket server
+// feeds it one decoded Request at a time and writes back the Response.
+// Simulated time is virtual and advances only through the `advance` and
+// `drain` verbs, so a daemon's decision sequence is a pure function of
+// the request sequence — which is what makes the snapshot/restore
+// continuation byte-identical to an uninterrupted run (tests/svc_test.cpp
+// and tools/service_smoke.sh hold it to that).
+//
+// Verbs: ping, submit (inline manifest object or manifest file), status,
+// list, cancel, topology, metrics, advance, snapshot, drain, shutdown.
+// Admission is bounded: when queued + pending-arrival jobs reach
+// max_queue, submit fails with a `backpressure` error carrying a
+// retry_after_ms hint.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "config/system_config.hpp"
+#include "perf/model.hpp"
+#include "sched/driver.hpp"
+#include "sched/scheduler.hpp"
+#include "svc/protocol.hpp"
+#include "topo/topology.hpp"
+
+namespace gts::svc {
+
+struct ServiceOptions {
+  /// Admission/backpressure knobs and the placement policy ([service]
+  /// section of sys-config.ini; every field has a gts_schedd flag).
+  config::ServiceConfig config;
+  sched::UtilityWeights weights{};
+  /// Driver self-audit (check subsystem) after every simulated event.
+  bool self_audit = false;
+};
+
+class ServiceCore {
+ public:
+  ServiceCore(const topo::TopologyGraph& topology,
+              const perf::DlWorkloadModel& model, ServiceOptions options = {});
+
+  /// Dispatches one request (version check, then the verb table).
+  /// Instrumented: kSvc span, svc.requests / svc.request_latency_us /
+  /// svc.queue_depth metrics.
+  Response handle(const Request& request);
+
+  /// Parses one wire line and dispatches it. Undecodable lines yield a
+  /// `parse` failure addressed to id 0; the caller should close the
+  /// session afterwards (framing is unrecoverable).
+  Response handle_line(std::string_view line);
+
+  /// Set by the `shutdown` verb; the server exits its loop after
+  /// flushing pending replies.
+  bool shutdown_requested() const noexcept { return shutdown_requested_; }
+
+  const ServiceOptions& options() const noexcept { return options_; }
+  sched::Driver& driver() noexcept { return driver_; }
+  const sched::Driver& driver() const noexcept { return driver_; }
+
+  /// Jobs counted against max_queue: waiting + pending arrivals.
+  int admission_depth() const noexcept;
+
+  // --- snapshot/restore (svc/snapshot.cpp) ---------------------------------
+  /// The versioned crash-recovery document (schema_version 1, kind
+  /// "svc_snapshot"): simulated clock, capacity version, every running /
+  /// waiting / pending-arrival job as its manifest plus execution state,
+  /// terminal-job history, and the draining flag.
+  json::Value snapshot_json() const;
+  /// Rebuilds the core from a snapshot document. Requires a freshly
+  /// constructed core (no traffic yet); every running placement is
+  /// replayed through check::audit_placement and the restored cluster
+  /// state through check::validate before the core accepts traffic.
+  util::Status restore_json(const json::Value& document);
+  util::Status save_snapshot(const std::string& path) const;
+  util::Status load_snapshot(const std::string& path);
+
+ private:
+  Response dispatch(const Request& request);
+  Response verb_ping(const Request& request);
+  Response verb_submit(const Request& request);
+  Response verb_status(const Request& request);
+  Response verb_list(const Request& request);
+  Response verb_cancel(const Request& request);
+  Response verb_topology(const Request& request);
+  Response verb_metrics(const Request& request);
+  Response verb_advance(const Request& request);
+  Response verb_snapshot(const Request& request);
+  Response verb_drain(const Request& request);
+  Response verb_shutdown(const Request& request);
+
+  /// Admits one parsed job; shared by inline and manifest-file submit.
+  Response submit_one(long long request_id, jobgraph::JobRequest job);
+  /// Folds newly terminal recorder records (finished/cancelled) into
+  /// history_, so status/list survive snapshot/restore.
+  void reconcile_history();
+  json::Value terminal_record(const cluster::JobRecord& record,
+                              std::string state) const;
+
+  const topo::TopologyGraph& topology_;
+  const perf::DlWorkloadModel& model_;
+  ServiceOptions options_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  sched::Driver driver_;
+  /// Terminal jobs (finished/cancelled/rejected) as status-shaped JSON,
+  /// keyed by job id; carried across snapshot/restore.
+  std::map<int, json::Value> history_;
+  /// Ids refused with never_fits (they briefly touch the recorder).
+  std::set<int> rejected_;
+  int next_auto_id_ = 1;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace gts::svc

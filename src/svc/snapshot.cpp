@@ -1,0 +1,210 @@
+#include "svc/snapshot.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jobgraph/manifest.hpp"
+#include "perf/profile.hpp"
+#include "svc/service.hpp"
+#include "util/strings.hpp"
+
+namespace gts::svc {
+
+namespace {
+
+/// The waiting-queue "never attempted" sentinel (~0ULL) does not survive a
+/// double round-trip; encode it as -1.
+json::Value encode_attempted_version(std::uint64_t version) {
+  if (version == ~0ULL) return json::Value{-1};
+  return json::Value{static_cast<double>(version)};
+}
+
+std::uint64_t decode_attempted_version(const json::Value& value) {
+  const double raw = value.as_number(-1.0);
+  if (raw < 0.0) return ~0ULL;
+  return static_cast<std::uint64_t>(raw);
+}
+
+util::Status require_array(const json::Value& document, const char* key) {
+  if (!document.at(key).is_array()) {
+    return util::Error{util::fmt("snapshot: missing array '{}'", key)};
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Status validate_snapshot_json(const json::Value& document) {
+  if (!document.is_object()) {
+    return util::Error{"snapshot: document is not an object"};
+  }
+  if (document.at("schema_version").as_int(-1) != kSnapshotSchemaVersion) {
+    return util::Error{
+        util::fmt("snapshot: schema_version must be {}",
+                  kSnapshotSchemaVersion)};
+  }
+  if (document.at("kind").as_string() != kSnapshotKind) {
+    return util::Error{"snapshot: kind must be 'svc_snapshot'"};
+  }
+  if (!document.at("now").is_number() || document.at("now").as_number() < 0.0) {
+    return util::Error{"snapshot: missing non-negative 'now'"};
+  }
+  if (!document.at("capacity_version").is_number()) {
+    return util::Error{"snapshot: missing numeric 'capacity_version'"};
+  }
+  for (const char* key : {"running", "waiting", "pending", "history"}) {
+    if (auto status = require_array(document, key); !status) return status;
+  }
+  for (const json::Value& entry : document.at("running").as_array()) {
+    if (!entry.at("manifest").is_object()) {
+      return util::Error{"snapshot: running entry without manifest object"};
+    }
+    if (!entry.at("gpus").is_array() || entry.at("gpus").as_array().empty()) {
+      return util::Error{"snapshot: running entry without gpus"};
+    }
+    if (!entry.at("start_time").is_number() ||
+        !entry.at("progress_iterations").is_number()) {
+      return util::Error{
+          "snapshot: running entry without start_time/progress_iterations"};
+    }
+  }
+  for (const char* key : {"waiting", "pending"}) {
+    for (const json::Value& entry : document.at(key).as_array()) {
+      if (!entry.at("manifest").is_object()) {
+        return util::Error{
+            util::fmt("snapshot: {} entry without manifest object", key)};
+      }
+    }
+  }
+  return util::Status::ok();
+}
+
+json::Value ServiceCore::snapshot_json() const {
+  json::Value document;
+  document.set("schema_version", kSnapshotSchemaVersion);
+  document.set("kind", std::string(kSnapshotKind));
+  document.set("now", driver_.now());
+  document.set("capacity_version", driver_.capacity_version());
+  document.set("draining", driver_.draining());
+  document.set("next_auto_id", next_auto_id_);
+
+  json::Array running;
+  for (const auto& [id, job] : driver_.state().running_jobs()) {
+    json::Value entry;
+    entry.set("manifest", jobgraph::to_manifest(job.request));
+    json::Array gpus;
+    for (const int gpu : job.gpus) gpus.push_back(gpu);
+    entry.set("gpus", std::move(gpus));
+    entry.set("start_time", job.start_time);
+    // Live progress at the snapshot clock: progress is banked lazily (at
+    // state changes), so the stored value must include the un-banked run
+    // since last_update or the restored job would finish late. The
+    // `snapshot` verb banks first (Driver::checkpoint_progress), making
+    // this the identity and the restored arithmetic bitwise-equal.
+    entry.set("progress_iterations",
+              std::min(job.progress_iterations +
+                           job.rate * (driver_.now() - job.last_update),
+                       static_cast<double>(job.request.iterations)));
+    entry.set("placement_utility", job.placement_utility);
+    entry.set("noise_factor", job.noise_factor);
+    running.push_back(std::move(entry));
+  }
+  document.set("running", std::move(running));
+
+  json::Array waiting;
+  for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
+    json::Value item;
+    item.set("manifest", jobgraph::to_manifest(entry.request));
+    item.set("attempted_version",
+             encode_attempted_version(entry.attempted_version));
+    waiting.push_back(std::move(item));
+  }
+  document.set("waiting", std::move(waiting));
+
+  json::Array pending;
+  for (const jobgraph::JobRequest& job : driver_.pending_arrivals()) {
+    json::Value item;
+    item.set("manifest", jobgraph::to_manifest(job));
+    pending.push_back(std::move(item));
+  }
+  document.set("pending", std::move(pending));
+
+  json::Array history;
+  for (const auto& [id, record] : history_) history.push_back(record);
+  document.set("history", std::move(history));
+  return document;
+}
+
+util::Status ServiceCore::restore_json(const json::Value& document) {
+  if (auto status = validate_snapshot_json(document); !status) return status;
+
+  const double now = document.at("now").as_number();
+  const auto capacity_version =
+      static_cast<std::uint64_t>(document.at("capacity_version").as_number());
+  if (auto status = driver_.begin_restore(now, capacity_version); !status) {
+    return status;
+  }
+  for (const json::Value& entry : document.at("running").as_array()) {
+    auto job = jobgraph::from_manifest(entry.at("manifest"));
+    if (!job) return job.error().with_context("snapshot running job");
+    perf::fill_profile(*job, model_, topology_);
+    std::vector<int> gpus;
+    for (const json::Value& gpu : entry.at("gpus").as_array()) {
+      gpus.push_back(static_cast<int>(gpu.as_int()));
+    }
+    if (auto status = driver_.restore_running(
+            *job, gpus, entry.at("start_time").as_number(),
+            entry.at("progress_iterations").as_number(),
+            entry.at("placement_utility").as_number(),
+            entry.at("noise_factor").as_number(1.0));
+        !status) {
+      return status;
+    }
+  }
+  for (const json::Value& entry : document.at("waiting").as_array()) {
+    auto job = jobgraph::from_manifest(entry.at("manifest"));
+    if (!job) return job.error().with_context("snapshot waiting job");
+    perf::fill_profile(*job, model_, topology_);
+    driver_.restore_waiting(
+        *job, decode_attempted_version(entry.at("attempted_version")));
+  }
+  for (const json::Value& entry : document.at("pending").as_array()) {
+    auto job = jobgraph::from_manifest(entry.at("manifest"));
+    if (!job) return job.error().with_context("snapshot pending job");
+    perf::fill_profile(*job, model_, topology_);
+    if (driver_.submit(*job) != sched::SubmitResult::kAccepted) {
+      return util::Error{util::fmt(
+          "snapshot pending job {}: arrival could not be re-scheduled",
+          job->id)};
+    }
+  }
+  if (auto status = driver_.finish_restore(); !status) return status;
+
+  history_.clear();
+  rejected_.clear();
+  for (const json::Value& record : document.at("history").as_array()) {
+    const int id = static_cast<int>(record.at("id").as_int());
+    history_[id] = record;
+    if (record.at("state").as_string() == "rejected") rejected_.insert(id);
+  }
+  next_auto_id_ = static_cast<int>(document.at("next_auto_id").as_int(1));
+  if (document.at("draining").as_bool(false)) driver_.drain();
+  return util::Status::ok();
+}
+
+util::Status ServiceCore::save_snapshot(const std::string& path) const {
+  return json::write_file(snapshot_json(), path, {.indent = 2});
+}
+
+util::Status ServiceCore::load_snapshot(const std::string& path) {
+  auto document = json::parse_file(path);
+  if (!document) return document.error().with_context(path);
+  if (auto status = restore_json(*document); !status) {
+    return status.error().with_context(path);
+  }
+  return util::Status::ok();
+}
+
+}  // namespace gts::svc

@@ -150,5 +150,91 @@ TEST(JsonFileTest, MissingFileFails) {
   EXPECT_FALSE(parse_file("/nonexistent/gts.json").has_value());
 }
 
+// --- wire-duty hardening (the svc protocol parses untrusted bytes) ---------
+
+TEST(JsonHardeningTest, RejectsSurrogateEscapes) {
+  // Lone high surrogate, lone low surrogate, and a well-formed non-BMP
+  // pair (U+1D11E): all outside the BMP-only contract, all rejected.
+  for (const char* text :
+       {R"("\ud834")", R"("\udd1e")", R"("\ud834\udd1e")",
+        R"({"k": "\uDFFF trailing"})"}) {
+    const auto doc = parse(text);
+    ASSERT_FALSE(doc.has_value()) << text;
+    EXPECT_NE(doc.error().message.find("surrogate"), std::string::npos)
+        << doc.error().message;
+  }
+  // Boundary code points adjacent to the surrogate range still parse.
+  EXPECT_EQ(parse(R"("\ud7ff")")->as_string(), "\xed\x9f\xbf");
+  EXPECT_EQ(parse(R"("\ue000")")->as_string(), "\xee\x80\x80");
+}
+
+TEST(JsonHardeningTest, RejectsTruncatedUnicodeEscape) {
+  EXPECT_FALSE(parse(R"("\u12)").has_value());
+  EXPECT_FALSE(parse(R"("\u12zz")").has_value());
+  EXPECT_FALSE(parse("\"\\u").has_value());
+}
+
+TEST(JsonHardeningTest, RejectsOverDeepNesting) {
+  const std::string deep_array(static_cast<size_t>(kMaxParseDepth) + 8, '[');
+  const auto arrays = parse(deep_array);
+  ASSERT_FALSE(arrays.has_value());
+  EXPECT_NE(arrays.error().message.find("nesting"), std::string::npos);
+
+  std::string deep_object;
+  for (int i = 0; i < kMaxParseDepth + 8; ++i) deep_object += "{\"a\":";
+  EXPECT_FALSE(parse(deep_object).has_value());
+}
+
+TEST(JsonHardeningTest, AcceptsNestingAtTheLimit) {
+  std::string text;
+  const int depth = kMaxParseDepth;
+  for (int i = 0; i < depth; ++i) text += '[';
+  text += "1";
+  for (int i = 0; i < depth; ++i) text += ']';
+  const auto doc = parse(text);
+  ASSERT_TRUE(doc.has_value());
+
+  // Sibling containers do not accumulate depth: a long flat array of
+  // empty objects is fine.
+  std::string flat = "[";
+  for (int i = 0; i < 4 * kMaxParseDepth; ++i) {
+    if (i > 0) flat += ',';
+    flat += "{}";
+  }
+  flat += ']';
+  EXPECT_TRUE(parse(flat).has_value());
+}
+
+TEST(JsonHardeningTest, AdversarialInputsFailCleanly) {
+  // None of these may crash or return success; several used to be
+  // quietly mis-parsed in pre-hardening revisions of other libraries.
+  for (const char* text :
+       {"[1, 2", "{\"a\" 1}", "{\"a\":}", "[,]", "nul", "tru", "+1", "01a",
+        "\"\x01\"", "1e", "1e+", "-", "--1", "\"abc", "[\"\\q\"]",
+        "{\"a\": 1,}", "[]]", "{} {}", "\x80\x80"}) {
+    EXPECT_FALSE(parse(text).has_value()) << text;
+  }
+}
+
+TEST(JsonHardeningTest, RoundTripSurvivesControlAndQuoteHeavyStrings) {
+  Value v;
+  v.set("s", std::string("a\"b\\c\n\t\r\b\f\x01\x1f end"));
+  v.set("empty", std::string());
+  Array nested;
+  for (int i = 0; i < 50; ++i) {
+    Value inner;
+    inner.set("i", i);
+    inner.set("text", std::string(static_cast<size_t>(i), '"'));
+    nested.push_back(std::move(inner));
+  }
+  v.set("nested", std::move(nested));
+  const auto reparsed = parse(write(v));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_TRUE(*reparsed == v);
+  const auto pretty = parse(write(v, {.indent = 2}));
+  ASSERT_TRUE(pretty.has_value());
+  EXPECT_TRUE(*pretty == v);
+}
+
 }  // namespace
 }  // namespace gts::json

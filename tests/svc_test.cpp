@@ -1,0 +1,461 @@
+// Scheduler-service tests: wire-protocol encode/decode, ServiceCore verb
+// semantics (malformed requests, backpressure, cancel, drain), snapshot →
+// restore state identity, prototype-vs-service placement equivalence, and
+// a concurrent multi-client socket session (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "check/audit.hpp"
+#include "jobgraph/manifest.hpp"
+#include "perf/model.hpp"
+#include "proto/runtime.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "svc/snapshot.hpp"
+#include "topo/builders.hpp"
+#include "util/strings.hpp"
+
+namespace gts::svc {
+namespace {
+
+jobgraph::JobRequest dl_job(int id, double arrival, int num_gpus,
+                            long long iterations = 200) {
+  return jobgraph::JobRequest::make_dl(id, arrival,
+                                       jobgraph::NeuralNet::kAlexNet, 4,
+                                       num_gpus, 0.4, iterations);
+}
+
+Request make_request(long long id, std::string verb,
+                     json::Value params = {}) {
+  Request request;
+  request.id = id;
+  request.verb = std::move(verb);
+  request.params = std::move(params);
+  return request;
+}
+
+/// Topology/model/core wired like a small gts_schedd (2 Minsky machines).
+class ServiceCoreTest : public ::testing::Test {
+ protected:
+  ServiceCoreTest()
+      : topology_(topo::builders::cluster(
+            2, topo::builders::MachineShape::kPower8Minsky)),
+        model_(perf::CalibrationParams::paper_minsky()) {}
+
+  ServiceCore make_core(int max_queue = 64) {
+    ServiceOptions options;
+    options.config.max_queue = max_queue;
+    options.config.retry_after_ms = 25.0;
+    options.self_audit = true;
+    return ServiceCore(topology_, model_, options);
+  }
+
+  Response submit(ServiceCore& core, const jobgraph::JobRequest& job,
+                  long long request_id = 1) {
+    json::Value params;
+    params.set("job", jobgraph::to_manifest(job));
+    return core.handle(make_request(request_id, "submit", std::move(params)));
+  }
+
+  Response advance_all(ServiceCore& core, long long request_id = 90) {
+    json::Value params;
+    params.set("all", true);
+    return core.handle(make_request(request_id, "advance", std::move(params)));
+  }
+
+  topo::TopologyGraph topology_;
+  perf::DlWorkloadModel model_;
+};
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(SvcProtocolTest, RequestEncodeParseRoundtrip) {
+  json::Value params;
+  params.set("id", 7);
+  const Request request = make_request(42, "status", std::move(params));
+  const std::string line = encode(request);
+  EXPECT_EQ(line.back(), '\n');
+  const auto parsed = parse_request(line);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(parsed->version, kProtocolVersion);
+  EXPECT_EQ(parsed->id, 42);
+  EXPECT_EQ(parsed->verb, "status");
+  EXPECT_EQ(parsed->params.at("id").as_int(), 7);
+}
+
+TEST(SvcProtocolTest, ResponseEncodeParseRoundtrip) {
+  json::Value result;
+  result.set("now", 12.5);
+  const Response ok = Response::success(3, std::move(result));
+  const auto parsed_ok = parse_response(encode(ok));
+  ASSERT_TRUE(parsed_ok.has_value());
+  EXPECT_TRUE(parsed_ok->ok);
+  EXPECT_EQ(parsed_ok->id, 3);
+  EXPECT_DOUBLE_EQ(parsed_ok->result.at("now").as_number(), 12.5);
+
+  const Response fail =
+      Response::failure(4, ErrorCode::kBackpressure, "queue full", 50.0);
+  const auto parsed_fail = parse_response(encode(fail));
+  ASSERT_TRUE(parsed_fail.has_value());
+  EXPECT_FALSE(parsed_fail->ok);
+  EXPECT_EQ(parsed_fail->id, 4);
+  EXPECT_EQ(parsed_fail->code, ErrorCode::kBackpressure);
+  EXPECT_EQ(parsed_fail->message, "queue full");
+  EXPECT_DOUBLE_EQ(parsed_fail->retry_after_ms, 50.0);
+}
+
+TEST(SvcProtocolTest, ErrorCodeNamesRoundtrip) {
+  for (const ErrorCode code :
+       {ErrorCode::kParse, ErrorCode::kUnsupportedVersion,
+        ErrorCode::kBadRequest, ErrorCode::kUnknownVerb,
+        ErrorCode::kBackpressure, ErrorCode::kDraining, ErrorCode::kNotFound,
+        ErrorCode::kConflict, ErrorCode::kInternal}) {
+    const auto parsed = parse_error_code(to_string(code));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("no-such-code").has_value());
+}
+
+TEST(SvcProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(parse_request("not json").has_value());
+  EXPECT_FALSE(parse_request("[1,2,3]").has_value());          // not an object
+  EXPECT_FALSE(parse_request(R"({"id":1,"verb":"x"})").has_value());  // no v
+  EXPECT_FALSE(parse_request(R"({"v":1,"verb":"x"})").has_value());   // no id
+  EXPECT_FALSE(parse_request(R"({"v":1,"id":1})").has_value());  // no verb
+  EXPECT_FALSE(
+      parse_request(R"({"v":1,"id":1,"verb":""})").has_value());  // empty
+  EXPECT_FALSE(parse_request(R"({"v":1,"id":1,"verb":"x","params":3})")
+                   .has_value());  // params not an object
+  const std::string oversize =
+      R"({"v":1,"id":1,"verb":")" + std::string(kMaxLineBytes, 'a') + R"("})";
+  EXPECT_FALSE(parse_request(oversize).has_value());
+}
+
+// --- core verb semantics ----------------------------------------------------
+
+TEST_F(ServiceCoreTest, MalformedLineAnsweredOnIdZero) {
+  ServiceCore core = make_core();
+  const Response response = core.handle_line("{broken");
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, 0);
+  EXPECT_EQ(response.code, ErrorCode::kParse);
+}
+
+TEST_F(ServiceCoreTest, VersionMismatchAnsweredOnRequestId) {
+  ServiceCore core = make_core();
+  Request request = make_request(9, "ping");
+  request.version = 2;
+  const Response response = core.handle(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, 9);
+  EXPECT_EQ(response.code, ErrorCode::kUnsupportedVersion);
+}
+
+TEST_F(ServiceCoreTest, UnknownVerbAndBadParams) {
+  ServiceCore core = make_core();
+  const Response unknown = core.handle(make_request(1, "frobnicate"));
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.code, ErrorCode::kUnknownVerb);
+
+  // submit requires exactly one of job / manifest.
+  const Response neither = core.handle(make_request(2, "submit"));
+  EXPECT_FALSE(neither.ok);
+  EXPECT_EQ(neither.code, ErrorCode::kBadRequest);
+
+  json::Value params;
+  params.set("id", std::string("seven"));
+  const Response bad_id =
+      core.handle(make_request(3, "status", std::move(params)));
+  EXPECT_FALSE(bad_id.ok);
+  EXPECT_EQ(bad_id.code, ErrorCode::kBadRequest);
+}
+
+TEST_F(ServiceCoreTest, SubmitLifecycle) {
+  ServiceCore core = make_core();
+  const Response accepted = submit(core, dl_job(1, 0.0, 2));
+  ASSERT_TRUE(accepted.ok) << accepted.message;
+  EXPECT_EQ(accepted.result.at("id").as_int(), 1);
+  EXPECT_EQ(accepted.result.at("status").as_string(), "accepted");
+
+  ASSERT_TRUE(advance_all(core).ok);
+  json::Value status_params;
+  status_params.set("id", 1);
+  const Response finished =
+      core.handle(make_request(5, "status", std::move(status_params)));
+  ASSERT_TRUE(finished.ok);
+  EXPECT_EQ(finished.result.at("state").as_string(), "finished");
+  EXPECT_EQ(finished.result.at("gpus").as_array().size(), 2u);
+}
+
+TEST_F(ServiceCoreTest, BackpressureCarriesRetryHint) {
+  ServiceCore core = make_core(/*max_queue=*/2);
+  ASSERT_TRUE(submit(core, dl_job(1, 10.0, 1), 1).ok);
+  ASSERT_TRUE(submit(core, dl_job(2, 11.0, 1), 2).ok);
+  const Response third = submit(core, dl_job(3, 12.0, 1), 3);
+  EXPECT_FALSE(third.ok);
+  EXPECT_EQ(third.code, ErrorCode::kBackpressure);
+  EXPECT_DOUBLE_EQ(third.retry_after_ms, 25.0);
+
+  // Admitting the queue frees capacity and the retry succeeds.
+  ASSERT_TRUE(advance_all(core).ok);
+  EXPECT_TRUE(submit(core, dl_job(3, 12.0, 1), 4).ok);
+}
+
+TEST_F(ServiceCoreTest, CancelConflictAndNotFound) {
+  ServiceCore core = make_core();
+  ASSERT_TRUE(submit(core, dl_job(1, 5.0, 1)).ok);
+
+  json::Value cancel_params;
+  cancel_params.set("id", 1);
+  const Response cancelled =
+      core.handle(make_request(2, "cancel", cancel_params));
+  ASSERT_TRUE(cancelled.ok) << cancelled.message;
+
+  const Response again = core.handle(make_request(3, "cancel", cancel_params));
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.code, ErrorCode::kConflict);
+
+  json::Value missing;
+  missing.set("id", 999);
+  const Response not_found =
+      core.handle(make_request(4, "status", std::move(missing)));
+  EXPECT_FALSE(not_found.ok);
+  EXPECT_EQ(not_found.code, ErrorCode::kNotFound);
+}
+
+TEST_F(ServiceCoreTest, DrainRefusesNewSubmits) {
+  ServiceCore core = make_core();
+  ASSERT_TRUE(submit(core, dl_job(1, 0.0, 1)).ok);
+  json::Value params;
+  params.set("wait", false);
+  ASSERT_TRUE(core.handle(make_request(2, "drain", std::move(params))).ok);
+  const Response refused = submit(core, dl_job(2, 0.0, 1), 3);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, ErrorCode::kDraining);
+}
+
+// --- snapshot / restore -----------------------------------------------------
+
+TEST_F(ServiceCoreTest, SnapshotRestoreStateIdentity) {
+  ServiceCore original = make_core();
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(
+        submit(original, dl_job(i, 2.0 * i, 1 + (i % 3), 300), i).ok);
+  }
+  // Mid-flight: some running, some waiting, some arrivals still pending.
+  json::Value advance_params;
+  advance_params.set("to", 7.0);
+  ASSERT_TRUE(
+      original.handle(make_request(50, "advance", advance_params)).ok);
+
+  // Through the verb: a snapshot request checkpoints progress, which is
+  // what makes the continuation bitwise-identical.
+  const Response snap = original.handle(make_request(51, "snapshot"));
+  ASSERT_TRUE(snap.ok) << snap.message;
+  const json::Value snapshot = snap.result.at("snapshot");
+  ASSERT_TRUE(validate_snapshot_json(snapshot)) << "snapshot invalid";
+
+  ServiceCore restored = make_core();
+  const auto status = restored.restore_json(snapshot);
+  ASSERT_TRUE(status) << status.error().message;
+
+  // Restored cluster state passes the validators directly.
+  ASSERT_TRUE(check::validate(restored.driver().state()));
+
+  // The restored core re-snapshots byte-identically.
+  EXPECT_EQ(json::write(restored.snapshot_json(), {.indent = 2}),
+            json::write(snapshot, {.indent = 2}));
+
+  // ... and every subsequent decision matches the uninterrupted run.
+  for (ServiceCore* core : {&original, &restored}) {
+    ASSERT_TRUE(core->handle(make_request(60, "drain")).ok);
+  }
+  const std::string original_list =
+      encode(original.handle(make_request(61, "list")));
+  const std::string restored_list =
+      encode(restored.handle(make_request(61, "list")));
+  EXPECT_EQ(original_list, restored_list);
+  for (int i = 1; i <= 6; ++i) {
+    json::Value params;
+    params.set("id", i);
+    const std::string a =
+        encode(original.handle(make_request(70 + i, "status", params)));
+    const std::string b =
+        encode(restored.handle(make_request(70 + i, "status", params)));
+    EXPECT_EQ(a, b) << "job " << i << " diverged after restore";
+  }
+}
+
+TEST_F(ServiceCoreTest, SnapshotValidatorRejectsGarbage) {
+  EXPECT_FALSE(validate_snapshot_json(json::Value{}));
+  auto doc = json::parse(R"({"schema_version":1,"kind":"wrong"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(validate_snapshot_json(*doc));
+  auto missing = json::parse(
+      R"({"schema_version":1,"kind":"svc_snapshot","now":1.0})");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_FALSE(validate_snapshot_json(*missing));
+  auto bad_version = json::parse(
+      R"({"schema_version":99,"kind":"svc_snapshot","now":0,
+          "capacity_version":0,"draining":false,"next_auto_id":1,
+          "running":[],"waiting":[],"pending":[],"history":[]})");
+  ASSERT_TRUE(bad_version.has_value());
+  EXPECT_FALSE(validate_snapshot_json(*bad_version));
+}
+
+// --- prototype equivalence --------------------------------------------------
+
+TEST_F(ServiceCoreTest, ManifestSubmitMatchesPrototypeRuntime) {
+  // One fixed workload written as a Section 5.1 manifest file.
+  std::vector<jobgraph::JobRequest> jobs;
+  for (int i = 1; i <= 8; ++i) {
+    jobs.push_back(dl_job(i, 3.0 * i, 1 + (i % 4), 250));
+  }
+  json::Value manifest;
+  for (const jobgraph::JobRequest& job : jobs) {
+    manifest.mutable_array().push_back(jobgraph::to_manifest(job));
+  }
+  const std::string path =
+      util::fmt("./svc_manifest_{}.json", static_cast<int>(::getpid()));
+  {
+    std::ofstream out(path);
+    out << json::write(manifest, {.indent = 2});
+  }
+
+  // Batch prototype run (Sections 5.1/5.2) on the same policy.
+  proto::PrototypeRuntime runtime(topology_, model_);
+  proto::PrototypeConfig config;
+  config.policy = sched::Policy::kTopoAwareP;
+  const auto proto_run = runtime.run_manifest(config, path);
+  ASSERT_TRUE(proto_run.has_value()) << proto_run.error().message;
+
+  // Service run: submit the same manifest over the verb, drain.
+  ServiceCore core = make_core();
+  json::Value params;
+  params.set("manifest", path);
+  const Response submitted =
+      core.handle(make_request(1, "submit", std::move(params)));
+  ASSERT_TRUE(submitted.ok) << submitted.message;
+  EXPECT_EQ(submitted.result.at("accepted").as_int(), 8);
+  ASSERT_TRUE(core.handle(make_request(2, "drain")).ok);
+
+  // Identical placements and timings, job by job.
+  for (const jobgraph::JobRequest& job : jobs) {
+    const cluster::JobRecord* record =
+        core.driver().report().recorder.find(job.id);
+    const cluster::JobRecord* expected =
+        proto_run->report.recorder.find(job.id);
+    ASSERT_NE(record, nullptr);
+    ASSERT_NE(expected, nullptr);
+    EXPECT_EQ(record->gpus, expected->gpus) << "job " << job.id;
+    EXPECT_DOUBLE_EQ(record->start, expected->start) << "job " << job.id;
+    EXPECT_DOUBLE_EQ(record->end, expected->end) << "job " << job.id;
+    EXPECT_DOUBLE_EQ(record->placement_utility, expected->placement_utility);
+  }
+  std::remove(path.c_str());
+}
+
+// --- socket server (TSan target) --------------------------------------------
+
+TEST(SvcServerTest, ConcurrentClientsSubmitAndDrain) {
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      2, topo::builders::MachineShape::kPower8Minsky);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  ServiceOptions options;
+  options.config.max_queue = 64;
+  ServiceCore core(topology, model, options);
+
+  const std::string socket_path =
+      util::fmt("./svc_test_{}.sock", static_cast<int>(::getpid()));
+  ServerOptions server_options;
+  server_options.unix_socket = socket_path;
+  Server server(core, server_options);
+  ASSERT_TRUE(server.start());
+  std::thread server_thread([&server] { (void)server.run(); });
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 5;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::connect_unix(socket_path);
+      ASSERT_TRUE(client.has_value()) << client.error().message;
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        const int id = 1 + c * kJobsPerClient + j;
+        json::Value params;
+        params.set("job",
+                   jobgraph::to_manifest(dl_job(id, 1.0 * id, 1, 150)));
+        const auto response = client->call("submit", params);
+        ASSERT_TRUE(response.has_value()) << response.error().message;
+        if (response->ok) accepted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(accepted.load(), kClients * kJobsPerClient);
+
+  auto control = Client::connect_unix(socket_path);
+  ASSERT_TRUE(control.has_value());
+  const auto drained = control->call("drain");
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_TRUE(drained->ok);
+  const auto listing = control->call("list");
+  ASSERT_TRUE(listing.has_value());
+  ASSERT_TRUE(listing->ok);
+  EXPECT_EQ(listing->result.at("finished").as_array().size(),
+            static_cast<std::size_t>(kClients * kJobsPerClient));
+  const auto shutdown = control->call("shutdown");
+  ASSERT_TRUE(shutdown.has_value());
+  EXPECT_TRUE(shutdown->ok);
+  server_thread.join();
+}
+
+TEST(SvcServerTest, MalformedLineClosesSession) {
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      1, topo::builders::MachineShape::kPower8Minsky);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  ServiceCore core(topology, model, {});
+
+  const std::string socket_path =
+      util::fmt("./svc_bad_{}.sock", static_cast<int>(::getpid()));
+  ServerOptions server_options;
+  server_options.unix_socket = socket_path;
+  Server server(core, server_options);
+  ASSERT_TRUE(server.start());
+  std::thread server_thread([&server] { (void)server.run(); });
+
+  auto bad = Client::connect_unix(socket_path);
+  ASSERT_TRUE(bad.has_value());
+  const auto reply = bad->roundtrip_raw("this is not json\n");
+  ASSERT_TRUE(reply.has_value()) << reply.error().message;
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->id, 0);
+  EXPECT_EQ(reply->code, ErrorCode::kParse);
+  // The session is gone; the next round trip fails at the transport.
+  EXPECT_FALSE(bad->call("ping").has_value());
+
+  // A fresh session still works.
+  auto good = Client::connect_unix(socket_path);
+  ASSERT_TRUE(good.has_value());
+  const auto pong = good->call("ping");
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok);
+
+  server.stop();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace gts::svc

@@ -39,7 +39,7 @@ Options:
   --build-dir DIR    cmake build tree with bench/ binaries (default: ${BUILD_DIR})
   --scenario NAME    run one scenario (repeatable); default: the full matrix
                      (fig10 fig11 ablation_alpha ablation_threshold
-                      ablation_noise overhead)
+                      ablation_noise overhead service_load)
   --quick            CI smoke sizes (tiny clusters / job counts)
   --full             paper-scale Fig. 11 (10000 jobs on 1000 machines)
   -h, --help         this text
@@ -62,7 +62,7 @@ done
 
 if [[ ${#SCENARIOS[@]} -eq 0 ]]; then
   SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise
-             overhead)
+             overhead service_load)
 fi
 
 FIG10_MACHINES=5
@@ -70,6 +70,9 @@ FIG10_JOBS=100
 OVERHEAD_MACHINES="5,20,50"
 OVERHEAD_TASKS="2,4,8"
 OVERHEAD_JOBS=40
+SERVICE_CONNECTIONS=4
+SERVICE_JOBS=60
+SERVICE_MACHINES=4
 if [[ "$QUICK" -eq 1 ]]; then
   FIG10_MACHINES=3
   FIG10_JOBS=30
@@ -78,6 +81,8 @@ if [[ "$QUICK" -eq 1 ]]; then
   OVERHEAD_MACHINES="2,4,8"
   OVERHEAD_TASKS="2,4,8"
   OVERHEAD_JOBS=15
+  SERVICE_JOBS=24
+  SERVICE_MACHINES=2
 elif [[ "$FULL" -eq 1 ]]; then
   FIG11_MACHINES=1000
   FIG11_JOBS=10000
@@ -133,6 +138,15 @@ run_scenario() {
       bin="$(bench_bin bench_overhead)" || return 1
       "$bin" --machines "$OVERHEAD_MACHINES" --tasks "$OVERHEAD_TASKS" \
         --jobs "$OVERHEAD_JOBS" --seeds "$SEEDS" --threads "$THREADS" \
+        --out "$out" --metrics-out "$metrics"
+      ;;
+    service_load)
+      # Live socket daemon + concurrent clients; replicas stay sequential
+      # (--threads 1) because each one spawns its own server and client
+      # threads.
+      bin="$(bench_bin bench_service_load)" || return 1
+      "$bin" --connections "$SERVICE_CONNECTIONS" --jobs "$SERVICE_JOBS" \
+        --machines "$SERVICE_MACHINES" --seeds "$SEEDS" --threads 1 \
         --out "$out" --metrics-out "$metrics"
       ;;
     *)

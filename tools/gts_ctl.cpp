@@ -1,0 +1,126 @@
+// gts_ctl: command-line client for a running gts_schedd daemon.
+//
+//   gts_ctl --socket /tmp/gts.sock ping
+//   gts_ctl --socket /tmp/gts.sock submit --manifest jobs.json
+//   gts_ctl --socket /tmp/gts.sock submit --job '{"nn":"AlexNet",...}'
+//   gts_ctl --socket /tmp/gts.sock status 7
+//   gts_ctl --socket /tmp/gts.sock cancel 7
+//   gts_ctl --tcp 127.0.0.1:7070 list | topology | metrics
+//   gts_ctl --socket S advance --to 120.5     (or: advance --all)
+//   gts_ctl --socket S snapshot --out snap.json
+//   gts_ctl --socket S drain [--no-wait]
+//   gts_ctl --socket S shutdown
+//
+// Prints the verb's result JSON on stdout. Exit codes: 0 success,
+// 2 backpressure (retry later), 3 unknown job, 1 anything else.
+#include <cstdio>
+#include <string>
+
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int fail(const char* what, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", what, message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gts;
+  util::CliParser cli;
+  cli.add_option("socket", "daemon unix-domain socket path");
+  cli.add_option("tcp", "daemon TCP endpoint host:port");
+  cli.add_option("manifest", "submit: manifest file path (daemon-side)");
+  cli.add_option("job", "submit: inline manifest JSON object");
+  cli.add_option("to", "advance: target simulated time (seconds)");
+  cli.add_flag("all", "advance: run until idle");
+  cli.add_option("out", "snapshot: write the snapshot to this path");
+  cli.add_flag("no-wait", "drain: only flip the flag, do not run to idle");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  if (cli.positional().empty()) {
+    std::fprintf(stderr, "usage: %s [--socket PATH | --tcp HOST:PORT] "
+                 "<verb> [args]\n%s",
+                 argv[0], cli.usage(argv[0]).c_str());
+    return 1;
+  }
+  const std::string verb = cli.positional()[0];
+
+  // Connect.
+  util::Expected<svc::Client> client = util::Error{"no endpoint"};
+  if (cli.has("socket")) {
+    client = svc::Client::connect_unix(cli.get("socket"));
+  } else if (cli.has("tcp")) {
+    const std::string spec = cli.get("tcp");
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      return fail("--tcp", "expects host:port");
+    }
+    client = svc::Client::connect_tcp(spec.substr(0, colon),
+                                      std::stoi(spec.substr(colon + 1)));
+  } else {
+    return fail("endpoint", "give --socket PATH or --tcp HOST:PORT");
+  }
+  if (!client) return fail("connect", client.error().message);
+
+  // Build the verb's params.
+  json::Value params;
+  if (verb == "submit") {
+    if (cli.has("manifest") == cli.has("job")) {
+      return fail("submit", "give exactly one of --manifest or --job");
+    }
+    if (cli.has("manifest")) {
+      params.set("manifest", cli.get("manifest"));
+    } else {
+      auto job = json::parse(cli.get("job"));
+      if (!job) return fail("--job", job.error().message);
+      params.set("job", std::move(*job));
+    }
+  } else if (verb == "status" || verb == "cancel") {
+    if (cli.positional().size() != 2) {
+      return fail(verb.c_str(), "expects one job id argument");
+    }
+    try {
+      params.set("id", std::stoi(cli.positional()[1]));
+    } catch (...) {
+      return fail(verb.c_str(), "job id must be an integer");
+    }
+  } else if (verb == "advance") {
+    if (cli.has("to") == cli.has("all")) {
+      return fail("advance", "give exactly one of --to SECONDS or --all");
+    }
+    if (cli.has("to")) {
+      params.set("to", cli.get_double("to"));
+    } else {
+      params.set("all", true);
+    }
+  } else if (verb == "snapshot") {
+    if (cli.has("out")) params.set("path", cli.get("out"));
+  } else if (verb == "drain") {
+    if (cli.has("no-wait")) params.set("wait", false);
+  }
+
+  const auto response = client->call(verb, std::move(params));
+  if (!response) return fail("transport", response.error().message);
+  if (!response->ok) {
+    std::fprintf(stderr, "error (%s): %s\n",
+                 std::string(to_string(response->code)).c_str(),
+                 response->message.c_str());
+    if (response->code == svc::ErrorCode::kBackpressure) {
+      std::fprintf(stderr, "retry_after_ms: %.1f\n",
+                   response->retry_after_ms);
+      return 2;
+    }
+    if (response->code == svc::ErrorCode::kNotFound) return 3;
+    return 1;
+  }
+  std::printf("%s\n", json::write(response->result, {.indent = 2}).c_str());
+  return 0;
+}

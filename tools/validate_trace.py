@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate observability artifacts (stdlib only).
 
-Checks the three document kinds src/obs/ emits:
+Checks the document kinds src/obs/, src/svc/, and src/runner/ emit:
 
   * Chrome trace_event JSON (--trace-out): loadable by Perfetto / chrome://
     tracing — a traceEvents array whose events carry name/ph/pid/tid, ts on
@@ -12,12 +12,19 @@ Checks the three document kinds src/obs/ emits:
     len(counts) == len(bounds) + 1 and count == sum(counts);
   * decision-explain JSONL (--explain-out): one JSON object per line with
     the per-decision fields, candidate utility-term breakdowns, and
-    strictly increasing sequence numbers.
+    strictly increasing sequence numbers;
+  * scheduler-service snapshots (gts_schedd --snapshot / the `snapshot`
+    verb): schema_version 1, kind "svc_snapshot", running/waiting/pending
+    job sections carrying manifests, consistent GPU assignments;
+  * BENCH sweep documents (bench/* --out): schema_version 1 with
+    scenario x seed replicas and per-scenario aggregate stat blocks.
 
 Usage:
   tools/validate_trace.py trace.json [more.json ...]
   tools/validate_trace.py --kind metrics metrics.json
   tools/validate_trace.py --kind explain decisions.jsonl
+  tools/validate_trace.py --kind snapshot snap.json
+  tools/validate_trace.py --kind bench bench.json
   tools/validate_trace.py --kind auto out/*.json   # sniff per file (default)
 """
 
@@ -162,6 +169,105 @@ def validate_explain(path, lines):
     return f"explain ok: {records} records"
 
 
+def validate_snapshot(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "snapshot document must be an object")
+    if doc.get("schema_version") != 1:
+        fail(path, f"bad schema_version {doc.get('schema_version')!r}")
+    if doc.get("kind") != "svc_snapshot":
+        fail(path, f"bad kind {doc.get('kind')!r}")
+    now = doc.get("now")
+    if not isinstance(now, (int, float)) or now < 0:
+        fail(path, f"bad now {now!r}")
+    if not isinstance(doc.get("capacity_version"), (int, float)):
+        fail(path, "missing numeric capacity_version")
+    if not isinstance(doc.get("draining"), bool):
+        fail(path, "missing boolean draining")
+    if not isinstance(doc.get("next_auto_id"), (int, float)):
+        fail(path, "missing numeric next_auto_id")
+    for section in ("running", "waiting", "pending", "history"):
+        if not isinstance(doc.get(section), list):
+            fail(path, f"missing {section} array")
+    allocated = set()
+    for index, entry in enumerate(doc["running"]):
+        where = f"running[{index}]"
+        if not isinstance(entry.get("manifest"), dict):
+            fail(path, f"{where}: missing manifest object")
+        gpus = entry.get("gpus")
+        if (not isinstance(gpus, list) or not gpus or
+                not all(isinstance(g, int) and g >= 0 for g in gpus)):
+            fail(path, f"{where}: bad gpus {gpus!r}")
+        overlap = allocated.intersection(gpus)
+        if overlap:
+            fail(path, f"{where}: GPUs double-allocated: {sorted(overlap)}")
+        allocated.update(gpus)
+        start = entry.get("start_time")
+        if not isinstance(start, (int, float)) or start > now + 1e-9:
+            fail(path, f"{where}: start_time {start!r} after now {now}")
+        progress = entry.get("progress_iterations")
+        if not isinstance(progress, (int, float)) or progress < 0:
+            fail(path, f"{where}: bad progress_iterations {progress!r}")
+    for section in ("waiting", "pending"):
+        for index, entry in enumerate(doc[section]):
+            if not isinstance(entry.get("manifest"), dict):
+                fail(path, f"{section}[{index}]: missing manifest object")
+    for index, entry in enumerate(doc["history"]):
+        where = f"history[{index}]"
+        if not isinstance(entry.get("id"), (int, float)):
+            fail(path, f"{where}: missing numeric id")
+        if entry.get("state") not in ("finished", "cancelled", "rejected"):
+            fail(path, f"{where}: bad state {entry.get('state')!r}")
+    return (f"snapshot ok: now={now} running={len(doc['running'])} "
+            f"waiting={len(doc['waiting'])} pending={len(doc['pending'])} "
+            f"history={len(doc['history'])}")
+
+
+_STAT_KEYS = ("count", "mean", "stddev", "min", "max", "p50", "p95")
+
+
+def validate_bench(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "bench document must be an object")
+    if doc.get("schema_version") != 1:
+        fail(path, f"bad schema_version {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        fail(path, "missing name")
+    scenarios = doc.get("scenarios")
+    seeds = doc.get("seeds")
+    replicas = doc.get("replicas")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(path, "missing scenarios array")
+    if not isinstance(seeds, list) or not seeds:
+        fail(path, "missing seeds array")
+    if not isinstance(replicas, list) or not replicas:
+        fail(path, "missing replicas array")
+    if len(replicas) != len(scenarios) * len(seeds):
+        fail(path, f"expected {len(scenarios)}x{len(seeds)} replicas, "
+                   f"got {len(replicas)}")
+    for index, replica in enumerate(replicas):
+        where = f"replicas[{index}]"
+        if replica.get("scenario") not in scenarios:
+            fail(path, f"{where}: unknown scenario "
+                       f"{replica.get('scenario')!r}")
+        if replica.get("seed") not in seeds:
+            fail(path, f"{where}: unknown seed {replica.get('seed')!r}")
+        if not isinstance(replica.get("payload"), dict):
+            fail(path, f"{where}: missing payload object")
+    aggregates = doc.get("aggregates")
+    if not isinstance(aggregates, dict):
+        fail(path, "missing aggregates object")
+    for scenario, fields in aggregates.items():
+        if scenario not in scenarios:
+            fail(path, f"aggregates: unknown scenario {scenario!r}")
+        for field, stats in fields.items():
+            for key in _STAT_KEYS:
+                if not isinstance(stats.get(key), (int, float)):
+                    fail(path, f"aggregates['{scenario}']['{field}']: "
+                               f"missing numeric '{key}'")
+    return (f"bench ok: '{doc['name']}' {len(scenarios)} scenario(s) x "
+            f"{len(seeds)} seed(s), {len(replicas)} replicas")
+
+
 def sniff_kind(path, text):
     if path.endswith(".jsonl"):
         return "explain"
@@ -171,15 +277,21 @@ def sniff_kind(path, text):
         return "explain"  # JSONL files are not one JSON document
     if isinstance(doc, dict) and doc.get("kind") == "metrics":
         return "metrics"
+    if isinstance(doc, dict) and doc.get("kind") == "svc_snapshot":
+        return "snapshot"
     if isinstance(doc, dict) and "traceEvents" in doc:
         return "trace"
-    fail(path, "cannot determine document kind (trace/metrics/explain)")
+    if isinstance(doc, dict) and "replicas" in doc and "name" in doc:
+        return "bench"
+    fail(path, "cannot determine document kind "
+               "(trace/metrics/explain/snapshot/bench)")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", choices=("auto", "trace", "metrics",
-                                           "explain"), default="auto")
+                                           "explain", "snapshot", "bench"),
+                        default="auto")
     parser.add_argument("files", nargs="+")
     args = parser.parse_args()
 
@@ -193,6 +305,10 @@ def main():
                 message = validate_trace(path, json.loads(text))
             elif kind == "metrics":
                 message = validate_metrics(path, json.loads(text))
+            elif kind == "snapshot":
+                message = validate_snapshot(path, json.loads(text))
+            elif kind == "bench":
+                message = validate_bench(path, json.loads(text))
             else:
                 message = validate_explain(path, text.splitlines())
             print(f"{path}: {message}")
