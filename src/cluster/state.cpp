@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
-#include <set>
 
 #include "check/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "perf/profile.hpp"
 
 namespace gts::cluster {
 
@@ -64,8 +64,10 @@ std::vector<int> ClusterState::free_gpus() const {
 }
 
 std::vector<int> ClusterState::free_gpus_of_machine(int machine) const {
+  const std::vector<int>& machine_gpus = topology_->gpus_of_machine(machine);
   std::vector<int> gpus;
-  for (const int g : topology_->gpus_of_machine(machine)) {
+  gpus.reserve(machine_gpus.size());
+  for (const int g : machine_gpus) {
     if (gpu_free(g)) gpus.push_back(g);
   }
   return gpus;
@@ -77,13 +79,9 @@ int ClusterState::free_gpu_count() const {
 }
 
 void ClusterState::add_flows(const RunningJob& job, int delta) {
-  for (const jobgraph::CommEdge& edge : job.request.comm_graph.edges()) {
-    const int gpu_a = job.gpus[static_cast<size_t>(edge.a)];
-    const int gpu_b = job.gpus[static_cast<size_t>(edge.b)];
-    for (const topo::LinkId link : topology_->gpu_path(gpu_a, gpu_b).links) {
-      flows_[static_cast<size_t>(link)] += delta;
-      GTS_DCHECK_GE(flows_[static_cast<size_t>(link)], 0);
-    }
+  for (const topo::LinkId link : job.flow_links) {
+    flows_[static_cast<size_t>(link)] += delta;
+    GTS_DCHECK_GE(flows_[static_cast<size_t>(link)], 0);
   }
 }
 
@@ -104,14 +102,14 @@ void ClusterState::place(const jobgraph::JobRequest& request,
   }
   job.p2p = true;
   for (const jobgraph::CommEdge& edge : job.request.comm_graph.edges()) {
-    if (!topology_
-             ->gpu_path(job.gpus[static_cast<size_t>(edge.a)],
-                        job.gpus[static_cast<size_t>(edge.b)])
-             .peer_to_peer) {
-      job.p2p = false;
-      break;
-    }
+    const topo::GpuPath& path =
+        topology_->gpu_path(job.gpus[static_cast<size_t>(edge.a)],
+                            job.gpus[static_cast<size_t>(edge.b)]);
+    if (!path.peer_to_peer) job.p2p = false;
+    job.flow_links.insert(job.flow_links.end(), path.links.begin(),
+                          path.links.end());
   }
+  job.solo_iteration_s = solo_iteration_time(job.request);
   for (const int gpu : job.gpus) {
     GTS_CHECK(gpu_free(gpu), "job ", request.id, " placed on busy GPU ",
               gpu, " owned by job ", gpu_owner(gpu));
@@ -222,50 +220,64 @@ perf::LinkFlows ClusterState::flows_excluding(int job_id) const {
   perf::LinkFlows flows = flows_;
   const RunningJob* job = find(job_id);
   if (job != nullptr) {
-    for (const jobgraph::CommEdge& edge : job->request.comm_graph.edges()) {
-      const int gpu_a = job->gpus[static_cast<size_t>(edge.a)];
-      const int gpu_b = job->gpus[static_cast<size_t>(edge.b)];
-      for (const topo::LinkId link :
-           topology_->gpu_path(gpu_a, gpu_b).links) {
-        --flows[static_cast<size_t>(link)];
-      }
+    for (const topo::LinkId link : job->flow_links) {
+      --flows[static_cast<size_t>(link)];
     }
   }
   return flows;
 }
 
 std::vector<int> ClusterState::machines_of(std::span<const int> gpus) const {
-  std::set<int> machines;
-  for (const int gpu : gpus) machines.insert(topology_->machine_of_gpu(gpu));
-  return {machines.begin(), machines.end()};
+  // Sorted + deduped via a small vector; the sets here are tiny (one
+  // machine per task at most), so sort beats a node-based set.
+  std::vector<int> machines;
+  machines.reserve(gpus.size());
+  for (const int gpu : gpus) {
+    machines.push_back(topology_->machine_of_gpu(gpu));
+  }
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()),
+                 machines.end());
+  return machines;
 }
 
 std::vector<perf::CoRunner> ClusterState::co_runners(
     std::span<const int> gpus, int exclude_job_id) const {
-  // (machine, socket) pairs the placement touches.
-  std::set<std::pair<int, int>> sockets;
-  std::set<int> machines;
+  // (machine, socket) pairs the placement touches, sorted for binary
+  // search; machine list derived from it (same first components).
+  std::vector<std::pair<int, int>> sockets;
+  sockets.reserve(gpus.size());
   for (const int gpu : gpus) {
-    machines.insert(topology_->machine_of_gpu(gpu));
-    sockets.insert({topology_->machine_of_gpu(gpu),
-                    topology_->socket_of_gpu(gpu)});
+    sockets.emplace_back(topology_->machine_of_gpu(gpu),
+                         topology_->socket_of_gpu(gpu));
   }
+  std::sort(sockets.begin(), sockets.end());
+  sockets.erase(std::unique(sockets.begin(), sockets.end()), sockets.end());
   // Candidate co-runners come from the per-machine index so the scan cost
   // is proportional to the touched machines, not the whole cluster.
-  std::set<int> candidate_ids;
-  for (const int machine : machines) {
-    for (const int id : jobs_by_machine_[static_cast<size_t>(machine)]) {
-      candidate_ids.insert(id);
-    }
+  std::vector<int> candidate_ids;
+  int last_machine = -1;
+  for (const auto& [machine, socket] : sockets) {
+    if (machine == last_machine) continue;  // sockets sorted by machine
+    last_machine = machine;
+    const std::vector<int>& ids = jobs_by_machine_[static_cast<size_t>(machine)];
+    candidate_ids.insert(candidate_ids.end(), ids.begin(), ids.end());
   }
+  std::sort(candidate_ids.begin(), candidate_ids.end());
+  candidate_ids.erase(
+      std::unique(candidate_ids.begin(), candidate_ids.end()),
+      candidate_ids.end());
   std::vector<perf::CoRunner> out;
+  out.reserve(candidate_ids.size());
   for (const int id : candidate_ids) {
     if (id == exclude_job_id) continue;
     const RunningJob& job = jobs_.at(id);
     bool shares_socket = false;
     for (const int gpu : job.gpus) {
-      if (sockets.count({topology_->machine_of_gpu(gpu),
-                         topology_->socket_of_gpu(gpu)}) > 0) {
+      if (std::binary_search(
+              sockets.begin(), sockets.end(),
+              std::pair<int, int>{topology_->machine_of_gpu(gpu),
+                                  topology_->socket_of_gpu(gpu)})) {
         shares_socket = true;
         break;
       }
@@ -334,6 +346,18 @@ double ClusterState::fragmentation_after(std::span<const int> gpus) const {
   return sockets == 0 ? 0.0 : total / sockets;
 }
 
+double ClusterState::solo_iteration_time(
+    const jobgraph::JobRequest& request) const {
+  if (request.profile.solo_time_pack > 0.0 && request.iterations > 0) {
+    return request.profile.solo_time_pack /
+           static_cast<double>(request.iterations);
+  }
+  const std::vector<int> pack =
+      perf::pack_placement(*topology_, request.num_gpus);
+  if (static_cast<int>(pack.size()) != request.num_gpus) return 0.0;
+  return model_->iteration(request, pack, *topology_).total_s;
+}
+
 perf::IterationBreakdown ClusterState::predict_iteration(
     const jobgraph::JobRequest& request, std::span<const int> gpus) const {
   const std::vector<perf::CoRunner> co = co_runners(gpus, request.id);
@@ -359,12 +383,14 @@ void ClusterState::recompute_rates(double now,
     job.rate = iter > 0.0 ? 1.0 / iter : 0.0;
   };
   if (touched_machines != nullptr && !any_multi_machine_job_) {
-    std::set<int> ids;
+    std::vector<int> ids;
     for (const int machine : *touched_machines) {
-      for (const int id : jobs_by_machine_[static_cast<size_t>(machine)]) {
-        ids.insert(id);
-      }
+      const std::vector<int>& list =
+          jobs_by_machine_[static_cast<size_t>(machine)];
+      ids.insert(ids.end(), list.begin(), list.end());
     }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     for (const int id : ids) update(jobs_.at(id));
     return;
   }

@@ -34,6 +34,17 @@ struct RunningJob {
   /// (cloud variability, Section 4.2); 1.0 = deterministic.
   double noise_factor = 1.0;
 
+  // Placement-time caches for the Eq. 4 hot path. Both are constants for
+  // the job's lifetime (the solo anchor ignores cluster load and the flow
+  // links depend only on the fixed placement + topology), so no
+  // invalidation beyond the job's removal is needed.
+  /// Solo best-case iteration time (profile anchor or pack prediction).
+  double solo_iteration_s = 0.0;
+  /// Every link of every comm edge's routing path, flattened with
+  /// multiplicity — add_flows / flows_excluding / interference walk this
+  /// instead of re-running edges x gpu_path.
+  std::vector<topo::LinkId> flow_links;
+
   double remaining_iterations() const {
     return static_cast<double>(request.iterations) - progress_iterations;
   }
@@ -131,6 +142,12 @@ class ClusterState {
   /// Eq. 4 interference estimates).
   perf::IterationBreakdown predict_iteration(
       const jobgraph::JobRequest& request, std::span<const int> gpus) const;
+
+  /// Solo best-case iteration time of a request: profile anchor when
+  /// available, else the model's pack-placement prediction on an idle
+  /// machine. Independent of current allocations; cached per running job
+  /// as RunningJob::solo_iteration_s.
+  double solo_iteration_time(const jobgraph::JobRequest& request) const;
 
   /// Current iteration breakdown of a *running* job.
   perf::IterationBreakdown current_iteration(const RunningJob& job) const;

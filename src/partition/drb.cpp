@@ -1,7 +1,6 @@
 #include "partition/drb.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "check/check.hpp"
 #include "obs/metrics.hpp"
@@ -13,11 +12,18 @@ namespace gts::partition {
 
 namespace {
 
-/// Distinct machine ids of a GPU set.
-std::set<int> machines_of(const std::vector<int>& gpus,
-                          const topo::TopologyGraph& topology) {
-  std::set<int> machines;
-  for (const int gpu : gpus) machines.insert(topology.machine_of_gpu(gpu));
+/// Distinct machine ids of a GPU set (ascending). Small sets: sort +
+/// unique on a flat vector instead of a node-based set.
+std::vector<int> machines_of(const std::vector<int>& gpus,
+                             const topo::TopologyGraph& topology) {
+  std::vector<int> machines;
+  machines.reserve(gpus.size());
+  for (const int gpu : gpus) {
+    machines.push_back(topology.machine_of_gpu(gpu));
+  }
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()),
+                 machines.end());
   return machines;
 }
 
@@ -66,7 +72,8 @@ class Mapper {
       // The split heuristics enforce the constraint at machine-split
       // levels; a degenerate bipartition (FM fallback halving straddling a
       // machine) can still co-locate, so verify the final assignment.
-      const std::set<int> machines = machines_of(result_.assignment, topology_);
+      const std::vector<int> machines =
+          machines_of(result_.assignment, topology_);
       result_.complete = machines.size() == result_.assignment.size();
     }
     return std::move(result_);
@@ -112,6 +119,7 @@ class Mapper {
                        const std::vector<int>& gpus0,
                        const std::vector<int>& gpus1, std::vector<int>& tasks0,
                        std::vector<int>& tasks1) {
+    callbacks_.begin_bipartition(gpus0, gpus1);
     const bool machine_split = is_machine_split(gpus0, gpus1);
 
     if (machine_split && options_.span != SpanMode::kAntiCollocate) {
@@ -196,8 +204,8 @@ class Mapper {
   /// True when the cut separates whole machines (no machine straddles it).
   bool is_machine_split(const std::vector<int>& gpus0,
                         const std::vector<int>& gpus1) const {
-    const std::set<int> m0 = machines_of(gpus0, topology_);
-    const std::set<int> m1 = machines_of(gpus1, topology_);
+    const std::vector<int> m0 = machines_of(gpus0, topology_);
+    const std::vector<int> m1 = machines_of(gpus1, topology_);
     std::vector<int> common;
     std::set_intersection(m0.begin(), m0.end(), m1.begin(), m1.end(),
                           std::back_inserter(common));
@@ -276,32 +284,35 @@ std::vector<int> physical_bipartition(const std::vector<int>& gpus,
   // Hierarchical initial partition: split whole machines when the set spans
   // machines, else whole sockets, else halves by GPU id.
   std::vector<int> initial(static_cast<size_t>(n), 0);
-  const std::set<int> machines = machines_of(gpus, topology);
+  const std::vector<int> machines = machines_of(gpus, topology);
   if (machines.size() > 1) {
-    // First half of the machine ids (by order) to side 0.
-    std::vector<int> machine_list(machines.begin(), machines.end());
-    const size_t half = machine_list.size() / 2;
-    std::set<int> side0_machines(machine_list.begin(),
-                                 machine_list.begin() + static_cast<long>(half));
+    // First half of the machine ids (ascending) to side 0.
+    const auto half =
+        machines.begin() + static_cast<long>(machines.size() / 2);
     for (int i = 0; i < n; ++i) {
       initial[static_cast<size_t>(i)] =
-          side0_machines.count(
-              topology.machine_of_gpu(gpus[static_cast<size_t>(i)])) > 0
+          std::binary_search(
+              machines.begin(), half,
+              topology.machine_of_gpu(gpus[static_cast<size_t>(i)]))
               ? 0
               : 1;
     }
   } else {
-    std::set<int> sockets;
-    for (const int gpu : gpus) sockets.insert(topology.socket_of_gpu(gpu));
+    std::vector<int> sockets;
+    sockets.reserve(gpus.size());
+    for (const int gpu : gpus) {
+      sockets.push_back(topology.socket_of_gpu(gpu));
+    }
+    std::sort(sockets.begin(), sockets.end());
+    sockets.erase(std::unique(sockets.begin(), sockets.end()), sockets.end());
     if (sockets.size() > 1) {
-      std::vector<int> socket_list(sockets.begin(), sockets.end());
-      const size_t half = socket_list.size() / 2;
-      std::set<int> side0_sockets(socket_list.begin(),
-                                  socket_list.begin() + static_cast<long>(half));
+      const auto half =
+          sockets.begin() + static_cast<long>(sockets.size() / 2);
       for (int i = 0; i < n; ++i) {
         initial[static_cast<size_t>(i)] =
-            side0_sockets.count(
-                topology.socket_of_gpu(gpus[static_cast<size_t>(i)])) > 0
+            std::binary_search(
+                sockets.begin(), half,
+                topology.socket_of_gpu(gpus[static_cast<size_t>(i)]))
                 ? 0
                 : 1;
       }

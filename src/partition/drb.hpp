@@ -35,6 +35,18 @@ class DrbCallbacks {
  public:
   virtual ~DrbCallbacks() = default;
 
+  /// Called once at the top of each job bipartition, before any
+  /// task_utility call against these side GPU sets. The GPU sets are fixed
+  /// for the whole bipartition (only the routed task lists grow), so
+  /// implementations can compute side aggregates here once instead of per
+  /// task_utility call. The referenced vectors stay alive and unchanged
+  /// until the next begin_bipartition. Default: no-op.
+  virtual void begin_bipartition(const std::vector<int>& gpus0,
+                                 const std::vector<int>& gpus1) const {
+    (void)gpus0;
+    (void)gpus1;
+  }
+
   /// Utility (higher is better) of routing `task` to side `side` (0 or 1)
   /// of the current bipartition.
   virtual double task_utility(int task, int side,

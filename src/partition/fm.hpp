@@ -9,13 +9,24 @@
 // rolled back to the best prefix. Vertex selection among equal gains is
 // deterministic (lowest vertex id), so results are reproducible.
 //
-// Edge weights are real-valued (our physical "closeness" weights are
-// derived from path distances), so gains are tracked in a sorted structure
-// instead of the original integer bucket array; complexity per pass is
-// O(V log V + E) which is indistinguishable from linear for the graph
-// sizes a placement decision sees (a few thousand GPUs at cluster scale).
+// The gain order lives in the classic FM bucket-list structure, adapted to
+// real-valued weights: buckets quantize the gain axis (quantization only
+// partitions the order — any two gains in different buckets compare the
+// same way their buckets do), and the highest non-empty bucket is scanned
+// exactly for (max gain, min vertex id). Best-gain pop is therefore a
+// bucket walk, and a neighbor gain update is an O(1) bucket relink; the
+// result is identical, move for move, to a totally ordered
+// set<(-gain, vertex)> — fm_bipartition_reference keeps that original
+// std::set implementation alive as the oracle for the equivalence suite
+// (tests/perf_path_test.cpp).
+//
+// All per-call storage (CSR adjacency, gains, buckets, move log) comes
+// from an FmScratch arena so the thousands of FM calls inside one DRB
+// recursion reuse the same allocations. Passing nullptr uses a
+// thread-local arena, which keeps concurrent runner replicas independent.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace gts::partition {
@@ -49,12 +60,43 @@ struct FmResult {
   double initial_cut = 0.0;
 };
 
+/// Reusable per-call storage for fm_bipartition. A scratch object may be
+/// reused across any number of sequential calls (the hot path keeps one
+/// per thread); it must not be shared by concurrent calls.
+struct FmScratch {
+  // CSR adjacency rebuilt per call (offsets into vertex/weight arrays).
+  std::vector<int> adj_offset;
+  std::vector<int> adj_vertex;
+  std::vector<double> adj_weight;
+  // Per-vertex pass state.
+  std::vector<double> gain;
+  std::vector<std::uint8_t> locked;
+  std::vector<int> side;
+  // Gain bucket lists: bucket -> vertex ids; per-vertex back-references
+  // for O(1) removal by swap-with-last.
+  std::vector<std::vector<int>> buckets;
+  std::vector<int> bucket_of;
+  std::vector<int> slot_of;
+  // Move log of the current pass.
+  std::vector<int> move_vertex;
+  std::vector<double> move_cut;
+};
+
 /// Total weight of edges crossing the partition.
 double cut_weight(const FmGraph& graph, const std::vector<int>& side);
 
 /// Refines `initial` (0/1 per vertex); the result cut is never worse than
-/// the initial cut.
+/// the initial cut. `scratch` may carry reusable buffers across calls;
+/// nullptr uses a thread-local arena.
 FmResult fm_bipartition(const FmGraph& graph, std::vector<int> initial,
-                        const FmOptions& options = {});
+                        const FmOptions& options = {},
+                        FmScratch* scratch = nullptr);
+
+/// The original totally-ordered-set implementation, kept as the oracle
+/// for the bucket-list equivalence suite. Move-for-move identical to
+/// fm_bipartition (same sides, cut, and pass count) by construction.
+FmResult fm_bipartition_reference(const FmGraph& graph,
+                                  std::vector<int> initial,
+                                  const FmOptions& options = {});
 
 }  // namespace gts::partition

@@ -2,195 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
 
 #include "obs/explain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/task_utility.hpp"
 
 namespace gts::sched {
 
 namespace {
 
-/// Algorithm 3's U(task, Py): evaluates the three utility factors for
-/// routing one task to one side of the current physical bipartition, using
-/// only information available mid-recursion (side GPU sets and the tasks
-/// already routed).
-class TaskUtility final : public partition::DrbCallbacks {
- public:
-  TaskUtility(const jobgraph::JobRequest& request,
-              const cluster::ClusterState& state, const UtilityModel& model)
-      : request_(request),
-        state_(state),
-        model_(model),
-        comm_weight_(normalized_comm_weight(request)) {}
-
-  double task_utility(int task, int side,
-                      const partition::BipartitionView& view) const override {
-    const std::vector<int>& side_gpus = side == 0 ? view.gpus0 : view.gpus1;
-    const std::vector<int>& side_tasks = side == 0 ? view.tasks0 : view.tasks1;
-    const std::vector<int>& other_gpus = side == 0 ? view.gpus1 : view.gpus0;
-    const std::vector<int>& other_tasks = side == 0 ? view.tasks1 : view.tasks0;
-    if (side_gpus.empty()) return 0.0;
-
-    const double u_comm =
-        comm_utility(task, side_gpus, side_tasks, other_gpus, other_tasks);
-    const double u_interference = interference_utility(side_gpus);
-    const double u_frag =
-        fragmentation_utility(side_gpus, static_cast<int>(side_tasks.size()));
-    return model_.combine(u_comm, u_interference, u_frag, comm_weight_);
-  }
-
- private:
-  /// getCommCost(): expected distance from `task` to its communication
-  /// partners. Same-side partners cost the side's mean internal distance;
-  /// cross-side partners the mean distance across the cut; unrouted
-  /// partners are optimistically assumed co-located.
-  double comm_utility(int task, const std::vector<int>& side_gpus,
-                      const std::vector<int>& side_tasks,
-                      const std::vector<int>& other_gpus,
-                      const std::vector<int>& other_tasks) const {
-    double weighted_distance = 0.0;
-    double total_weight = 0.0;
-    const double d_intra = mean_internal_distance(side_gpus);
-    const double d_cross = mean_cross_distance(side_gpus, other_gpus);
-    for (const jobgraph::CommEdge& edge : request_.comm_graph.edges()) {
-      const int partner =
-          edge.a == task ? edge.b : (edge.b == task ? edge.a : -1);
-      if (partner < 0) continue;
-      const bool on_other =
-          std::find(other_tasks.begin(), other_tasks.end(), partner) !=
-          other_tasks.end();
-      (void)side_tasks;  // same-side and unrouted partners both cost d_intra
-      weighted_distance += edge.weight * (on_other ? d_cross : d_intra);
-      total_weight += edge.weight;
-    }
-    if (total_weight <= 0.0) return 1.0;
-    const double mean_distance = weighted_distance / total_weight;
-    return mean_distance > 0.0 ? std::min(1.0, 1.0 / mean_distance) : 1.0;
-  }
-
-  /// getInter(): 1 / predicted co-runner slowdown factor on this side.
-  double interference_utility(const std::vector<int>& side_gpus) const {
-    const std::vector<perf::CoRunner> co =
-        state_.co_runners(side_gpus, request_.id);
-    const double factor =
-        state_.model().interference_factor(request_.profile.batch, co);
-    return factor > 0.0 ? 1.0 / factor : 1.0;
-  }
-
-  /// getFragmentation(): Eq. 5 over the machines this side touches, after
-  /// hypothetically consuming (routed tasks + this task) GPUs from it.
-  double fragmentation_utility(const std::vector<int>& side_gpus,
-                               int tasks_already_routed) const {
-    const topo::TopologyGraph& topology = state_.topology();
-    std::set<int> machines;
-    for (const int gpu : side_gpus) {
-      machines.insert(topology.machine_of_gpu(gpu));
-    }
-    int total = 0;
-    int free_now = 0;
-    for (const int machine : machines) {
-      const int socket_count = topology.sockets_of_machine(machine);
-      for (int socket = 0; socket < socket_count; ++socket) {
-        for (const int gpu : topology.gpus_of_socket(machine, socket)) {
-          ++total;
-          if (state_.gpu_free(gpu)) ++free_now;
-        }
-      }
-    }
-    if (total == 0) return 1.0;
-    const int free_after =
-        std::max(0, free_now - tasks_already_routed - 1);
-    const double omega =
-        static_cast<double>(free_after) / static_cast<double>(total);
-    return 1.0 - omega;
-  }
-
-  double mean_internal_distance(const std::vector<int>& gpus) const {
-    if (gpus.size() < 2) return 1.0;  // a lone GPU: best case for peers here
-    double total = 0.0;
-    int pairs = 0;
-    for (size_t i = 0; i < gpus.size(); ++i) {
-      for (size_t j = i + 1; j < gpus.size(); ++j) {
-        total += state_.topology().gpu_distance(gpus[i], gpus[j]);
-        ++pairs;
-      }
-    }
-    return total / pairs;
-  }
-
-  double mean_cross_distance(const std::vector<int>& a,
-                             const std::vector<int>& b) const {
-    if (a.empty() || b.empty()) return 1.0;
-    double total = 0.0;
-    for (const int gpu_a : a) {
-      for (const int gpu_b : b) {
-        total += state_.topology().gpu_distance(gpu_a, gpu_b);
-      }
-    }
-    return total / (static_cast<double>(a.size()) *
-                    static_cast<double>(b.size()));
-  }
-
-  const jobgraph::JobRequest& request_;
-  const cluster::ClusterState& state_;
-  const UtilityModel& model_;
-  double comm_weight_;
-};
-
 partition::SpanMode span_mode(const jobgraph::JobProfile& profile) {
   if (profile.anti_collocate) return partition::SpanMode::kAntiCollocate;
   if (profile.single_node) return partition::SpanMode::kSingleNode;
   return partition::SpanMode::kPreferPack;
-}
-
-void key_append(std::string* key, const void* bytes, size_t size) {
-  key->append(static_cast<const char*>(bytes), size);
-}
-
-void key_append_int(std::string* key, int value) {
-  key_append(key, &value, sizeof(value));
-}
-
-void key_append_double(std::string* key, double value) {
-  key_append(key, &value, sizeof(value));
-}
-
-/// Serializes everything the DRB + utility evaluation of map_onto()
-/// depends on besides cluster state: the candidate GPU set and the job's
-/// shape. Job id and min_utility are deliberately excluded — the id only
-/// feeds co_runners() as a self-exclusion (a queued job is never running),
-/// and min_utility only gates the `satisfied` bit, recomputed per request.
-std::string placement_cache_key(const jobgraph::JobRequest& request,
-                                const std::vector<int>& available) {
-  std::string key;
-  key.reserve(64 + available.size() * sizeof(int) +
-              request.comm_graph.edges().size() * (2 * sizeof(int) + 8));
-  key_append_int(&key, static_cast<int>(available.size()));
-  for (const int gpu : available) key_append_int(&key, gpu);
-  const jobgraph::JobProfile& profile = request.profile;
-  key_append_int(&key, request.num_gpus);
-  key_append_int(&key, static_cast<int>(profile.nn));
-  key_append_int(&key, static_cast<int>(profile.batch));
-  key_append_int(&key, profile.batch_size);
-  key_append_int(&key, (profile.single_node ? 1 : 0) |
-                           (profile.anti_collocate ? 2 : 0));
-  key_append_double(&key, profile.comm_weight);
-  key_append_double(&key, profile.host_bw_demand_gbps);
-  key_append_double(&key, profile.solo_time_pack);
-  key_append_double(&key, profile.solo_time_spread);
-  for (const double slowdown : profile.collocation_slowdown) {
-    key_append_double(&key, slowdown);
-  }
-  key_append_int(&key, request.comm_graph.task_count());
-  for (const jobgraph::CommEdge& edge : request.comm_graph.edges()) {
-    key_append_int(&key, edge.a);
-    key_append_int(&key, edge.b);
-    key_append_double(&key, edge.weight);
-  }
-  return key;
 }
 
 }  // namespace
@@ -272,27 +97,27 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
   // which feed the utility, so the whole cache is flushed.
   if (cache_state_id_ != state.instance_id() ||
       cache_version_ != state.allocation_version()) {
-    if (!cache_.empty()) {
+    if (!cache_.empty() || !string_cache_.empty()) {
       ++cache_stats_.invalidations;
       GTS_METRIC_COUNT("cache.invalidations", 1);
       GTS_TRACE_INSTANT(obs::kCache, "cache.flush");
       cache_.clear();
+      string_cache_.clear();
     }
     cache_state_id_ = state.instance_id();
     cache_version_ = state.allocation_version();
   }
 
-  const std::string key = placement_cache_key(request, available);
   ++cache_stats_.lookups;
   GTS_METRIC_COUNT("cache.lookups", 1);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
+  const auto replay = [&](const CacheEntry& entry) -> std::optional<Placement> {
     ++cache_stats_.hits;
     GTS_METRIC_COUNT("cache.hits", 1);
     GTS_TRACE_INSTANT(obs::kCache, "cache.hit", "job", request.id);
-    if (!it->second.mapped) return std::nullopt;
+    if (!entry.mapped) return std::nullopt;
     Placement placement;
-    placement.gpus = it->second.gpus;
-    placement.utility = it->second.utility;
+    placement.gpus = entry.gpus;
+    placement.utility = entry.utility;
     placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
     if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
       obs::ExplainCandidate candidate;
@@ -302,17 +127,35 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
       scope->add_candidate(std::move(candidate));
     }
     return placement;
+  };
+  const auto record = [&](const std::optional<Placement>& placement) {
+    CacheEntry entry;
+    entry.mapped = placement.has_value();
+    if (placement) {
+      entry.gpus = placement->gpus;
+      entry.utility = placement->utility;
+    }
+    return entry;
+  };
+
+  if (string_keys_for_test_) {
+    const std::string key = string_placement_cache_key(request, available);
+    if (const auto it = string_cache_.find(key); it != string_cache_.end()) {
+      return replay(it->second);
+    }
+    std::optional<Placement> placement =
+        drb_place(request, available, state, utility_, &stats_);
+    string_cache_.emplace(key, record(placement));
+    return placement;
   }
 
+  const PlacementCacheKey key = hashed_placement_cache_key(request, available);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    return replay(it->second);
+  }
   std::optional<Placement> placement =
       drb_place(request, available, state, utility_, &stats_);
-  CacheEntry entry;
-  entry.mapped = placement.has_value();
-  if (placement) {
-    entry.gpus = placement->gpus;
-    entry.utility = placement->utility;
-  }
-  cache_.emplace(key, std::move(entry));
+  cache_.emplace(key, record(placement));
   return placement;
 }
 
@@ -326,21 +169,27 @@ std::optional<Placement> TopoAwareScheduler::place_on_best_machine(
   struct Candidate {
     long long score;
     int machine;
+    std::vector<int> free;  // free GPUs, reused by the evaluation pass
   };
   std::vector<Candidate> candidates;
+  std::vector<int> socket_free_scratch;
   for (int machine = 0; machine < topology.machine_count(); ++machine) {
     // Section 4.3 capacity constraints: GPUs and host memory bandwidth.
     if (!state.host_bw_available(machine,
                                  request.profile.host_bw_demand_gbps)) {
       continue;
     }
-    const std::vector<int> free = state.free_gpus_of_machine(machine);
+    std::vector<int> free = state.free_gpus_of_machine(machine);
     if (static_cast<int>(free.size()) < request.num_gpus) continue;
+    socket_free_scratch.assign(
+        static_cast<size_t>(topology.sockets_of_machine(machine)) + 1, 0);
     int best_socket_free = 0;
-    std::map<int, int> per_socket;
     for (const int gpu : free) {
-      best_socket_free =
-          std::max(best_socket_free, ++per_socket[topology.socket_of_gpu(gpu)]);
+      const size_t socket = static_cast<size_t>(topology.socket_of_gpu(gpu));
+      if (socket >= socket_free_scratch.size()) {
+        socket_free_scratch.resize(socket + 1, 0);
+      }
+      best_socket_free = std::max(best_socket_free, ++socket_free_scratch[socket]);
     }
     const bool can_pack = best_socket_free >= request.num_gpus ||
                           request.num_gpus > 2;  // >2 GPUs spans sockets anyway
@@ -348,7 +197,7 @@ std::optional<Placement> TopoAwareScheduler::place_on_best_machine(
         static_cast<long long>(state.jobs_of_machine(machine).size());
     const long long score = (can_pack ? 0 : 1000000) + co_runners * 100 +
                             static_cast<long long>(free.size());
-    candidates.push_back({score, machine});
+    candidates.push_back({score, machine, std::move(free)});
   }
   if (candidates.empty()) return std::nullopt;
   std::sort(candidates.begin(), candidates.end(),
@@ -362,8 +211,8 @@ std::optional<Placement> TopoAwareScheduler::place_on_best_machine(
 
   std::optional<Placement> best;
   for (const Candidate& candidate : candidates) {
-    const std::vector<int> free = state.free_gpus_of_machine(candidate.machine);
-    std::optional<Placement> placement = map_onto(request, free, state);
+    std::optional<Placement> placement =
+        map_onto(request, candidate.free, state);
     if (placement) {
       if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
         obs::ExplainCandidate explain;

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "partition/drb.hpp"
+#include "sched/placement_cache_key.hpp"
 #include "sched/scheduler.hpp"
 
 namespace gts::sched {
@@ -78,11 +79,23 @@ class TopoAwareScheduler final : public Scheduler {
   /// bit-identical with the cache off (tests/cache_test.cpp).
   void set_placement_cache_enabled(bool enabled) noexcept {
     cache_enabled_ = enabled;
-    if (!enabled) cache_.clear();
+    if (!enabled) {
+      cache_.clear();
+      string_cache_.clear();
+    }
   }
   bool placement_cache_enabled() const noexcept { return cache_enabled_; }
   const PlacementCacheStats& cache_stats() const noexcept {
     return cache_stats_;
+  }
+
+  /// Test seam: key the cache by the legacy byte-string serialization
+  /// instead of the 128-bit FNV-1a key. The equivalence suite runs the
+  /// same trace in both modes and asserts byte-identical decisions.
+  void set_string_cache_keys_for_test(bool enabled) noexcept {
+    string_keys_for_test_ = enabled;
+    cache_.clear();
+    string_cache_.clear();
   }
 
  private:
@@ -105,7 +118,10 @@ class TopoAwareScheduler final : public Scheduler {
     double utility = 0.0;
   };
   bool cache_enabled_ = true;
-  std::unordered_map<std::string, CacheEntry> cache_;
+  bool string_keys_for_test_ = false;
+  std::unordered_map<PlacementCacheKey, CacheEntry, PlacementCacheKeyHash>
+      cache_;
+  std::unordered_map<std::string, CacheEntry> string_cache_;  // test oracle
   std::uint64_t cache_state_id_ = 0;   // ClusterState::instance_id (0: none)
   std::uint64_t cache_version_ = ~0ULL;
   PlacementCacheStats cache_stats_;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
-
 #include "perf/profile.hpp"
 
 namespace gts::sched {
@@ -26,20 +24,6 @@ void add_candidate_flows(perf::LinkFlows& flows,
       ++flows[static_cast<size_t>(link)];
     }
   }
-}
-
-/// Solo best-case iteration time of a request: profile anchor when
-/// available, else the model's pack-placement prediction.
-double best_iteration_time(const jobgraph::JobRequest& request,
-                           const cluster::ClusterState& state) {
-  if (request.profile.solo_time_pack > 0.0 && request.iterations > 0) {
-    return request.profile.solo_time_pack /
-           static_cast<double>(request.iterations);
-  }
-  const std::vector<int> pack =
-      perf::pack_placement(state.topology(), request.num_gpus);
-  if (static_cast<int>(pack.size()) != request.num_gpus) return 0.0;
-  return state.model().iteration(request, pack, state.topology()).total_s;
 }
 
 }  // namespace
@@ -82,7 +66,7 @@ double UtilityModel::interference(const jobgraph::JobRequest& request,
 
   // Candidate's own ratio under the hypothetical placement.
   {
-    const double best = best_iteration_time(request, state);
+    const double best = state.solo_iteration_time(request);
     const double predicted = state.predict_iteration(request, gpus).total_s;
     ratio_sum += (best > 0.0 && predicted > 0.0)
                      ? std::min(1.0, best / predicted)
@@ -97,34 +81,36 @@ double UtilityModel::interference(const jobgraph::JobRequest& request,
   perf::LinkFlows adjusted = state.link_flows();
   add_candidate_flows(adjusted, request, gpus, topology);
 
-  const std::set<std::pair<int, int>> candidate_sockets = [&] {
-    std::set<std::pair<int, int>> sockets;
-    for (const int gpu : gpus) {
-      sockets.insert(
-          {topology.machine_of_gpu(gpu), topology.socket_of_gpu(gpu)});
-    }
-    return sockets;
-  }();
-
-  std::set<int> affected_ids;
-  for (const int machine : machines) {
-    for (const int id : state.jobs_of_machine(machine)) {
-      affected_ids.insert(id);
-    }
+  // (machine, socket) pairs the candidate touches, as a sorted vector —
+  // the sets involved are tiny, so binary search beats a node-based set.
+  std::vector<std::pair<int, int>> candidate_sockets;
+  candidate_sockets.reserve(gpus.size());
+  for (const int gpu : gpus) {
+    candidate_sockets.emplace_back(topology.machine_of_gpu(gpu),
+                                   topology.socket_of_gpu(gpu));
   }
+  std::sort(candidate_sockets.begin(), candidate_sockets.end());
+  candidate_sockets.erase(
+      std::unique(candidate_sockets.begin(), candidate_sockets.end()),
+      candidate_sockets.end());
+
+  std::vector<int> affected_ids;
+  for (const int machine : machines) {
+    const std::vector<int>& ids = state.jobs_of_machine(machine);
+    affected_ids.insert(affected_ids.end(), ids.begin(), ids.end());
+  }
+  std::sort(affected_ids.begin(), affected_ids.end());
+  affected_ids.erase(std::unique(affected_ids.begin(), affected_ids.end()),
+                     affected_ids.end());
   for (const int id : affected_ids) {
     const cluster::RunningJob& job = state.running_jobs().at(id);
     // Foreign flows for this job = all flows + candidate - its own; the
     // subtraction is applied in place and undone afterwards to avoid a
-    // vector copy per co-runner.
+    // vector copy per co-runner. The job's links were flattened at
+    // placement time (RunningJob::flow_links).
     const auto adjust_own = [&](int delta) {
-      for (const jobgraph::CommEdge& edge : job.request.comm_graph.edges()) {
-        const int gpu_a = job.gpus[static_cast<size_t>(edge.a)];
-        const int gpu_b = job.gpus[static_cast<size_t>(edge.b)];
-        for (const topo::LinkId link :
-             topology.gpu_path(gpu_a, gpu_b).links) {
-          adjusted[static_cast<size_t>(link)] += delta;
-        }
+      for (const topo::LinkId link : job.flow_links) {
+        adjusted[static_cast<size_t>(link)] += delta;
       }
     };
     adjust_own(-1);
@@ -132,12 +118,14 @@ double UtilityModel::interference(const jobgraph::JobRequest& request,
     std::vector<perf::CoRunner> co = state.co_runners(job.gpus, id);
     const bool candidate_shares_socket = std::any_of(
         job.gpus.begin(), job.gpus.end(), [&](int gpu) {
-          return candidate_sockets.count({topology.machine_of_gpu(gpu),
-                                          topology.socket_of_gpu(gpu)}) > 0;
+          return std::binary_search(
+              candidate_sockets.begin(), candidate_sockets.end(),
+              std::pair<int, int>{topology.machine_of_gpu(gpu),
+                                  topology.socket_of_gpu(gpu)});
         });
     co.push_back({request.profile.batch, candidate_shares_socket});
 
-    const double solo = best_iteration_time(job.request, state);
+    const double solo = job.solo_iteration_s;
     const double colloc =
         state.model()
             .iteration(job.request, job.gpus, topology, &adjusted, co)
@@ -185,10 +173,14 @@ UtilityBreakdown UtilityModel::evaluate(
     double free_fraction = 0.0;
     int sockets = 0;
     for (const int machine : state.machines_of(gpus)) {
-      const int socket_count = topology.sockets_of_machine(machine);
-      for (int socket = 0; socket < socket_count; ++socket) {
-        const std::vector<int> socket_gpus =
-            topology.gpus_of_socket(machine, socket);
+      // One lookup per machine instead of one per socket.
+      const std::vector<std::vector<int>>& socket_lists =
+          topology.socket_gpu_lists(machine);
+      const size_t socket_count =
+          std::min(socket_lists.size(),
+                   static_cast<size_t>(topology.sockets_of_machine(machine)));
+      for (size_t socket = 0; socket < socket_count; ++socket) {
+        const std::vector<int>& socket_gpus = socket_lists[socket];
         if (socket_gpus.empty()) continue;
         int free = 0;
         for (const int g : socket_gpus) {

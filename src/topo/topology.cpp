@@ -116,10 +116,13 @@ util::Status TopologyGraph::validate() const {
 
 void TopologyGraph::ensure_structure() const {
   if (structure_valid_) return;
-  machine_gpus_.assign(static_cast<size_t>(std::max(machine_count_, 1)), {});
-  machine_sockets_.assign(static_cast<size_t>(std::max(machine_count_, 1)),
-                          0);
-  socket_gpus_.clear();
+  const size_t machines = static_cast<size_t>(std::max(machine_count_, 1));
+  machine_gpus_.assign(machines, {});
+  machine_sockets_.assign(machines, 0);
+  machine_socket_gpus_.assign(machines, {});
+  gpu_machine_.assign(static_cast<size_t>(gpu_count()), -1);
+  gpu_socket_.assign(static_cast<size_t>(gpu_count()), -1);
+  gpu_local_index_.assign(static_cast<size_t>(gpu_count()), -1);
   for (const Node& node : nodes_) {
     if (node.kind == NodeKind::kSocket && node.machine >= 0) {
       machine_sockets_[static_cast<size_t>(node.machine)] = std::max(
@@ -127,15 +130,28 @@ void TopologyGraph::ensure_structure() const {
           node.socket + 1);
     }
   }
+  for (size_t m = 0; m < machines; ++m) {
+    machine_socket_gpus_[m].resize(
+        static_cast<size_t>(machine_sockets_[m]));
+  }
   for (int g = 0; g < gpu_count(); ++g) {
     const Node& node = nodes_[static_cast<size_t>(gpu_nodes_[static_cast<size_t>(g)])];
     if (node.machine < 0) continue;
-    machine_gpus_[static_cast<size_t>(node.machine)].push_back(g);
-    socket_gpus_[(static_cast<std::uint64_t>(
-                      static_cast<std::uint32_t>(node.machine))
-                  << 32) |
-                 static_cast<std::uint32_t>(node.socket)]
-        .push_back(g);
+    const size_t m = static_cast<size_t>(node.machine);
+    gpu_machine_[static_cast<size_t>(g)] = node.machine;
+    gpu_socket_[static_cast<size_t>(g)] = node.socket;
+    gpu_local_index_[static_cast<size_t>(g)] =
+        static_cast<int>(machine_gpus_[m].size());
+    machine_gpus_[m].push_back(g);
+    if (node.socket >= 0) {
+      // Graphs without explicit socket nodes still carry per-GPU socket
+      // indices; grow the list on demand for those.
+      auto& sockets = machine_socket_gpus_[m];
+      if (static_cast<size_t>(node.socket) >= sockets.size()) {
+        sockets.resize(static_cast<size_t>(node.socket) + 1);
+      }
+      sockets[static_cast<size_t>(node.socket)].push_back(g);
+    }
   }
   structure_valid_ = true;
 }
@@ -149,10 +165,21 @@ const std::vector<int>& TopologyGraph::gpus_of_socket(int machine,
                                                       int socket) const {
   ensure_structure();
   static const std::vector<int> kEmpty;
-  const auto it = socket_gpus_.find(
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(machine)) << 32) |
-      static_cast<std::uint32_t>(socket));
-  return it == socket_gpus_.end() ? kEmpty : it->second;
+  if (machine < 0 ||
+      static_cast<size_t>(machine) >= machine_socket_gpus_.size()) {
+    return kEmpty;
+  }
+  const auto& sockets = machine_socket_gpus_[static_cast<size_t>(machine)];
+  if (socket < 0 || static_cast<size_t>(socket) >= sockets.size()) {
+    return kEmpty;
+  }
+  return sockets[static_cast<size_t>(socket)];
+}
+
+const std::vector<std::vector<int>>& TopologyGraph::socket_gpu_lists(
+    int machine) const {
+  ensure_structure();
+  return machine_socket_gpus_.at(static_cast<size_t>(machine));
 }
 
 int TopologyGraph::sockets_of_machine(int machine) const {
@@ -242,11 +269,16 @@ std::uint64_t pair_key(int a, int b) {
 
 void TopologyGraph::ensure_paths() const {
   if (paths_valid_) return;
+  ensure_structure();
   const int n = gpu_count();
   max_gpu_distance_ = 0.0;
   intra_paths_.clear();
   cross_cache_.clear();
   root_paths_.clear();
+  gpu_dist_.clear();
+  root_dist_.clear();
+  intra_dist_.clear();
+  machine_dist_offset_.clear();
 
   // Find the network root (required for hierarchical mode).
   NodeId root = kInvalidNode;
@@ -261,14 +293,17 @@ void TopologyGraph::ensure_paths() const {
   if (!hierarchical_paths_) {
     gpu_paths_.assign(static_cast<size_t>(n) * static_cast<size_t>(n),
                       GpuPath{});
+    gpu_dist_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
         if (i == j) continue;
         GpuPath path = shortest_path(gpu_nodes_[static_cast<size_t>(i)],
                                      gpu_nodes_[static_cast<size_t>(j)]);
         max_gpu_distance_ = std::max(max_gpu_distance_, path.distance);
-        gpu_paths_[static_cast<size_t>(i) * static_cast<size_t>(n) +
-                   static_cast<size_t>(j)] = std::move(path);
+        const size_t cell = static_cast<size_t>(i) * static_cast<size_t>(n) +
+                            static_cast<size_t>(j);
+        gpu_dist_[cell] = path.distance;
+        gpu_paths_[cell] = std::move(path);
       }
     }
     paths_valid_ = true;
@@ -279,6 +314,7 @@ void TopologyGraph::ensure_paths() const {
   // Per-GPU route to the network root (cross-machine traffic always
   // crosses the root in a tree-shaped cluster).
   root_paths_.resize(static_cast<size_t>(n));
+  root_dist_.assign(static_cast<size_t>(n), 0.0);
   std::vector<double> machine_max_root(static_cast<size_t>(machine_count_),
                                        0.0);
   for (int g = 0; g < n; ++g) {
@@ -286,6 +322,7 @@ void TopologyGraph::ensure_paths() const {
     const size_t machine = static_cast<size_t>(machine_of_gpu(g));
     machine_max_root[machine] = std::max(machine_max_root[machine],
                                          path.distance);
+    root_dist_[static_cast<size_t>(g)] = path.distance;
     root_paths_[static_cast<size_t>(g)] = std::move(path);
   }
   if (machine_count_ > 1) {
@@ -303,15 +340,36 @@ void TopologyGraph::ensure_paths() const {
     max_gpu_distance_ = top1 + top2;
   }
 
-  // Intra-machine dense tables.
+  // Intra-machine dense tables: full GpuPath objects keyed by pair for
+  // gpu_path(), plus one flat double block per machine (indexed by local
+  // GPU index) for gpu_distance().
+  machine_dist_offset_.assign(static_cast<size_t>(machine_count_) + 1, 0);
   for (int machine = 0; machine < machine_count_; ++machine) {
-    const std::vector<int> gpus = gpus_of_machine(machine);
+    const size_t count = machine_gpus_[static_cast<size_t>(machine)].size();
+    machine_dist_offset_[static_cast<size_t>(machine) + 1] =
+        machine_dist_offset_[static_cast<size_t>(machine)] +
+        static_cast<int>(count * count);
+  }
+  intra_dist_.assign(
+      static_cast<size_t>(machine_dist_offset_[static_cast<size_t>(
+          machine_count_)]),
+      0.0);
+  for (int machine = 0; machine < machine_count_; ++machine) {
+    const std::vector<int>& gpus = machine_gpus_[static_cast<size_t>(machine)];
+    const size_t count = gpus.size();
+    const size_t base =
+        static_cast<size_t>(machine_dist_offset_[static_cast<size_t>(machine)]);
     for (const int a : gpus) {
       for (const int b : gpus) {
         if (a == b) continue;
         GpuPath path = shortest_path(gpu_nodes_[static_cast<size_t>(a)],
                                      gpu_nodes_[static_cast<size_t>(b)]);
         max_gpu_distance_ = std::max(max_gpu_distance_, path.distance);
+        intra_dist_[base +
+                    static_cast<size_t>(gpu_local_index_[static_cast<size_t>(a)]) *
+                        count +
+                    static_cast<size_t>(gpu_local_index_[static_cast<size_t>(b)])] =
+            path.distance;
         intra_paths_.emplace(pair_key(a, b), std::move(path));
       }
     }
@@ -353,12 +411,24 @@ const GpuPath& TopologyGraph::gpu_path(int gpu_a, int gpu_b) const {
 double TopologyGraph::gpu_distance(int gpu_a, int gpu_b) const {
   if (gpu_a == gpu_b) return 0.0;
   ensure_paths();
-  if (hierarchical_paths_ &&
-      machine_of_gpu(gpu_a) != machine_of_gpu(gpu_b)) {
-    return root_paths_[static_cast<size_t>(gpu_a)].distance +
-           root_paths_[static_cast<size_t>(gpu_b)].distance;
+  if (!hierarchical_paths_) {
+    return gpu_dist_[static_cast<size_t>(gpu_a) *
+                         static_cast<size_t>(gpu_count()) +
+                     static_cast<size_t>(gpu_b)];
   }
-  return gpu_path(gpu_a, gpu_b).distance;
+  const int machine = gpu_machine_[static_cast<size_t>(gpu_a)];
+  if (machine != gpu_machine_[static_cast<size_t>(gpu_b)]) {
+    return root_dist_[static_cast<size_t>(gpu_a)] +
+           root_dist_[static_cast<size_t>(gpu_b)];
+  }
+  const size_t count = machine_gpus_[static_cast<size_t>(machine)].size();
+  return intra_dist_[static_cast<size_t>(
+                         machine_dist_offset_[static_cast<size_t>(machine)]) +
+                     static_cast<size_t>(
+                         gpu_local_index_[static_cast<size_t>(gpu_a)]) *
+                         count +
+                     static_cast<size_t>(
+                         gpu_local_index_[static_cast<size_t>(gpu_b)])];
 }
 
 double TopologyGraph::max_gpu_distance() const {

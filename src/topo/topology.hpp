@@ -116,10 +116,16 @@ class TopologyGraph {
   int machine_count() const noexcept { return machine_count_; }
   /// Node id of the GPU with global index `gpu` (0-based, dense).
   NodeId gpu_node(int gpu) const { return gpu_nodes_.at(static_cast<size_t>(gpu)); }
-  /// Machine index of a GPU.
-  int machine_of_gpu(int gpu) const { return node(gpu_node(gpu)).machine; }
+  /// Machine index of a GPU (flat-array lookup; hot on the decision path).
+  int machine_of_gpu(int gpu) const {
+    ensure_structure();
+    return gpu_machine_[static_cast<size_t>(gpu)];
+  }
   /// Socket index (within its machine) of a GPU.
-  int socket_of_gpu(int gpu) const { return node(gpu_node(gpu)).socket; }
+  int socket_of_gpu(int gpu) const {
+    ensure_structure();
+    return gpu_socket_[static_cast<size_t>(gpu)];
+  }
   bool same_socket(int gpu_a, int gpu_b) const {
     return machine_of_gpu(gpu_a) == machine_of_gpu(gpu_b) &&
            socket_of_gpu(gpu_a) == socket_of_gpu(gpu_b);
@@ -131,6 +137,9 @@ class TopologyGraph {
   const std::vector<int>& gpus_of_machine(int machine) const;
   /// Global GPU indices on socket `socket` of machine `machine` (cached).
   const std::vector<int>& gpus_of_socket(int machine, int socket) const;
+  /// All socket GPU lists of `machine` at once (index = socket). Lets the
+  /// utility loops hoist one lookup per machine instead of one per socket.
+  const std::vector<std::vector<int>>& socket_gpu_lists(int machine) const;
   /// Number of sockets on `machine` (cached).
   int sockets_of_machine(int machine) const;
 
@@ -149,7 +158,10 @@ class TopologyGraph {
   /// of an O(G^2) all-pairs table.
   const GpuPath& gpu_path(int gpu_a, int gpu_b) const;
 
-  /// Distance only — avoids materializing cross-machine path objects.
+  /// Distance only. Served from flat double tables (dense n^2 for small
+  /// graphs; per-machine dense blocks + per-GPU root distances above the
+  /// dense limit) — no path object or hash lookup on this, the single
+  /// hottest call of the decision path.
   double gpu_distance(int gpu_a, int gpu_b) const;
   /// Largest pairwise GPU distance in the graph; used to normalize
   /// communication cost against the worst case (Eq. 1).
@@ -179,12 +191,25 @@ class TopologyGraph {
   mutable std::vector<GpuPath> root_paths_;  // per GPU: route to the root
   mutable double max_gpu_distance_ = 0.0;
 
+  // Flat distance tables mirroring the path caches so gpu_distance never
+  // touches a GpuPath object or hash map. Dense mode: gpu_count^2 doubles.
+  // Hierarchical mode: per-GPU root distance plus one dense block per
+  // machine (indexed by within-machine local GPU index).
+  mutable std::vector<double> gpu_dist_;
+  mutable std::vector<double> root_dist_;
+  mutable std::vector<double> intra_dist_;
+  mutable std::vector<int> machine_dist_offset_;
+
   // Machine/socket structure caches (derived from nodes, invalidated by
-  // mutation). Socket lists are keyed machine * kMaxSockets + socket.
+  // mutation): per-GPU flat machine/socket/local-index arrays and
+  // per-machine GPU and socket lists.
   mutable bool structure_valid_ = false;
   mutable std::vector<std::vector<int>> machine_gpus_;
   mutable std::vector<int> machine_sockets_;
-  mutable std::unordered_map<std::uint64_t, std::vector<int>> socket_gpus_;
+  mutable std::vector<std::vector<std::vector<int>>> machine_socket_gpus_;
+  mutable std::vector<int> gpu_machine_;
+  mutable std::vector<int> gpu_socket_;
+  mutable std::vector<int> gpu_local_index_;
 };
 
 }  // namespace gts::topo

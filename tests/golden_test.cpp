@@ -11,8 +11,13 @@
 #include <cmath>
 #include <string>
 
+#include "exp/scenarios.hpp"
 #include "json/json.hpp"
+#include "perf/model.hpp"
 #include "runner/experiments.hpp"
+#include "sched/driver.hpp"
+#include "sched/topo_aware.hpp"
+#include "topo/builders.hpp"
 
 namespace gts {
 namespace {
@@ -89,6 +94,64 @@ TEST(GoldenTest, Fig8PrototypeMatchesGoldenFile) {
                 .at("slo_violations")
                 .as_int(),
             0);
+}
+
+// The decision-path rewrites (bucket FM, incremental TaskUtility, hashed
+// cache keys) must reproduce the pinned fig8 schedule through every cache
+// configuration: hashed keys (the default, covered above via
+// fig8_payload), the legacy string keys, and no cache at all. A drift here
+// means the "pure optimization" contract broke for the golden workload.
+TEST(GoldenTest, Fig8ScheduleStableAcrossCacheKeyModes) {
+  const std::string path = std::string(GTS_GOLDEN_DIR) + "/fig8.json";
+  const auto golden = json::parse_file(path);
+  ASSERT_TRUE(golden) << golden.error().message;
+
+  const topo::TopologyGraph minsky = topo::builders::power8_minsky();
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+  const std::vector<jobgraph::JobRequest> jobs =
+      exp::table1_jobs(model, minsky);
+
+  for (const bool postpone : {false, true}) {
+    const char* policy = postpone ? "TOPO-AWARE-P" : "TOPO-AWARE";
+    const json::Value& want =
+        golden->at("policies").at(policy).at("jobs");
+    for (const int mode : {0, 1, 2}) {  // hashed / string keys / no cache
+      sched::TopoAwareScheduler scheduler({}, postpone);
+      if (mode == 1) scheduler.set_string_cache_keys_for_test(true);
+      if (mode == 2) scheduler.set_placement_cache_enabled(false);
+      sched::DriverOptions options;
+      options.record_series = false;
+      sched::Driver driver(minsky, model, scheduler, options);
+      const sched::DriverReport report = driver.run(jobs);
+
+      const json::Array& expected_jobs = want.as_array();
+      ASSERT_EQ(report.recorder.records().size(), expected_jobs.size())
+          << policy << " mode " << mode;
+      for (size_t i = 0; i < expected_jobs.size(); ++i) {
+        const json::Value& expected = expected_jobs[i];
+        const cluster::JobRecord& record = report.recorder.records()[i];
+        const std::string where = std::string(policy) + " mode " +
+                                  std::to_string(mode) + " job " +
+                                  std::to_string(i);
+        EXPECT_EQ(record.id, expected.at("id").as_int()) << where;
+        const json::Array& gpus = expected.at("gpus").as_array();
+        ASSERT_EQ(record.gpus.size(), gpus.size()) << where;
+        for (size_t g = 0; g < gpus.size(); ++g) {
+          EXPECT_EQ(record.gpus[g], gpus[g].as_int()) << where;
+        }
+        EXPECT_NEAR(record.start, expected.at("start_s").as_number(),
+                    kRelTolerance * std::max(1.0, record.start))
+            << where;
+        EXPECT_NEAR(record.end, expected.at("end_s").as_number(),
+                    kRelTolerance * std::max(1.0, record.end))
+            << where;
+        EXPECT_NEAR(record.placement_utility,
+                    expected.at("utility").as_number(), kRelTolerance)
+            << where;
+        EXPECT_EQ(record.p2p, expected.at("p2p").as_bool()) << where;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -12,6 +12,11 @@
 # value; see DESIGN.md. A scenario failure does not stop the matrix: the
 # remaining scenarios still run and the script exits non-zero listing
 # every failed scenario.
+#
+# Perf gate: after the matrix, every produced BENCH_*.json with a
+# committed twin under bench/baselines/ goes through
+# tools/bench_compare.py; a >15% mean-latency regression fails the run
+# (disable with --no-perf-gate).
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +28,7 @@ BUILD_DIR="build"
 SCENARIOS=()
 QUICK=0
 FULL=0
+PERF_GATE=1
 # Tractable default for Fig. 11; --full restores the paper's 10k/1k scale.
 FIG11_MACHINES=50
 FIG11_JOBS=500
@@ -39,9 +45,10 @@ Options:
   --build-dir DIR    cmake build tree with bench/ binaries (default: ${BUILD_DIR})
   --scenario NAME    run one scenario (repeatable); default: the full matrix
                      (fig10 fig11 ablation_alpha ablation_threshold
-                      ablation_noise overhead service_load)
+                      ablation_noise overhead decision_micro service_load)
   --quick            CI smoke sizes (tiny clusters / job counts)
   --full             paper-scale Fig. 11 (10000 jobs on 1000 machines)
+  --no-perf-gate     skip the bench_compare.py baseline comparison
   -h, --help         this text
 EOF
 }
@@ -55,6 +62,7 @@ while [[ $# -gt 0 ]]; do
     --scenario) SCENARIOS+=("$2"); shift 2 ;;
     --quick) QUICK=1; shift ;;
     --full) FULL=1; shift ;;
+    --no-perf-gate) PERF_GATE=0; shift ;;
     -h|--help) usage; exit 0 ;;
     *) echo "unknown option: $1" >&2; usage >&2; exit 1 ;;
   esac
@@ -62,7 +70,7 @@ done
 
 if [[ ${#SCENARIOS[@]} -eq 0 ]]; then
   SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise
-             overhead service_load)
+             overhead decision_micro service_load)
 fi
 
 FIG10_MACHINES=5
@@ -70,6 +78,12 @@ FIG10_JOBS=100
 OVERHEAD_MACHINES="5,20,50"
 OVERHEAD_TASKS="2,4,8"
 OVERHEAD_JOBS=40
+# decision_micro keeps the baseline grid even under --quick: the sweep is
+# sub-second, and shrinking it would leave the perf gate with no
+# overlapping scenarios against bench/baselines/BENCH_decision_micro.json.
+DECISION_MACHINES="5,20,50"
+DECISION_TASKS="8"
+DECISION_JOBS=200
 SERVICE_CONNECTIONS=4
 SERVICE_JOBS=60
 SERVICE_MACHINES=4
@@ -140,6 +154,15 @@ run_scenario() {
         --jobs "$OVERHEAD_JOBS" --seeds "$SEEDS" --threads "$THREADS" \
         --out "$out" --metrics-out "$metrics"
       ;;
+    decision_micro)
+      # Replicas stay sequential (--threads 1): parallel replicas contend
+      # for cores and inflate the stage timers this scenario exists to
+      # gate; the whole sweep is sub-second anyway.
+      bin="$(bench_bin bench_decision_micro)" || return 1
+      "$bin" --machines "$DECISION_MACHINES" --tasks "$DECISION_TASKS" \
+        --jobs "$DECISION_JOBS" --seeds "$SEEDS" --threads 1 \
+        --out "$out" --metrics-out "$metrics"
+      ;;
     service_load)
       # Live socket daemon + concurrent clients; replicas stay sequential
       # (--threads 1) because each one spawns its own server and client
@@ -162,6 +185,19 @@ for scenario in "${SCENARIOS[@]}"; do
     FAILED+=("$scenario")
   fi
 done
+
+if [[ "$PERF_GATE" -eq 1 ]]; then
+  for scenario in "${SCENARIOS[@]}"; do
+    baseline="bench/baselines/BENCH_${scenario}.json"
+    produced="${OUT_DIR}/BENCH_${scenario}.json"
+    [[ -f "$baseline" && -f "$produced" ]] || continue
+    echo "=== perf-gate ${scenario}: ${baseline} vs ${produced} ==="
+    if ! python3 tools/bench_compare.py --min-value 150 "$baseline" "$produced"; then
+      echo "FAILED: perf-gate:${scenario}" >&2
+      FAILED+=("perf-gate:${scenario}")
+    fi
+  done
+fi
 
 echo "done in $(( $(date +%s) - started ))s; documents in ${OUT_DIR}/:"
 ls -l "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/METRICS_*.json 2>/dev/null || true
