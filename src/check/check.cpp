@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace gts::check {
 namespace {
@@ -14,8 +16,8 @@ std::atomic<std::uint64_t> g_failure_count{0};
 
 // Handler + last-failure record share one mutex; check failures are rare
 // and never on a hot path, so the lock is irrelevant for performance.
-std::mutex& state_mutex() {
-  static std::mutex mutex;
+util::Mutex& state_mutex() {
+  static util::Mutex mutex;
   return mutex;
 }
 
@@ -45,7 +47,7 @@ FailureMode failure_mode() noexcept { return g_mode.load(); }
 void set_failure_mode(FailureMode mode) noexcept { g_mode.store(mode); }
 
 void set_failure_handler(FailureHandler handler) {
-  const std::lock_guard<std::mutex> lock(state_mutex());
+  const util::MutexLock lock(state_mutex());
   custom_handler() = std::move(handler);
 }
 
@@ -53,7 +55,7 @@ std::uint64_t failure_count() noexcept { return g_failure_count.load(); }
 void reset_failure_count() noexcept { g_failure_count.store(0); }
 
 FailureInfo last_failure() {
-  const std::lock_guard<std::mutex> lock(state_mutex());
+  const util::MutexLock lock(state_mutex());
   return last_failure_slot();
 }
 
@@ -74,7 +76,7 @@ void fail(const char* condition, const char* file, int line,
 
   FailureHandler handler;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex());
+    const util::MutexLock lock(state_mutex());
     last_failure_slot() = info;
     handler = custom_handler();
   }

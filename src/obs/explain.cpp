@@ -65,7 +65,7 @@ ExplainLog& ExplainLog::instance() {
 }
 
 util::Status ExplainLog::open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (file_ != nullptr) {
     std::fclose(static_cast<std::FILE*>(file_));
     file_ = nullptr;
@@ -80,12 +80,12 @@ util::Status ExplainLog::open(const std::string& path) {
 }
 
 bool ExplainLog::is_open() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return file_ != nullptr;
 }
 
 void ExplainLog::append(DecisionRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (file_ == nullptr) return;
   record.sequence = sequence_++;
   json::WriteOptions options;
@@ -96,7 +96,7 @@ void ExplainLog::append(DecisionRecord record) {
 }
 
 void ExplainLog::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (file_ != nullptr) {
     std::fclose(static_cast<std::FILE*>(file_));
     file_ = nullptr;
@@ -104,7 +104,7 @@ void ExplainLog::close() {
 }
 
 long long ExplainLog::records_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return sequence_;
 }
 

@@ -12,12 +12,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "json/json.hpp"
+#include "util/annotations.hpp"
 #include "util/expected.hpp"
+#include "util/sync.hpp"
 
 namespace gts::obs {
 
@@ -78,9 +79,10 @@ class ExplainLog {
 
  private:
   ExplainLog() = default;
-  mutable std::mutex mutex_;
-  void* file_ = nullptr;  // std::FILE*, kept opaque for the header
-  long long sequence_ = 0;
+  mutable util::Mutex mutex_;
+  /// std::FILE*, kept opaque for the header.
+  void* file_ GTS_GUARDED_BY(mutex_) = nullptr;
+  long long sequence_ GTS_GUARDED_BY(mutex_) = 0;
 };
 
 /// The per-decision candidate collector, thread-current while a Driver

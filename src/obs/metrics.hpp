@@ -14,14 +14,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "json/json.hpp"
 #include "obs/obs.hpp"
+#include "util/annotations.hpp"
 #include "util/expected.hpp"
+#include "util/sync.hpp"
 
 namespace gts::obs {
 
@@ -145,10 +146,15 @@ class Registry {
 
  private:
   Registry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps are guarded; the instruments they point to are internally
+  // thread-safe (atomics) and may be used lock-free once handed out.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GTS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      GTS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GTS_GUARDED_BY(mutex_);
 };
 
 /// The standalone --metrics-out document:

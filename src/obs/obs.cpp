@@ -1,13 +1,13 @@
 #include "obs/obs.hpp"
 
-#include <mutex>
-
 #include "obs/explain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/annotations.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 
 namespace gts::obs {
 
@@ -19,8 +19,8 @@ std::atomic<bool> explain_on{false};
 
 namespace {
 
-std::mutex g_config_mutex;
-ObsConfig g_config;
+util::Mutex g_config_mutex;
+ObsConfig g_config GTS_GUARDED_BY(g_config_mutex);
 bool g_log_sink_installed = false;
 
 /// Mirrors every emitted log line into the trace timeline (kLog instants)
@@ -111,7 +111,7 @@ util::Status configure(const ObsConfig& config) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(g_config_mutex);
+    util::MutexLock lock(g_config_mutex);
     g_config = effective;
   }
   detail::trace_mask.store(
@@ -130,7 +130,7 @@ util::Status configure(const ObsConfig& config) {
 }
 
 ObsConfig config() {
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  util::MutexLock lock(g_config_mutex);
   return g_config;
 }
 
@@ -161,7 +161,7 @@ void reset() {
   detail::metrics_on.store(false, std::memory_order_relaxed);
   detail::explain_on.store(false, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(g_config_mutex);
+    util::MutexLock lock(g_config_mutex);
     g_config = ObsConfig{};
   }
   remove_log_mirror_sink();

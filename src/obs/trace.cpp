@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace gts::obs {
 
@@ -22,9 +24,9 @@ struct ThreadBuffer {
 };
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+  util::Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers GTS_GUARDED_BY(mutex);
+  std::uint32_t next_tid GTS_GUARDED_BY(mutex) = 1;
 };
 
 BufferRegistry& registry() {
@@ -36,7 +38,7 @@ ThreadBuffer& thread_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto created = std::make_shared<ThreadBuffer>();
     BufferRegistry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    util::MutexLock lock(reg.mutex);
     created->tid = reg.next_tid++;
     reg.buffers.push_back(created);
     return created;
@@ -66,6 +68,12 @@ std::int64_t now_us() noexcept {
              std::chrono::steady_clock::now() - trace_epoch())
       .count();
 }
+
+}  // namespace detail
+
+std::int64_t wall_now_us() noexcept { return detail::now_us(); }
+
+namespace detail {
 
 void emit(const TraceEvent& event) {
   ThreadBuffer& buffer = thread_buffer();
@@ -149,7 +157,7 @@ void trace_counter(Category category, const char* name,
 
 std::size_t trace_event_count() {
   BufferRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   std::size_t total = 0;
   for (const auto& buffer : reg.buffers) total += buffer->events.size();
   return total;
@@ -157,7 +165,7 @@ std::size_t trace_event_count() {
 
 std::size_t trace_dropped_count() {
   BufferRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   std::size_t total = 0;
   for (const auto& buffer : reg.buffers) total += buffer->dropped;
   return total;
@@ -165,7 +173,7 @@ std::size_t trace_dropped_count() {
 
 void clear_trace() {
   BufferRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  util::MutexLock lock(reg.mutex);
   for (const auto& buffer : reg.buffers) {
     buffer->events.clear();
     buffer->dropped = 0;
@@ -177,7 +185,7 @@ json::Value trace_to_json() {
   std::vector<std::shared_ptr<ThreadBuffer>> snapshot;
   {
     BufferRegistry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    util::MutexLock lock(reg.mutex);
     snapshot = reg.buffers;
   }
 

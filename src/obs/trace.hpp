@@ -62,6 +62,14 @@ void emit(const TraceEvent& event);
 std::int64_t now_us() noexcept;
 }  // namespace detail
 
+/// Monotonic wall-clock in microseconds since the process trace epoch —
+/// the sanctioned clock read for timing instrumentation. Decision-path
+/// code must take timestamps through this helper instead of touching
+/// std::chrono directly (gts_lint's wall-clock rule): confining the
+/// clock to the obs layer keeps scheduling decisions replayable and
+/// gives every subsystem the same epoch as the trace timeline.
+std::int64_t wall_now_us() noexcept;
+
 /// Installs `clock` as the thread's simulated-time source for the scope's
 /// lifetime (nested scopes restore the previous source).
 class SimClockScope {

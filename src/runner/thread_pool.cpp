@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -25,23 +25,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this]() { return tasks_.empty() && active_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (!tasks_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) work_cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stop_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -49,7 +49,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
     }

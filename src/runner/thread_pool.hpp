@@ -7,12 +7,13 @@
 // results stay byte-identical regardless of thread count.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace gts::runner {
 
@@ -41,12 +42,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait for tasks
-  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
-  int active_ = 0;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  std::deque<std::function<void()>> tasks_ GTS_GUARDED_BY(mutex_);
+  util::CondVar work_cv_;  // workers wait for tasks
+  util::CondVar idle_cv_;  // wait_idle waits for quiescence
+  int active_ GTS_GUARDED_BY(mutex_) = 0;
+  bool stop_ GTS_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(0..count-1) across the pool and waits for all of them.

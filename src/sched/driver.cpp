@@ -1,7 +1,7 @@
 #include "sched/driver.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cstdint>
 #include <optional>
 
 #include "check/audit.hpp"
@@ -285,14 +285,13 @@ void Driver::scheduling_pass() {
                             request.min_utility, now);
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t t0_us = obs::wall_now_us();
     std::optional<Placement> placement = scheduler_.place(request, state_);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double decision_seconds =
-        std::chrono::duration<double>(t1 - t0).count();
+    const double decision_us =
+        static_cast<double>(obs::wall_now_us() - t0_us);
+    const double decision_seconds = decision_us * 1e-6;
     report_.decision_seconds += decision_seconds;
     ++report_.decision_count;
-    const double decision_us = decision_seconds * 1e6;
     report_.decision_latency_us.record(decision_us);
     GTS_METRIC_COUNT("sched.decisions", 1);
     GTS_METRIC_HISTOGRAM("sched.decision_latency_us", decision_us,

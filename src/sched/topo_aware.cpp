@@ -24,6 +24,9 @@ std::optional<Placement> TopoAwareScheduler::place(
     const jobgraph::JobRequest& request, const cluster::ClusterState& state) {
   obs::SpanGuard span(obs::kSched, "topo.place");
   span.arg("job", request.id).arg("gpus", request.num_gpus);
+  // Zero-cost role acquisition (DESIGN.md §16.2): asserts single-threaded
+  // ownership of the placement cache for the whole decision.
+  const util::SerialGuard guard(cache_serial_);
   std::optional<Placement> placement;
   if (request.profile.single_node && !request.profile.anti_collocate &&
       state.topology().machine_count() > direct_drb_machine_limit) {
@@ -110,25 +113,7 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
 
   ++cache_stats_.lookups;
   GTS_METRIC_COUNT("cache.lookups", 1);
-  const auto replay = [&](const CacheEntry& entry) -> std::optional<Placement> {
-    ++cache_stats_.hits;
-    GTS_METRIC_COUNT("cache.hits", 1);
-    GTS_TRACE_INSTANT(obs::kCache, "cache.hit", "job", request.id);
-    if (!entry.mapped) return std::nullopt;
-    Placement placement;
-    placement.gpus = entry.gpus;
-    placement.utility = entry.utility;
-    placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
-    if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
-      obs::ExplainCandidate candidate;
-      candidate.gpus = placement.gpus;
-      candidate.terms.utility = placement.utility;
-      candidate.source = "cache";
-      scope->add_candidate(std::move(candidate));
-    }
-    return placement;
-  };
-  const auto record = [&](const std::optional<Placement>& placement) {
+  const auto record = [](const std::optional<Placement>& placement) {
     CacheEntry entry;
     entry.mapped = placement.has_value();
     if (placement) {
@@ -141,7 +126,7 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
   if (string_keys_for_test_) {
     const std::string key = string_placement_cache_key(request, available);
     if (const auto it = string_cache_.find(key); it != string_cache_.end()) {
-      return replay(it->second);
+      return replay_cache_entry(it->second, request);
     }
     std::optional<Placement> placement =
         drb_place(request, available, state, utility_, &stats_);
@@ -151,11 +136,31 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
 
   const PlacementCacheKey key = hashed_placement_cache_key(request, available);
   if (const auto it = cache_.find(key); it != cache_.end()) {
-    return replay(it->second);
+    return replay_cache_entry(it->second, request);
   }
   std::optional<Placement> placement =
       drb_place(request, available, state, utility_, &stats_);
   cache_.emplace(key, record(placement));
+  return placement;
+}
+
+std::optional<Placement> TopoAwareScheduler::replay_cache_entry(
+    const CacheEntry& entry, const jobgraph::JobRequest& request) {
+  ++cache_stats_.hits;
+  GTS_METRIC_COUNT("cache.hits", 1);
+  GTS_TRACE_INSTANT(obs::kCache, "cache.hit", "job", request.id);
+  if (!entry.mapped) return std::nullopt;
+  Placement placement;
+  placement.gpus = entry.gpus;
+  placement.utility = entry.utility;
+  placement.satisfied = placement.utility + 1e-9 >= request.min_utility;
+  if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+    obs::ExplainCandidate candidate;
+    candidate.gpus = placement.gpus;
+    candidate.terms.utility = placement.utility;
+    candidate.source = "cache";
+    scope->add_candidate(std::move(candidate));
+  }
   return placement;
 }
 

@@ -15,6 +15,8 @@
 #include "partition/drb.hpp"
 #include "sched/placement_cache_key.hpp"
 #include "sched/scheduler.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace gts::sched {
 
@@ -78,14 +80,19 @@ class TopoAwareScheduler final : public Scheduler {
   /// moves (any allocation or release). On by default; decisions are
   /// bit-identical with the cache off (tests/cache_test.cpp).
   void set_placement_cache_enabled(bool enabled) noexcept {
+    const util::SerialGuard guard(cache_serial_);
     cache_enabled_ = enabled;
     if (!enabled) {
       cache_.clear();
       string_cache_.clear();
     }
   }
-  bool placement_cache_enabled() const noexcept { return cache_enabled_; }
-  const PlacementCacheStats& cache_stats() const noexcept {
+  bool placement_cache_enabled() const noexcept {
+    const util::SerialGuard guard(cache_serial_);
+    return cache_enabled_;
+  }
+  PlacementCacheStats cache_stats() const noexcept {
+    const util::SerialGuard guard(cache_serial_);
     return cache_stats_;
   }
 
@@ -93,6 +100,7 @@ class TopoAwareScheduler final : public Scheduler {
   /// instead of the 128-bit FNV-1a key. The equivalence suite runs the
   /// same trace in both modes and asserts byte-identical decisions.
   void set_string_cache_keys_for_test(bool enabled) noexcept {
+    const util::SerialGuard guard(cache_serial_);
     string_keys_for_test_ = enabled;
     cache_.clear();
     string_cache_.clear();
@@ -101,10 +109,11 @@ class TopoAwareScheduler final : public Scheduler {
  private:
   std::optional<Placement> map_onto(const jobgraph::JobRequest& request,
                                     const std::vector<int>& available,
-                                    const cluster::ClusterState& state);
+                                    const cluster::ClusterState& state)
+      GTS_REQUIRES(cache_serial_);
   std::optional<Placement> place_on_best_machine(
       const jobgraph::JobRequest& request,
-      const cluster::ClusterState& state);
+      const cluster::ClusterState& state) GTS_REQUIRES(cache_serial_);
 
   UtilityModel utility_;
   bool postpone_;
@@ -117,14 +126,31 @@ class TopoAwareScheduler final : public Scheduler {
     std::vector<int> gpus;
     double utility = 0.0;
   };
-  bool cache_enabled_ = true;
-  bool string_keys_for_test_ = false;
+
+  /// Replays a cache entry as a fresh placement decision, updating hit
+  /// counters and the explain candidate list.
+  std::optional<Placement> replay_cache_entry(
+      const CacheEntry& entry, const jobgraph::JobRequest& request)
+      GTS_REQUIRES(cache_serial_);
+
+  // Replica-confinement role (DESIGN.md §16.2): the placement cache is
+  // private to one scheduler replica and is accessed without locking.
+  // The sweep runner gives each worker thread its own scheduler, so the
+  // role is never contended today; annotating it documents the contract
+  // and turns any future cross-thread sharing of one replica (e.g. the
+  // ROADMAP's sharded scheduling) into a compile-time error instead of a
+  // data race.
+  mutable util::SerialCapability cache_serial_;
+  bool cache_enabled_ GTS_GUARDED_BY(cache_serial_) = true;
+  bool string_keys_for_test_ GTS_GUARDED_BY(cache_serial_) = false;
   std::unordered_map<PlacementCacheKey, CacheEntry, PlacementCacheKeyHash>
-      cache_;
-  std::unordered_map<std::string, CacheEntry> string_cache_;  // test oracle
-  std::uint64_t cache_state_id_ = 0;   // ClusterState::instance_id (0: none)
-  std::uint64_t cache_version_ = ~0ULL;
-  PlacementCacheStats cache_stats_;
+      cache_ GTS_GUARDED_BY(cache_serial_);
+  std::unordered_map<std::string, CacheEntry> string_cache_
+      GTS_GUARDED_BY(cache_serial_);  // test oracle
+  std::uint64_t cache_state_id_ GTS_GUARDED_BY(cache_serial_) =
+      0;  // ClusterState::instance_id (0: none)
+  std::uint64_t cache_version_ GTS_GUARDED_BY(cache_serial_) = ~0ULL;
+  PlacementCacheStats cache_stats_ GTS_GUARDED_BY(cache_serial_);
 };
 
 }  // namespace gts::sched

@@ -42,6 +42,9 @@ Server::Server(ServiceCore& core, ServerOptions options)
     : core_(core), options_(std::move(options)) {}
 
 Server::~Server() {
+  // Destruction implies exclusive ownership; entering the reactor role
+  // here keeps the confinement analysis sound without special-casing.
+  util::SerialGuard guard(reactor_);
   for (const auto& session : sessions_) {
     if (session->fd >= 0) ::close(session->fd);
   }
@@ -237,6 +240,7 @@ void Server::write_periodic_snapshot() {
 }
 
 util::Status Server::run() {
+  util::SerialGuard guard(reactor_);
   if (!started_) return util::Error{"run() before start()"};
   using Clock = std::chrono::steady_clock;
   const bool periodic =

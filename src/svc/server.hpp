@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "svc/service.hpp"
+#include "util/annotations.hpp"
 #include "util/expected.hpp"
+#include "util/sync.hpp"
 
 namespace gts::svc {
 
@@ -57,8 +59,12 @@ class Server {
   /// bind port 0 and discover the ephemeral port.
   int port() const noexcept { return tcp_port_; }
 
-  /// Number of currently connected sessions (diagnostics/tests).
-  std::size_t session_count() const noexcept { return sessions_.size(); }
+  /// Number of currently connected sessions (diagnostics/tests). Read
+  /// from the owning thread between run() rounds; exempt from the
+  /// reactor-confinement analysis for that reason.
+  std::size_t session_count() const noexcept GTS_NO_THREAD_SAFETY_ANALYSIS {
+    return sessions_.size();
+  }
 
  private:
   struct Session {
@@ -71,24 +77,29 @@ class Server {
 
   util::Status listen_unix(const std::string& path);
   util::Status listen_tcp(const std::string& host, int port);
-  void accept_clients(int listener_fd);
+  void accept_clients(int listener_fd) GTS_REQUIRES(reactor_);
   /// Reads available bytes and dispatches complete lines; returns false
   /// when the session should be dropped.
-  bool service_input(Session& session);
+  bool service_input(Session& session) GTS_REQUIRES(reactor_);
   /// Flushes buffered output; returns false when the session should be
   /// dropped.
-  bool service_output(Session& session);
-  void close_session(Session& session);
-  void write_periodic_snapshot();
+  bool service_output(Session& session) GTS_REQUIRES(reactor_);
+  void close_session(Session& session) GTS_REQUIRES(reactor_);
+  void write_periodic_snapshot() GTS_REQUIRES(reactor_);
 
   ServiceCore& core_;
   ServerOptions options_;
   std::vector<int> listeners_;
   int tcp_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
-  std::vector<std::unique_ptr<Session>> sessions_;
+  /// Confines the live session table and the stop flag to the reactor
+  /// loop: run() enters the role, every helper requires it, and stop()
+  /// stays off it by design (it only writes the self-pipe). See
+  /// DESIGN.md section 16.2.
+  mutable util::SerialCapability reactor_;
+  std::vector<std::unique_ptr<Session>> sessions_ GTS_GUARDED_BY(reactor_);
   bool started_ = false;
-  bool stop_requested_ = false;
+  bool stop_requested_ GTS_GUARDED_BY(reactor_) = false;
 };
 
 }  // namespace gts::svc

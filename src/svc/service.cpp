@@ -47,6 +47,7 @@ int ServiceCore::admission_depth() const noexcept {
 }
 
 Response ServiceCore::handle(const Request& request) {
+  util::SerialGuard guard(serial_);
   obs::SpanGuard span(obs::kSvc, "svc.request");
   span.arg("request_id", static_cast<double>(request.id));
   const auto t0 = std::chrono::steady_clock::now();
@@ -392,10 +393,10 @@ Response ServiceCore::verb_snapshot(const Request& request) {
   const std::string path = request.params.at("path").as_string();
   if (path.empty()) {
     json::Value result;
-    result.set("snapshot", snapshot_json());
+    result.set("snapshot", snapshot_json_locked());
     return Response::success(request.id, std::move(result));
   }
-  if (auto status = save_snapshot(path); !status) {
+  if (auto status = save_snapshot_locked(path); !status) {
     return Response::failure(request.id, ErrorCode::kInternal,
                              status.error().message);
   }

@@ -27,6 +27,8 @@
 #include "sched/scheduler.hpp"
 #include "svc/protocol.hpp"
 #include "topo/topology.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace gts::svc {
 
@@ -56,7 +58,10 @@ class ServiceCore {
 
   /// Set by the `shutdown` verb; the server exits its loop after
   /// flushing pending replies.
-  bool shutdown_requested() const noexcept { return shutdown_requested_; }
+  bool shutdown_requested() const noexcept {
+    util::SerialGuard guard(serial_);
+    return shutdown_requested_;
+  }
 
   const ServiceOptions& options() const noexcept { return options_; }
   sched::Driver& driver() noexcept { return driver_; }
@@ -80,39 +85,54 @@ class ServiceCore {
   util::Status load_snapshot(const std::string& path);
 
  private:
-  Response dispatch(const Request& request);
-  Response verb_ping(const Request& request);
-  Response verb_submit(const Request& request);
-  Response verb_status(const Request& request);
-  Response verb_list(const Request& request);
-  Response verb_cancel(const Request& request);
-  Response verb_topology(const Request& request);
-  Response verb_metrics(const Request& request);
-  Response verb_advance(const Request& request);
-  Response verb_snapshot(const Request& request);
-  Response verb_drain(const Request& request);
-  Response verb_shutdown(const Request& request);
+  Response dispatch(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_ping(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_submit(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_status(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_list(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_cancel(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_topology(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_metrics(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_advance(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_snapshot(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_drain(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_shutdown(const Request& request) GTS_REQUIRES(serial_);
 
   /// Admits one parsed job; shared by inline and manifest-file submit.
-  Response submit_one(long long request_id, jobgraph::JobRequest job);
+  Response submit_one(long long request_id, jobgraph::JobRequest job)
+      GTS_REQUIRES(serial_);
   /// Folds newly terminal recorder records (finished/cancelled) into
   /// history_, so status/list survive snapshot/restore.
-  void reconcile_history();
+  void reconcile_history() GTS_REQUIRES(serial_);
   json::Value terminal_record(const cluster::JobRecord& record,
                               std::string state) const;
+
+  /// In-context bodies of the public snapshot entry points, callable from
+  /// verb handlers without re-entering the serial capability.
+  json::Value snapshot_json_locked() const GTS_REQUIRES(serial_);
+  util::Status restore_json_locked(const json::Value& document)
+      GTS_REQUIRES(serial_);
+  util::Status save_snapshot_locked(const std::string& path) const
+      GTS_REQUIRES(serial_);
 
   const topo::TopologyGraph& topology_;
   const perf::DlWorkloadModel& model_;
   ServiceOptions options_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   sched::Driver driver_;
+  /// Single-thread confinement of the session/queue state below: every
+  /// public entry point takes a SerialGuard, so the analysis proves no
+  /// code path reaches this state except through them (DESIGN.md
+  /// section 16.2). The core stays single-threaded by design; this makes
+  /// the contract compile-checked instead of comment-enforced.
+  mutable util::SerialCapability serial_;
   /// Terminal jobs (finished/cancelled/rejected) as status-shaped JSON,
   /// keyed by job id; carried across snapshot/restore.
-  std::map<int, json::Value> history_;
+  std::map<int, json::Value> history_ GTS_GUARDED_BY(serial_);
   /// Ids refused with never_fits (they briefly touch the recorder).
-  std::set<int> rejected_;
-  int next_auto_id_ = 1;
-  bool shutdown_requested_ = false;
+  std::set<int> rejected_ GTS_GUARDED_BY(serial_);
+  int next_auto_id_ GTS_GUARDED_BY(serial_) = 1;
+  bool shutdown_requested_ GTS_GUARDED_BY(serial_) = false;
 };
 
 }  // namespace gts::svc

@@ -82,6 +82,11 @@ util::Status validate_snapshot_json(const json::Value& document) {
 }
 
 json::Value ServiceCore::snapshot_json() const {
+  util::SerialGuard guard(serial_);
+  return snapshot_json_locked();
+}
+
+json::Value ServiceCore::snapshot_json_locked() const {
   json::Value document;
   document.set("schema_version", kSnapshotSchemaVersion);
   document.set("kind", std::string(kSnapshotKind));
@@ -138,6 +143,11 @@ json::Value ServiceCore::snapshot_json() const {
 }
 
 util::Status ServiceCore::restore_json(const json::Value& document) {
+  util::SerialGuard guard(serial_);
+  return restore_json_locked(document);
+}
+
+util::Status ServiceCore::restore_json_locked(const json::Value& document) {
   if (auto status = validate_snapshot_json(document); !status) return status;
 
   const double now = document.at("now").as_number();
@@ -195,13 +205,19 @@ util::Status ServiceCore::restore_json(const json::Value& document) {
 }
 
 util::Status ServiceCore::save_snapshot(const std::string& path) const {
-  return json::write_file(snapshot_json(), path, {.indent = 2});
+  util::SerialGuard guard(serial_);
+  return save_snapshot_locked(path);
+}
+
+util::Status ServiceCore::save_snapshot_locked(const std::string& path) const {
+  return json::write_file(snapshot_json_locked(), path, {.indent = 2});
 }
 
 util::Status ServiceCore::load_snapshot(const std::string& path) {
+  util::SerialGuard guard(serial_);
   auto document = json::parse_file(path);
   if (!document) return document.error().with_context(path);
-  if (auto status = restore_json(*document); !status) {
+  if (auto status = restore_json_locked(*document); !status) {
     return status.error().with_context(path);
   }
   return util::Status::ok();

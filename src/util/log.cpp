@@ -52,8 +52,8 @@ Logger& Logger::instance() {
 }
 
 bool Logger::enabled(LogLevel level, std::string_view component) const {
-  if (!has_overrides_) return enabled(level);
-  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_overrides_.load(std::memory_order_relaxed)) return enabled(level);
+  MutexLock lock(mutex_);
   if (const auto it = component_levels_.find(component);
       it != component_levels_.end()) {
     return static_cast<int>(level) >= static_cast<int>(it->second);
@@ -62,15 +62,15 @@ bool Logger::enabled(LogLevel level, std::string_view component) const {
 }
 
 void Logger::set_component_level(std::string_view component, LogLevel level) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   component_levels_.insert_or_assign(std::string(component), level);
-  has_overrides_ = true;
+  has_overrides_.store(true, std::memory_order_relaxed);
 }
 
 void Logger::clear_component_levels() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   component_levels_.clear();
-  has_overrides_ = false;
+  has_overrides_.store(false, std::memory_order_relaxed);
 }
 
 Status Logger::configure_from_spec(std::string_view spec) {
@@ -96,7 +96,7 @@ Status Logger::configure_from_spec(std::string_view spec) {
     if (!level) return level.error();
     overrides.emplace_back(std::string(component), *level);
   }
-  if (global) level_ = *global;
+  if (global) set_level(*global);
   for (const auto& [component, level] : overrides) {
     set_component_level(component, level);
   }
@@ -104,7 +104,7 @@ Status Logger::configure_from_spec(std::string_view spec) {
 }
 
 void Logger::set_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
@@ -119,7 +119,7 @@ void Logger::write_stderr(LogLevel level, std::string_view component,
 
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sink_) {
     sink_(level, component, message);
   } else {

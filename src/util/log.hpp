@@ -12,14 +12,16 @@
 // level (the global threshold) or "<component>=<level>".
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 
+#include "util/annotations.hpp"
 #include "util/expected.hpp"
+#include "util/sync.hpp"
 
 namespace gts::util {
 
@@ -49,12 +51,16 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Global-threshold check (cheap pre-filter; ignores overrides).
   bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
   /// Effective check for one component: the component's override wins over
@@ -85,11 +91,14 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
-  bool has_overrides_ = false;
-  std::map<std::string, LogLevel, std::less<>> component_levels_;
-  LogSink sink_;
-  mutable std::mutex mutex_;
+  // level_/has_overrides_ are lock-free pre-filters read on every log
+  // call site; the override table and sink swap under the mutex.
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::atomic<bool> has_overrides_{false};
+  mutable Mutex mutex_;
+  std::map<std::string, LogLevel, std::less<>> component_levels_
+      GTS_GUARDED_BY(mutex_);
+  LogSink sink_ GTS_GUARDED_BY(mutex_);
 };
 
 namespace detail {

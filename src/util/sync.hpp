@@ -1,0 +1,132 @@
+// Annotated synchronization primitives (DESIGN.md section 16).
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so Clang's
+// analysis cannot reason about code that locks it directly. These wrappers
+// add the capability annotations while staying zero-overhead: Mutex is
+// layout-identical to std::mutex, MutexLock to std::lock_guard, and every
+// method is a forwarding inline. Concurrent subsystems (runner thread
+// pool, obs buffers/registry, svc, util logger) hold locks exclusively
+// through these types.
+//
+// SerialCapability is the second, zero-size kind of capability: it models
+// single-thread confinement instead of mutual exclusion. State that is
+// only ever touched from one logical context (the svc reactor loop, one
+// runner replica's scheduler instance) is declared
+// GTS_GUARDED_BY(serial_), and the context entry point takes a
+// SerialGuard. The analysis then proves no new code path reaches that
+// state without going through the entry point — and when a future PR
+// makes the context concurrent, swapping SerialCapability for Mutex turns
+// every such access into a compile error until it is really locked.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace gts::util {
+
+/// Annotated std::mutex. `native()` is the escape hatch for APIs that
+/// need the raw mutex (e.g. CondVar); using it forfeits the analysis for
+/// that access, so keep it out of application code.
+class GTS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GTS_ACQUIRE() { mutex_.lock(); }
+  void unlock() GTS_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GTS_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Annotated scoped lock (std::lock_guard shape: no unlock, no move).
+class GTS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GTS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GTS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable usable with util::Mutex. wait() temporarily hands
+/// the already-held Mutex to a std::unique_lock (adopt/release), so the
+/// capability stays held across the call from the analysis's point of
+/// view — which matches reality: wait() returns with the lock re-taken.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) GTS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate predicate) GTS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock, std::move(predicate));
+    lock.release();
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mutex,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate predicate) GTS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(predicate));
+    lock.release();
+    return satisfied;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Zero-size capability modelling single-thread confinement (see file
+/// comment). acquire()/release() are annotation-only no-ops.
+class GTS_CAPABILITY("role") SerialCapability {
+ public:
+  SerialCapability() = default;
+  SerialCapability(const SerialCapability&) = delete;
+  SerialCapability& operator=(const SerialCapability&) = delete;
+
+  void acquire() GTS_ACQUIRE() {}
+  void release() GTS_RELEASE() {}
+};
+
+/// Scoped entry into a serial context. Purely a compile-time artifact.
+class GTS_SCOPED_CAPABILITY SerialGuard {
+ public:
+  explicit SerialGuard(SerialCapability& role) GTS_ACQUIRE(role)
+      : role_(role) {
+    role_.acquire();
+  }
+  ~SerialGuard() GTS_RELEASE() { role_.release(); }
+
+  SerialGuard(const SerialGuard&) = delete;
+  SerialGuard& operator=(const SerialGuard&) = delete;
+
+ private:
+  SerialCapability& role_;
+};
+
+}  // namespace gts::util

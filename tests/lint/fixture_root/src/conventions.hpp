@@ -1,0 +1,4 @@
+// Fixture: header missing '#pragma once' (finding: pragma-once) that also
+// drags the std namespace into every includer.
+
+using namespace std;  // finding: using-namespace-std

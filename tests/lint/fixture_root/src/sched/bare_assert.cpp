@@ -1,0 +1,10 @@
+// Fixture: bare assert() instead of GTS_CHECK.
+#include <cassert>
+
+namespace fixture {
+
+void validate(int gpus) {
+  assert(gpus > 0);  // finding: bare-assert
+}
+
+}  // namespace fixture

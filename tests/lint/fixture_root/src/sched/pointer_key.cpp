@@ -1,0 +1,11 @@
+// Fixture: pointer-keyed container in a decision-path dir.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Job {};
+
+// finding: pointer-key (addresses differ run to run)
+std::unordered_map<Job*, int> priorities;
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: raw randomness outside util::Rng.
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::mt19937 engine(std::random_device{}());  // finding: raw-random (x2)
+  return static_cast<int>(engine());
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: a violation carrying a GTS_LINT_ALLOW marker must be counted
+// as suppressed, not reported.
+#include <chrono>
+
+namespace fixture {
+
+long long sanctioned_stamp() {
+  // Reviewed: feeds a log line only, never a decision.
+  // GTS_LINT_ALLOW(wall-clock)
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fixture

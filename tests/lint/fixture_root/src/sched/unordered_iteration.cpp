@@ -1,0 +1,16 @@
+// Fixture: iterating an unordered container in a decision-path dir.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_scores() {
+  std::unordered_map<std::string, int> scores;
+  int total = 0;
+  for (const auto& [name, score] : scores) {  // finding: unordered-iteration
+    total += score;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: wall-clock read in a decision-path dir.
+#include <chrono>
+
+namespace fixture {
+
+long long stamp() {
+  const auto now = std::chrono::steady_clock::now();  // finding: wall-clock
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fixture

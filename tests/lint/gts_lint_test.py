@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""End-to-end tests for tools/gts_lint.py.
+
+Two halves:
+  * fixture scan — each rule has one deliberately violating file under
+    tests/lint/fixture_root/; the scan must report exactly the expected
+    (path, rule) pairs in its JSON output, flag the suppression fixture
+    as suppressed (not a finding), and exit 1.
+  * real-tree scan — the repository itself must be clean against the
+    checked-in baseline, which makes the determinism gate part of the
+    regular ctest run, not only CI.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TESTS_DIR))
+LINTER = os.path.join(REPO_ROOT, "tools", "gts_lint.py")
+FIXTURE_ROOT = os.path.join(TESTS_DIR, "fixture_root")
+
+EXPECTED_FIXTURE_FINDINGS = {
+    ("src/conventions.hpp", "pragma-once"),
+    ("src/conventions.hpp", "using-namespace-std"),
+    ("src/sched/bare_assert.cpp", "bare-assert"),
+    ("src/sched/pointer_key.cpp", "pointer-key"),
+    ("src/sched/raw_random.cpp", "raw-random"),
+    ("src/sched/unordered_iteration.cpp", "unordered-iteration"),
+    ("src/sched/wall_clock.cpp", "wall-clock"),
+}
+
+
+def run_linter(*argv):
+    proc = subprocess.run(
+        [sys.executable, LINTER, *argv],
+        capture_output=True,
+        text=True,
+    )
+    return proc
+
+
+class FixtureScanTest(unittest.TestCase):
+    def setUp(self):
+        self.proc = run_linter(
+            "--root", FIXTURE_ROOT, "--no-baseline", "--json"
+        )
+        self.assertEqual(
+            self.proc.returncode, 1,
+            f"expected exit 1 on violating fixtures; stderr:\n"
+            f"{self.proc.stderr}\nstdout:\n{self.proc.stdout}",
+        )
+        self.report = json.loads(self.proc.stdout)
+
+    def test_exact_rule_ids(self):
+        got = {
+            (finding["path"], finding["rule"])
+            for finding in self.report["findings"]
+        }
+        self.assertEqual(got, EXPECTED_FIXTURE_FINDINGS)
+
+    def test_every_rule_is_covered_by_a_fixture(self):
+        self.assertEqual(
+            {rule for _, rule in EXPECTED_FIXTURE_FINDINGS},
+            {
+                "pragma-once",
+                "using-namespace-std",
+                "bare-assert",
+                "pointer-key",
+                "raw-random",
+                "unordered-iteration",
+                "wall-clock",
+            },
+        )
+
+    def test_suppression_marker_is_honored(self):
+        suppressed_paths = {
+            finding["path"] for finding in self.report["findings"]
+        }
+        self.assertNotIn("src/sched/suppressed.cpp", suppressed_paths)
+        self.assertEqual(self.report["suppressed"], 1)
+
+    def test_findings_carry_message_and_fingerprint(self):
+        for finding in self.report["findings"]:
+            self.assertTrue(finding["message"])
+            self.assertTrue(finding["fingerprint"])
+            self.assertGreater(finding["line"], 0)
+
+
+class RealTreeScanTest(unittest.TestCase):
+    def test_repository_is_clean_against_baseline(self):
+        proc = run_linter("--root", REPO_ROOT, "--json")
+        self.assertEqual(
+            proc.returncode, 0,
+            f"unbaselined gts_lint findings in the tree:\n{proc.stdout}",
+        )
+        report = json.loads(proc.stdout)
+        self.assertEqual(report["findings"], [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Content-hash caching wrapper around clang-tidy.
+
+clang-tidy over the full tree costs minutes; most CI runs touch a handful
+of files. This wrapper keys each translation unit on a digest of
+
+  * the clang-tidy version string,
+  * the .clang-tidy configuration,
+  * the source file's bytes, and
+  * a global digest of every header under src/ (any header edit can
+    change any TU's diagnostics, so header changes invalidate the world —
+    coarse but sound),
+
+and skips files whose digest already has a success marker in the cache
+directory. Only clean runs are cached: a file with diagnostics is re-run
+(and re-reported) every time until fixed.
+
+Usage:
+  tools/clang_tidy_cache.py -p <build-dir> [--cache-dir DIR] [--jobs N]
+                            [file...]
+
+With no files, lints every src/**/*.cpp. Exit status 1 if any file
+produced diagnostics. Cache dir defaults to $GTS_TIDY_CACHE_DIR or
+.cache/clang-tidy; point CI's cache action at it.
+
+Requires only the Python standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def sha256_file(path: str, hasher) -> None:
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            hasher.update(chunk)
+
+
+def global_header_digest() -> str:
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(os.path.join(REPO_ROOT, "src")):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith((".hpp", ".h")):
+                path = os.path.join(dirpath, filename)
+                hasher.update(os.path.relpath(path, REPO_ROOT).encode())
+                sha256_file(path, hasher)
+    return hasher.hexdigest()
+
+
+def tidy_version(tidy: str) -> str:
+    try:
+        out = subprocess.run(
+            [tidy, "--version"], capture_output=True, text=True, check=True
+        )
+    except (OSError, subprocess.CalledProcessError) as error:
+        print(f"clang_tidy_cache: cannot run {tidy}: {error}", file=sys.stderr)
+        sys.exit(2)
+    return out.stdout.strip()
+
+
+def file_key(path: str, salt: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(salt.encode())
+    hasher.update(os.path.relpath(path, REPO_ROOT).encode())
+    sha256_file(path, hasher)
+    return hasher.hexdigest()
+
+
+def run_one(tidy: str, build_dir: str, path: str):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True,
+        text=True,
+    )
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*")
+    parser.add_argument("-p", dest="build_dir", required=True,
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(
+            "GTS_TIDY_CACHE_DIR", os.path.join(REPO_ROOT, ".cache", "clang-tidy")
+        ),
+    )
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    if not os.path.isfile(os.path.join(args.build_dir, "compile_commands.json")):
+        print(
+            f"clang_tidy_cache: no compile_commands.json in {args.build_dir}",
+            file=sys.stderr,
+        )
+        return 2
+
+    files = args.files
+    if not files:
+        files = []
+        for dirpath, dirnames, filenames in os.walk(
+            os.path.join(REPO_ROOT, "src")
+        ):
+            dirnames.sort()
+            files.extend(
+                os.path.join(dirpath, f)
+                for f in sorted(filenames)
+                if f.endswith(".cpp")
+            )
+
+    config_path = os.path.join(REPO_ROOT, ".clang-tidy")
+    salt_hasher = hashlib.sha256()
+    salt_hasher.update(tidy_version(args.clang_tidy).encode())
+    if os.path.exists(config_path):
+        sha256_file(config_path, salt_hasher)
+    salt_hasher.update(global_header_digest().encode())
+    salt = salt_hasher.hexdigest()
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+    pending = []
+    hits = 0
+    keys = {}
+    for path in files:
+        key = file_key(path, salt)
+        keys[path] = key
+        if os.path.exists(os.path.join(args.cache_dir, key)):
+            hits += 1
+        else:
+            pending.append(path)
+
+    print(
+        f"clang_tidy_cache: {len(files)} file(s), {hits} cached, "
+        f"{len(pending)} to lint"
+    )
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, args.clang_tidy, args.build_dir, path)
+            for path in pending
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            path, returncode, stdout, stderr = future.result()
+            rel = os.path.relpath(path, REPO_ROOT)
+            if returncode == 0 and not stdout.strip():
+                marker = os.path.join(args.cache_dir, keys[path])
+                with open(marker, "w", encoding="utf-8") as handle:
+                    handle.write(rel + "\n")
+            else:
+                failures += 1
+                print(f"-- {rel}")
+                if stdout.strip():
+                    print(stdout, end="")
+                if returncode != 0 and stderr.strip():
+                    print(stderr, file=sys.stderr, end="")
+
+    if failures:
+        print(
+            f"clang_tidy_cache: {failures} file(s) with diagnostics",
+            file=sys.stderr,
+        )
+        return 1
+    print("clang_tidy_cache: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
