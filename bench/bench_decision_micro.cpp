@@ -7,6 +7,9 @@
 //   fm       — one top-level FM job bipartition (Algorithm 3) in isolation
 //   drb      — the full DRB mapping (Algorithm 2, FM + utility inside)
 //   utility  — final placement_utility evaluation of the chosen mapping
+//   place    — a full TopoAwareScheduler::place() decision (candidate
+//              scoring serial by default; --scoring-threads N fans it out
+//              across a pool, decisions byte-identical either way)
 //   total    — the whole decision (sum of the stages as actually run)
 //
 // Each replica streams a controlled workload through a live ClusterState
@@ -111,6 +114,7 @@ struct StageSample {
   double fm_us = 0.0;
   double drb_us = 0.0;
   double utility_us = 0.0;
+  double place_us = 0.0;
   double total_us = 0.0;
 
   void min_with(const StageSample& other) {
@@ -119,6 +123,7 @@ struct StageSample {
     fm_us = std::min(fm_us, other.fm_us);
     drb_us = std::min(drb_us, other.drb_us);
     utility_us = std::min(utility_us, other.utility_us);
+    place_us = std::min(place_us, other.place_us);
     total_us = std::min(total_us, other.total_us);
   }
 };
@@ -141,6 +146,9 @@ int main(int argc, char** argv) {
                  "42,");
   cli.add_option("threads", "worker threads (0 = all cores)", "0");
   cli.add_option("repeats", "timed passes per replica (min taken)", "5");
+  cli.add_option("scoring-threads",
+                 "parallel candidate scoring in the place stage (0 = serial)",
+                 "0");
   cli.add_option("out", "write BENCH JSON here ('' = no file)", "");
   obs::add_cli_flags(cli);
   if (auto status = cli.parse(argc, argv); !status) {
@@ -169,6 +177,12 @@ int main(int argc, char** argv) {
   }
   const int job_count = static_cast<int>(cli.get_int("jobs"));
   const int repeats = std::max(1, static_cast<int>(cli.get_int("repeats")));
+  const int scoring_threads =
+      static_cast<int>(cli.get_int("scoring-threads"));
+  if (scoring_threads < 0) {
+    std::fprintf(stderr, "--scoring-threads must be >= 0\n");
+    return 1;
+  }
 
   runner::SweepOptions options;
   options.name = "decision_micro";
@@ -192,9 +206,10 @@ int main(int argc, char** argv) {
   }
   options.metadata["jobs"] = job_count;
   options.metadata["repeats"] = repeats;
+  options.metadata["scoring_threads"] = scoring_threads;
   options.metadata["stages"] = json::Array{
-      json::Value("filter"), json::Value("cache"), json::Value("fm"),
-      json::Value("drb"),    json::Value("utility")};
+      json::Value("filter"), json::Value("cache"),   json::Value("fm"),
+      json::Value("drb"),    json::Value("utility"), json::Value("place")};
 
   const int tasks_axis = static_cast<int>(tasks->size());
   const std::vector<int> machine_axis = *machines;
@@ -214,6 +229,15 @@ int main(int argc, char** argv) {
             micro_jobs(job_count, t, model, topology, rng);
 
         const sched::UtilityModel utility{sched::UtilityWeights{}};
+        // Full-decision stage: a real scheduler instance, so the place
+        // stage exercises the pre-score/candidate path (and, with
+        // --scoring-threads, the parallel scorer) rather than one bare
+        // drb_place call.
+        sched::TopoAwareScheduler scheduler(sched::UtilityWeights{},
+                                            /*postpone=*/false);
+        if (scoring_threads > 0) {
+          scheduler.set_parallel_scoring(scoring_threads);
+        }
         std::vector<StageSample> best;  // per decision, min across repeats
         PassCounters counters;
 
@@ -299,6 +323,12 @@ int main(int argc, char** argv) {
             }
             sample.utility_us = elapsed_us(begin, Clock::now());
 
+            // Place stage: the whole decision through the scheduler
+            // (filter + cache + candidate scoring + reduction).
+            begin = Clock::now();
+            (void)scheduler.place(request, state);
+            sample.place_us = elapsed_us(begin, Clock::now());
+
             cache.emplace(key, placement.has_value());
             sample.total_us = elapsed_us(decision_begin, Clock::now());
             ++pass.decisions;
@@ -327,13 +357,14 @@ int main(int argc, char** argv) {
         payload["mapped"] = counters.mapped;
         payload["cache_hits"] = counters.cache_hits;
         obs::HistogramData filter_us, cache_us, fm_us, drb_us, utility_us,
-            total_us;
+            place_us, total_us;
         for (const StageSample& sample : best) {
           filter_us.record(sample.filter_us);
           cache_us.record(sample.cache_us);
           fm_us.record(sample.fm_us);
           drb_us.record(sample.drb_us);
           utility_us.record(sample.utility_us);
+          place_us.record(sample.place_us);
           total_us.record(sample.total_us);
         }
         json::Object timing;
@@ -342,6 +373,7 @@ int main(int argc, char** argv) {
         timing["fm_us"] = fm_us.to_json();
         timing["drb_us"] = drb_us.to_json();
         timing["utility_us"] = utility_us.to_json();
+        timing["place_us"] = place_us.to_json();
         timing["total_us"] = total_us.to_json();
         payload[runner::kTimingKey] = std::move(timing);
         return json::Value(std::move(payload));
@@ -352,7 +384,7 @@ int main(int argc, char** argv) {
       "wall\n",
       options.scenarios.size(), seeds->size(), result.wall_seconds);
   metrics::Table table({"scenario", "filter(us)", "cache(us)", "fm(us)",
-                        "drb(us)", "utility(us)", "total(us)"});
+                        "drb(us)", "utility(us)", "place(us)", "total(us)"});
   for (const std::string& scenario : options.scenarios) {
     const auto cell = [&](const char* stage) {
       return util::format_double(
@@ -363,7 +395,7 @@ int main(int argc, char** argv) {
     };
     table.add_row({scenario, cell("filter_us"), cell("cache_us"),
                    cell("fm_us"), cell("drb_us"), cell("utility_us"),
-                   cell("total_us")});
+                   cell("place_us"), cell("total_us")});
   }
   std::fputs(table.render().c_str(), stdout);
 

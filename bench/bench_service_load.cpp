@@ -7,7 +7,13 @@
 // private socket, fans `--connections` submitter threads out over the
 // workload (round-robin job assignment, submits retried on
 // backpressure), then drains the daemon and collects the decision
-// figures. The BENCH document (schema_version 1) keeps the determinism
+// figures. With --pipeline each connection flushes its whole remaining
+// wave of submits in one write and then collects the replies — the burst
+// shape batched admission (--batch-max > 1) exists for; without it the
+// clients are strict request/response and throughput measures round
+// trips, not the admission path. Pipelined latency is recorded per reply
+// as time-since-wave-flush, so the tail shows queueing inside a wave.
+// The BENCH document (schema_version 1) keeps the determinism
 // contract: the admitted/finished/rejected job counts are byte-identical
 // across runs, while everything the wall clock can perturb — request
 // latency percentiles, throughput, backpressure retries, and (because
@@ -18,11 +24,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "jobgraph/manifest.hpp"
@@ -32,6 +42,7 @@
 #include "runner/sweep.hpp"
 #include "sim/arrivals.hpp"
 #include "svc/client.hpp"
+#include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 #include "topo/builders.hpp"
@@ -71,6 +82,71 @@ struct ReplicaFigures {
   long long backpressure_retries = 0;
 };
 
+/// Raw blocking UDS connection for --pipeline waves. svc::Client is
+/// strictly one-outstanding-request by design, which is exactly the
+/// shape pipelining must NOT have.
+class RawConnection {
+ public:
+  static std::optional<RawConnection> connect(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return std::nullopt;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof(addr.sun_path)) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    return RawConnection(fd);
+  }
+  RawConnection(RawConnection&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  RawConnection(const RawConnection&) = delete;
+  RawConnection& operator=(const RawConnection&) = delete;
+  RawConnection& operator=(RawConnection&&) = delete;
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send_all(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocks until the next newline-terminated reply line arrives.
+  std::optional<std::string> read_line() {
+    char buffer[4096];
+    while (true) {
+      const size_t newline = in_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = in_.substr(0, newline);
+        in_.erase(0, newline + 1);
+        return line;
+      }
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n <= 0) return std::nullopt;
+      in_.append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  explicit RawConnection(int fd) : fd_(fd) {}
+  int fd_;
+  std::string in_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +157,18 @@ int main(int argc, char** argv) {
   cli.add_option("machines", "cluster size (Minsky machines)", "4");
   cli.add_option("iterations", "training iterations per job", "250");
   cli.add_option("max-queue", "daemon admission bound", "16");
+  cli.add_option("batch-max",
+                 "requests dispatched per reactor round (1 = unbatched)", "1");
+  cli.add_option("parse-threads",
+                 "protocol-parse workers for batched rounds (0 = inline)",
+                 "0");
+  cli.add_flag("pipeline",
+               "clients flush submit waves instead of strict request/response");
+  cli.add_flag("parallel-scoring",
+               "parallel candidate scoring inside the placement policy");
+  cli.add_option("scoring-threads",
+                 "scoring workers with --parallel-scoring (0 = all cores)",
+                 "0");
   cli.add_option("seeds", "replica count N (seeds 1..N) or list 'a,b,c'",
                  "42,");
   cli.add_option("threads", "sweep worker threads", "1");
@@ -106,10 +194,30 @@ int main(int argc, char** argv) {
   const int machines = static_cast<int>(cli.get_int("machines"));
   const long long iterations = cli.get_int("iterations");
   const int max_queue = static_cast<int>(cli.get_int("max-queue"));
+  const int batch_max = static_cast<int>(cli.get_int("batch-max"));
+  const int parse_threads = static_cast<int>(cli.get_int("parse-threads"));
+  const bool pipeline = cli.has("pipeline");
+  const bool parallel_scoring = cli.has("parallel-scoring");
+  const int scoring_threads = static_cast<int>(cli.get_int("scoring-threads"));
   if (connections < 1 || job_count < 1 || machines < 1 || max_queue < 1) {
     std::fprintf(stderr, "connections/jobs/machines/max-queue must be >= 1\n");
     return 1;
   }
+  if (batch_max < 1 || parse_threads < 0 || scoring_threads < 0) {
+    std::fprintf(stderr,
+                 "batch-max must be >= 1; parse-threads/scoring-threads"
+                 " must be >= 0\n");
+    return 1;
+  }
+  // Resolved scoring-worker count: what the scheduler will actually spin
+  // up. Recorded in metadata AND the payload so tools/bench_compare.py
+  // refuses to gate a batched/parallel run against an unbatched baseline.
+  const int worker_threads =
+      !parallel_scoring ? 0
+      : scoring_threads > 0
+          ? scoring_threads
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
 
   runner::SweepOptions options;
   options.name = "service_load";
@@ -122,6 +230,11 @@ int main(int argc, char** argv) {
   options.metadata["machines"] = machines;
   options.metadata["max_queue"] = max_queue;
   options.metadata["rate_per_minute"] = rate;
+  options.metadata["batch_max"] = batch_max;
+  options.metadata["pipeline"] = pipeline;
+  options.metadata["parse_threads"] = parse_threads;
+  options.metadata["parallel_scoring"] = parallel_scoring;
+  options.metadata["worker_threads"] = worker_threads;
 
   const runner::SweepResult result = runner::run_sweep(
       options, [=](const runner::ReplicaContext& context) {
@@ -132,6 +245,10 @@ int main(int argc, char** argv) {
         svc::ServiceOptions service_options;
         service_options.config.max_queue = max_queue;
         service_options.config.retry_after_ms = 1.0;
+        service_options.config.batch_max = batch_max;
+        service_options.config.parse_threads = parse_threads;
+        service_options.config.parallel_scoring = parallel_scoring;
+        service_options.config.scoring_threads = scoring_threads;
         svc::ServiceCore core(topology, model, service_options);
 
         const std::string socket_path =
@@ -139,6 +256,8 @@ int main(int argc, char** argv) {
                       context.replica_index);
         svc::ServerOptions server_options;
         server_options.unix_socket = socket_path;
+        server_options.batch_max = batch_max;
+        server_options.parse_threads = parse_threads;
         svc::Server server(core, server_options);
         if (auto status = server.start(); !status) {
           throw std::runtime_error(status.error().message);
@@ -161,12 +280,80 @@ int main(int argc, char** argv) {
         submitters.reserve(static_cast<size_t>(connections));
         for (int c = 0; c < connections; ++c) {
           submitters.emplace_back([&, c] {
+            ReplicaFigures& local = figures[static_cast<size_t>(c)];
+            if (pipeline) {
+              // Wave mode: flush every still-unadmitted submit in one
+              // write, then collect the replies in order. Backpressured
+              // jobs go into the next wave after the daemon's retry
+              // hint. Latency is reply-arrival minus wave flush.
+              auto connection = RawConnection::connect(socket_path);
+              if (!connection) {
+                failed.store(true);
+                return;
+              }
+              std::vector<int> wave;
+              for (int i = c; i < job_count; i += connections) {
+                wave.push_back(i);
+              }
+              while (!wave.empty() && !failed.load()) {
+                std::string bytes;
+                for (const int i : wave) {
+                  svc::Request request;
+                  request.id = jobs[static_cast<size_t>(i)].id;
+                  request.verb = "submit";
+                  request.params.set(
+                      "job",
+                      jobgraph::to_manifest(jobs[static_cast<size_t>(i)]));
+                  bytes += svc::encode(request);
+                }
+                const auto wave_start = std::chrono::steady_clock::now();
+                if (!connection->send_all(bytes)) {
+                  failed.store(true);
+                  return;
+                }
+                std::vector<int> retry;
+                double retry_after_ms = 0.1;
+                for (const int i : wave) {
+                  const auto line = connection->read_line();
+                  const double us =
+                      std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - wave_start)
+                          .count();
+                  ++local.requests;
+                  local.latency_us.record(us);
+                  if (!line) {
+                    failed.store(true);
+                    return;
+                  }
+                  const auto response = svc::parse_response(*line + "\n");
+                  if (!response) {
+                    failed.store(true);
+                    return;
+                  }
+                  if (response->ok) continue;
+                  if (response->code != svc::ErrorCode::kBackpressure) {
+                    failed.store(true);
+                    return;
+                  }
+                  ++local.backpressure_retries;
+                  retry.push_back(i);
+                  retry_after_ms =
+                      std::max(retry_after_ms, response->retry_after_ms);
+                }
+                wave = std::move(retry);
+                if (!wave.empty()) {
+                  std::this_thread::sleep_for(
+                      std::chrono::duration<double, std::milli>(
+                          retry_after_ms));
+                }
+              }
+              return;
+            }
             auto client = svc::Client::connect_unix(socket_path);
             if (!client) {
               failed.store(true);
               return;
             }
-            ReplicaFigures& local = figures[static_cast<size_t>(c)];
             for (int i = c; i < job_count; i += connections) {
               json::Value params;
               params.set("job", jobgraph::to_manifest(
@@ -249,6 +436,9 @@ int main(int argc, char** argv) {
         }
         json::Value payload;
         payload.set("jobs", job_count);
+        payload.set("batch_max", batch_max);
+        payload.set("pipeline", pipeline);
+        payload.set("worker_threads", worker_threads);
         payload.set("finished",
                     listing->result.at("finished").as_array().size());
         payload.set("rejected",

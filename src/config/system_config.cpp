@@ -89,6 +89,23 @@ util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
   svc.snapshot_path = ini.get_or("service", "snapshot_path", "");
   svc.snapshot_every_s =
       ini.get_double("service", "snapshot_every_s", svc.snapshot_every_s);
+  svc.batch_max = static_cast<int>(
+      ini.get_int("service", "batch_max", svc.batch_max));
+  if (svc.batch_max < 1) {
+    return util::Error{"sys-config [service]: batch_max must be >= 1"};
+  }
+  svc.parse_threads = static_cast<int>(
+      ini.get_int("service", "parse_threads", svc.parse_threads));
+  if (svc.parse_threads < 0) {
+    return util::Error{"sys-config [service]: parse_threads must be >= 0"};
+  }
+  svc.parallel_scoring =
+      ini.get_bool("service", "parallel_scoring", svc.parallel_scoring);
+  svc.scoring_threads = static_cast<int>(
+      ini.get_int("service", "scoring_threads", svc.scoring_threads));
+  if (svc.scoring_threads < 0) {
+    return util::Error{"sys-config [service]: scoring_threads must be >= 0"};
+  }
   return config;
 }
 
@@ -134,6 +151,18 @@ Ini SystemConfig::to_ini() const {
   if (service.snapshot_every_s > 0.0) {
     ini.set("service", "snapshot_every_s",
             util::format_double(service.snapshot_every_s, 2));
+  }
+  if (service.batch_max != 1) {
+    ini.set("service", "batch_max", std::to_string(service.batch_max));
+  }
+  if (service.parse_threads != 0) {
+    ini.set("service", "parse_threads",
+            std::to_string(service.parse_threads));
+  }
+  if (service.parallel_scoring) {
+    ini.set("service", "parallel_scoring", "true");
+    ini.set("service", "scoring_threads",
+            std::to_string(service.scoring_threads));
   }
   return ini;
 }

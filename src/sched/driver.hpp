@@ -48,6 +48,13 @@ struct DriverOptions {
   /// simulation event. Any inconsistency fires GTS_CHECK. O(jobs) per
   /// event — meant for tests and debugging runs, off by default.
   bool self_audit = false;
+  /// Fan candidate evaluation out across a worker pool inside the
+  /// scheduler (Scheduler::set_parallel_scoring). Decisions stay
+  /// byte-identical to the serial path (tests/parallel_scoring_test.cpp);
+  /// off by default so the serial oracle remains the reference.
+  bool parallel_scoring = false;
+  /// Scoring workers when parallel_scoring is on; 0 = all cores.
+  int scoring_threads = 0;
 };
 
 struct DriverReport {

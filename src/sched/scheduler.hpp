@@ -42,6 +42,13 @@ class Scheduler {
   /// Strict FIFO head-of-line blocking: when true the driver stops the
   /// scheduling pass at the first job that cannot be placed.
   virtual bool blocking_queue() const { return false; }
+
+  /// Opt into parallel candidate scoring with `threads` workers (< 0 = all
+  /// cores, 0 = back to serial). Decisions must stay byte-identical to the
+  /// serial path — parallelism is an implementation detail of place(), not
+  /// a policy change. Default: no-op (the greedy policies score one
+  /// candidate at a time by construction).
+  virtual void set_parallel_scoring(int /*threads*/) {}
 };
 
 /// Factory for the four policies evaluated in the paper. The utility model

@@ -88,13 +88,19 @@ std::optional<Placement> drb_place(const jobgraph::JobRequest& request,
   return placement;
 }
 
-std::optional<Placement> TopoAwareScheduler::map_onto(
-    const jobgraph::JobRequest& request, const std::vector<int>& available,
-    const cluster::ClusterState& state) {
-  if (!cache_enabled_) {
-    return drb_place(request, available, state, utility_, &stats_);
+void TopoAwareScheduler::set_parallel_scoring(int threads) {
+  const util::SerialGuard guard(cache_serial_);
+  if (threads == 0) {
+    scoring_pool_.reset();
+    return;
   }
+  // ThreadPool treats <= 0 as "all cores"; normalize our contract's -1.
+  scoring_pool_ =
+      std::make_unique<util::ThreadPool>(threads < 0 ? 0 : threads);
+}
 
+void TopoAwareScheduler::refresh_cache_epoch(
+    const cluster::ClusterState& state) {
   // One cache generation per (state object, allocation epoch): any
   // place/remove changes co-runners, link flows and free sets, all of
   // which feed the utility, so the whole cache is flushed.
@@ -110,6 +116,16 @@ std::optional<Placement> TopoAwareScheduler::map_onto(
     cache_state_id_ = state.instance_id();
     cache_version_ = state.allocation_version();
   }
+}
+
+std::optional<Placement> TopoAwareScheduler::map_onto(
+    const jobgraph::JobRequest& request, const std::vector<int>& available,
+    const cluster::ClusterState& state) {
+  if (!cache_enabled_) {
+    return drb_place(request, available, state, utility_, &stats_);
+  }
+
+  refresh_cache_epoch(state);
 
   ++cache_stats_.lookups;
   GTS_METRIC_COUNT("cache.lookups", 1);
@@ -214,21 +230,165 @@ std::optional<Placement> TopoAwareScheduler::place_on_best_machine(
     candidates.resize(static_cast<size_t>(candidate_limit));
   }
 
+  // Serial oracle path: evaluate candidates one at a time in pre-score
+  // order, keeping the FIRST maximum on utility ties (strict `>`). The
+  // parallel path below must reproduce this byte for byte.
+  if (scoring_pool_ == nullptr || candidates.size() < 2) {
+    std::optional<Placement> best;
+    for (const Candidate& candidate : candidates) {
+      std::optional<Placement> placement =
+          map_onto(request, candidate.free, state);
+      if (placement) {
+        if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+          obs::ExplainCandidate explain;
+          explain.gpus = placement->gpus;
+          explain.terms.utility = placement->utility;
+          explain.source = "best-machine:" + std::to_string(candidate.machine);
+          scope->add_candidate(std::move(explain));
+        }
+        if (!best || placement->utility > best->utility) {
+          best = std::move(placement);
+        }
+      }
+    }
+    return best;
+  }
+
+  // Parallel scoring (DESIGN.md §17). Three phases keep the decision
+  // byte-identical to the serial path:
+  //
+  //   1. probe  (decision thread): cache lookups in candidate order —
+  //      hits are resolved from the cache, misses collected;
+  //   2. score  (workers): the independent DRB + utility evaluations of
+  //      the misses, chunked deterministically. Workers see no scheduler
+  //      state: each writes one slot's placement + DrbStats, FmScratch
+  //      comes from the worker's thread-local arena, and the thread-local
+  //      DecisionScope is null off the decision thread, so explain
+  //      entries cannot be emitted out of order;
+  //   3. reduce (decision thread): cache inserts, stats folds, explain
+  //      replay and the first-maximum reduction, all in candidate order.
+  struct Slot {
+    const Candidate* candidate = nullptr;
+    bool hit = false;
+    CacheEntry entry;             // valid when hit
+    PlacementCacheKey key;        // hashed-key mode, misses
+    std::string string_key;       // string-key oracle mode, misses
+    std::optional<Placement> result;  // worker output (miss)
+    partition::DrbStats stats;        // worker-local DRB counters (miss)
+  };
+  std::vector<Slot> slots(candidates.size());
+  std::vector<int> misses;
+  misses.reserve(candidates.size());
+  if (cache_enabled_) refresh_cache_epoch(state);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Slot& slot = slots[i];
+    slot.candidate = &candidates[i];
+    if (cache_enabled_) {
+      ++cache_stats_.lookups;
+      GTS_METRIC_COUNT("cache.lookups", 1);
+      if (string_keys_for_test_) {
+        slot.string_key =
+            string_placement_cache_key(request, slot.candidate->free);
+        if (const auto it = string_cache_.find(slot.string_key);
+            it != string_cache_.end()) {
+          slot.hit = true;
+          slot.entry = it->second;
+        }
+      } else {
+        slot.key = hashed_placement_cache_key(request, slot.candidate->free);
+        if (const auto it = cache_.find(slot.key); it != cache_.end()) {
+          slot.hit = true;
+          slot.entry = it->second;
+        }
+      }
+    }
+    if (!slot.hit) misses.push_back(static_cast<int>(i));
+  }
+
+  if (!misses.empty()) {
+    // The topology's distance tables are lazily built mutable caches;
+    // materialize them on this thread before concurrent readers arrive.
+    topology.warm_caches();
+    const int miss_count = static_cast<int>(misses.size());
+    const int chunk_count = std::min(
+        miss_count, std::max(1, 2 * scoring_pool_->thread_count()));
+    obs::SpanGuard fan_span(obs::kSched, "sched.parallel_score");
+    fan_span.arg("candidates", static_cast<double>(miss_count))
+        .arg("chunks", static_cast<double>(chunk_count));
+    GTS_METRIC_COUNT("sched.parallel_chunks", chunk_count);
+    util::parallel_for(
+        *scoring_pool_, chunk_count,
+        [&slots, &misses, &request, &state, this, miss_count,
+         chunk_count](int chunk) {
+          const int begin = chunk * miss_count / chunk_count;
+          const int end = (chunk + 1) * miss_count / chunk_count;
+          obs::SpanGuard span(obs::kSched, "sched.score_chunk");
+          span.arg("chunk", static_cast<double>(chunk))
+              .arg("candidates", static_cast<double>(end - begin));
+          for (int i = begin; i < end; ++i) {
+            Slot& slot = slots[static_cast<size_t>(misses[static_cast<size_t>(i)])];
+            slot.result = drb_place(request, slot.candidate->free, state,
+                                    utility_, &slot.stats);
+          }
+        });
+  }
+
+  const auto record = [](const std::optional<Placement>& placement) {
+    CacheEntry entry;
+    entry.mapped = placement.has_value();
+    if (placement) {
+      entry.gpus = placement->gpus;
+      entry.utility = placement->utility;
+    }
+    return entry;
+  };
   std::optional<Placement> best;
-  for (const Candidate& candidate : candidates) {
-    std::optional<Placement> placement =
-        map_onto(request, candidate.free, state);
+  for (Slot& slot : slots) {
+    std::optional<Placement> placement;
+    if (slot.hit) {
+      placement = replay_cache_entry(slot.entry, request);
+    } else {
+      if (cache_enabled_) {
+        if (string_keys_for_test_) {
+          string_cache_.emplace(std::move(slot.string_key),
+                                record(slot.result));
+        } else {
+          cache_.emplace(slot.key, record(slot.result));
+        }
+      }
+      stats_.bipartitions += slot.stats.bipartitions;
+      stats_.fm_passes += slot.stats.fm_passes;
+      stats_.max_depth = std::max(stats_.max_depth, slot.stats.max_depth);
+      placement = std::move(slot.result);
+      if (placement) {
+        // The "drb" explain entry drb_place() would have written had it
+        // run on the decision thread, replayed in candidate order.
+        if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
+          obs::ExplainCandidate candidate;
+          candidate.gpus = placement->gpus;
+          candidate.terms.utility = placement->utility;
+          candidate.source = "drb";
+          scope->add_candidate(std::move(candidate));
+        }
+      }
+    }
     if (placement) {
       if (obs::DecisionScope* scope = obs::DecisionScope::current()) {
         obs::ExplainCandidate explain;
         explain.gpus = placement->gpus;
         explain.terms.utility = placement->utility;
-        explain.source = "best-machine:" + std::to_string(candidate.machine);
+        explain.source =
+            "best-machine:" + std::to_string(slot.candidate->machine);
         scope->add_candidate(std::move(explain));
       }
-      if (!best || placement->utility > best->utility) {
-        best = std::move(placement);
-      }
+      // Strict `>` keeps the FIRST maximum — the serial tie-break. The
+      // test seam flips it to `>=` (last maximum) so CI can prove the
+      // differential harness catches a broken reduction order.
+      const bool better =
+          !best || (nondeterministic_reduction_for_test_
+                        ? placement->utility >= best->utility
+                        : placement->utility > best->utility);
+      if (better) best = std::move(placement);
     }
   }
   return best;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -17,6 +18,7 @@
 #include "sched/scheduler.hpp"
 #include "util/annotations.hpp"
 #include "util/sync.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gts::sched {
 
@@ -106,6 +108,31 @@ class TopoAwareScheduler final : public Scheduler {
     string_cache_.clear();
   }
 
+  /// Parallel candidate scoring (DESIGN.md §17): fan the per-candidate
+  /// DRB + utility evaluations of place_on_best_machine() out across a
+  /// private worker pool. `threads` > 0 sizes the pool, < 0 uses all
+  /// cores, 0 restores the serial oracle path. Decisions, explain output
+  /// and cache counters stay byte-identical to serial: cache probes and
+  /// all reduction/bookkeeping run on the decision thread in candidate
+  /// order, workers only compute independent (candidate -> placement)
+  /// evaluations with their own DrbStats and thread-local FmScratch.
+  void set_parallel_scoring(int threads) override;
+  /// Worker count of the scoring pool; 0 when scoring serially.
+  int scoring_threads() const noexcept {
+    const util::SerialGuard guard(cache_serial_);
+    return scoring_pool_ == nullptr ? 0 : scoring_pool_->thread_count();
+  }
+
+  /// Test seam for the CI negative self-test: make the parallel path's
+  /// reduction keep the LAST maximum instead of the first. On clusters
+  /// with utility ties between candidate machines this diverges from the
+  /// serial oracle, and the differential harness must go red — proving it
+  /// can actually detect a broken reduction order.
+  void set_nondeterministic_reduction_for_test(bool enabled) noexcept {
+    const util::SerialGuard guard(cache_serial_);
+    nondeterministic_reduction_for_test_ = enabled;
+  }
+
  private:
   std::optional<Placement> map_onto(const jobgraph::JobRequest& request,
                                     const std::vector<int>& available,
@@ -114,6 +141,10 @@ class TopoAwareScheduler final : public Scheduler {
   std::optional<Placement> place_on_best_machine(
       const jobgraph::JobRequest& request,
       const cluster::ClusterState& state) GTS_REQUIRES(cache_serial_);
+  /// Flushes the cache when the (state instance, allocation version)
+  /// epoch moved; shared by the serial and parallel scoring paths.
+  void refresh_cache_epoch(const cluster::ClusterState& state)
+      GTS_REQUIRES(cache_serial_);
 
   UtilityModel utility_;
   bool postpone_;
@@ -151,6 +182,13 @@ class TopoAwareScheduler final : public Scheduler {
       0;  // ClusterState::instance_id (0: none)
   std::uint64_t cache_version_ GTS_GUARDED_BY(cache_serial_) = ~0ULL;
   PlacementCacheStats cache_stats_ GTS_GUARDED_BY(cache_serial_);
+  /// Scoring pool (null = serial). Owned and driven exclusively by the
+  /// decision thread; workers never touch scheduler state — they write
+  /// into per-candidate slots local to one place_on_best_machine() call.
+  std::unique_ptr<util::ThreadPool> scoring_pool_
+      GTS_GUARDED_BY(cache_serial_);
+  bool nondeterministic_reduction_for_test_ GTS_GUARDED_BY(cache_serial_) =
+      false;
 };
 
 }  // namespace gts::sched

@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstddef>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -39,7 +41,11 @@ util::Error socket_error(const char* what) {
 }  // namespace
 
 Server::Server(ServiceCore& core, ServerOptions options)
-    : core_(core), options_(std::move(options)) {}
+    : core_(core), options_(std::move(options)) {
+  if (options_.batch_max > 1 && options_.parse_threads > 0) {
+    parse_pool_ = std::make_unique<util::ThreadPool>(options_.parse_threads);
+  }
+}
 
 Server::~Server() {
   // Destruction implies exclusive ownership; entering the reactor role
@@ -170,6 +176,7 @@ void Server::accept_clients(int listener_fd) {
 }
 
 bool Server::service_input(Session& session) {
+  const bool batched = options_.batch_max > 1;
   char buffer[4096];
   while (true) {
     const ssize_t n = ::recv(session.fd, buffer, sizeof(buffer), 0);
@@ -178,10 +185,17 @@ bool Server::service_input(Session& session) {
       if (session.in.size() > kMaxLineBytes &&
           session.in.find('\n') == std::string::npos) {
         // Unframeable flood: answer once, then drop the connection.
-        session.out += encode(Response::failure(
+        const std::string failure = encode(Response::failure(
             0, ErrorCode::kParse,
             util::fmt("request line exceeds {} bytes", kMaxLineBytes)));
-        session.close_after_flush = true;
+        if (batched && !session.pending.empty()) {
+          // Replies to lines framed before the flood are still owed and
+          // must precede the failure; stash it until pending drains.
+          session.pending_error = failure;
+        } else {
+          session.out += failure;
+          session.close_after_flush = true;
+        }
         session.in.clear();
         return true;
       }
@@ -192,23 +206,135 @@ bool Server::service_input(Session& session) {
     if (errno == EINTR) continue;
     return false;
   }
+  if (!session.pending_error.empty()) {
+    // The session is already condemned; discard anything past the flood.
+    session.in.clear();
+    return true;
+  }
   std::size_t start = 0;
   while (!session.close_after_flush) {
     const std::size_t newline = session.in.find('\n', start);
     if (newline == std::string::npos) break;
     const std::string_view line(session.in.data() + start, newline - start);
     if (!line.empty()) {
-      const Response response = core_.handle_line(line);
-      session.out += encode(response);
-      if (!response.ok && response.code == ErrorCode::kParse) {
-        // Framing is unrecoverable after a malformed line.
-        session.close_after_flush = true;
+      if (batched) {
+        session.pending.emplace_back(line);
+      } else {
+        const Response response = core_.handle_line(line);
+        session.out += encode(response);
+        if (!response.ok && response.code == ErrorCode::kParse) {
+          // Framing is unrecoverable after a malformed line.
+          session.close_after_flush = true;
+        }
       }
     }
     start = newline + 1;
   }
   session.in.erase(0, start);
   return true;
+}
+
+bool Server::has_pending() const {
+  for (const auto& session : sessions_) {
+    if (!session->pending.empty() || !session->pending_error.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Server::dispatch_pending() {
+  // One slot per line taken this round; slot order is (session, line)
+  // order, which is exactly the order the inline path would dispatch in,
+  // so appending replies in slot order reproduces the oracle byte stream.
+  struct Slot {
+    Session* session;
+    std::string line;
+    std::optional<Request> request;
+    std::string parse_error;
+    bool skip = false;
+  };
+  std::vector<Slot> slots;
+  const auto batch_max = static_cast<std::size_t>(options_.batch_max);
+  for (auto& session : sessions_) {
+    auto& pending = session->pending;
+    std::size_t taken = 0;
+    while (taken < pending.size() && slots.size() < batch_max) {
+      slots.push_back(Slot{session.get(), std::move(pending[taken]), {}, {}});
+      ++taken;
+    }
+    if (taken > 0) {
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(taken));
+    }
+    if (slots.size() >= batch_max) break;
+  }
+
+  if (!slots.empty()) {
+    // Parse phase: parse_request is pure and each worker touches only its
+    // own slot, so the reactor confinement of the session table holds.
+    const auto parse_slot = [&slots](int index) {
+      Slot& slot = slots[static_cast<std::size_t>(index)];
+      auto parsed = parse_request(slot.line);
+      if (parsed) {
+        slot.request = std::move(*parsed);
+      } else {
+        slot.parse_error = parsed.error().message;
+      }
+    };
+    if (parse_pool_ && slots.size() > 1) {
+      util::parallel_for(*parse_pool_, static_cast<int>(slots.size()),
+                         parse_slot);
+    } else {
+      for (int i = 0; i < static_cast<int>(slots.size()); ++i) parse_slot(i);
+    }
+
+    // Decision phase: a parse error condemns its session — the slot
+    // answers id 0, later slots from that session are skipped, and any
+    // lines still pending are dropped (the inline path leaves them
+    // unread in `in` and closes, which drops them the same way).
+    std::vector<Request> requests;
+    requests.reserve(slots.size());
+    for (Slot& slot : slots) {
+      Session& session = *slot.session;
+      if (session.close_after_flush) {
+        slot.skip = true;
+        continue;
+      }
+      if (!slot.request) {
+        session.close_after_flush = true;
+        session.pending.clear();
+        session.pending_error.clear();
+        continue;
+      }
+      requests.push_back(std::move(*slot.request));
+    }
+
+    std::vector<Response> responses;
+    if (!requests.empty()) responses = core_.handle_batch(requests);
+
+    // Reply phase, in slot order.
+    std::size_t next_response = 0;
+    for (Slot& slot : slots) {
+      if (slot.skip) continue;
+      if (!slot.parse_error.empty()) {
+        slot.session->out += encode(
+            Response::failure(0, ErrorCode::kParse, slot.parse_error));
+        continue;
+      }
+      slot.session->out += encode(responses[next_response++]);
+    }
+  }
+
+  // Oversize-line failures fire once the owed replies are out.
+  for (auto& session : sessions_) {
+    if (!session->pending_error.empty() && session->pending.empty() &&
+        !session->close_after_flush) {
+      session->out += session->pending_error;
+      session->pending_error.clear();
+      session->close_after_flush = true;
+    }
+  }
 }
 
 bool Server::service_output(Session& session) {
@@ -280,6 +406,9 @@ util::Status Server::run() {
           std::chrono::milliseconds>(next_snapshot - Clock::now());
       timeout_ms = static_cast<int>(std::max<long long>(0, remaining.count()));
     }
+    // Leftover batched lines (batch_max cap hit) must not wait for new
+    // socket activity.
+    if (options_.batch_max > 1 && has_pending()) timeout_ms = 0;
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
@@ -289,7 +418,7 @@ util::Status Server::run() {
       write_periodic_snapshot();
       next_snapshot += snapshot_interval;
     }
-    if (ready == 0) continue;
+    if (ready == 0 && !(options_.batch_max > 1 && has_pending())) continue;
 
     if ((fds[0].revents & POLLIN) != 0) {
       char drain[64];
@@ -330,6 +459,26 @@ util::Status Server::run() {
       }
     }
     sessions_ = std::move(alive);
+    if (options_.batch_max > 1 && has_pending()) {
+      dispatch_pending();
+      // Flush the batch replies and retire sessions whose final flush
+      // just completed (the inline path does this per session above).
+      std::vector<std::unique_ptr<Session>> still_alive;
+      still_alive.reserve(sessions_.size());
+      for (auto& session : sessions_) {
+        bool keep = true;
+        if (!session->out.empty()) keep = service_output(*session);
+        if (keep && session->out.empty() && session->close_after_flush) {
+          keep = false;
+        }
+        if (keep) {
+          still_alive.push_back(std::move(session));
+        } else {
+          close_session(*session);
+        }
+      }
+      sessions_ = std::move(still_alive);
+    }
     GTS_METRIC_GAUGE_SET("svc.active_sessions",
                          static_cast<double>(sessions_.size()));
   }

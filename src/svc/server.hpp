@@ -9,6 +9,18 @@
 // other threads. When configured, a wall-clock timer writes periodic
 // crash-recovery snapshots — snapshotting is read-only, so the timer
 // cannot perturb the virtual-time decision sequence.
+//
+// Batched admission (batch_max > 1, DESIGN.md section 17.4): instead of
+// dispatching each complete line inline from service_input, the reactor
+// frames lines into per-session pending queues, then once per poll round
+// collects up to batch_max of them in (session, line) order, parses them
+// (optionally on a parse pool — parse_request is pure, workers touch only
+// batch-local slots, so the reactor confinement below stays intact) and
+// hands the parsed requests to ServiceCore::handle_batch in one serial
+// entry. Responses are routed back in slot order, so each session's
+// reply stream is byte-identical to the batch_max == 1 oracle; leftover
+// pending lines force a zero-timeout poll so they drain on the next
+// round. batch_max == 1 keeps the legacy inline-dispatch path unchanged.
 #pragma once
 
 #include <memory>
@@ -19,6 +31,7 @@
 #include "util/annotations.hpp"
 #include "util/expected.hpp"
 #include "util/sync.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gts::svc {
 
@@ -34,6 +47,12 @@ struct ServerOptions {
   /// `snapshot_path` (both must be set; 0 disables).
   std::string snapshot_path;
   double snapshot_every_s = 0.0;
+  /// Requests dispatched per reactor round; 1 = legacy inline dispatch
+  /// (the oracle the batched path is held byte-identical to).
+  int batch_max = 1;
+  /// Protocol-parse workers for batched rounds (0 = parse on the reactor
+  /// thread; ignored when batch_max == 1).
+  int parse_threads = 0;
 };
 
 class Server {
@@ -73,6 +92,13 @@ class Server {
     std::string out;
     /// Set after an unrecoverable framing error: flush `out`, then close.
     bool close_after_flush = false;
+    /// Batched mode only: complete lines framed but not yet dispatched.
+    std::vector<std::string> pending;
+    /// Batched mode only: encoded oversize-line failure to emit after
+    /// `pending` drains (serial emits it after the lines framed before
+    /// the flood; the batch path must preserve that reply order). While
+    /// set, further input from the session is discarded.
+    std::string pending_error;
   };
 
   util::Status listen_unix(const std::string& path);
@@ -86,9 +112,21 @@ class Server {
   bool service_output(Session& session) GTS_REQUIRES(reactor_);
   void close_session(Session& session) GTS_REQUIRES(reactor_);
   void write_periodic_snapshot() GTS_REQUIRES(reactor_);
+  /// Batched mode: collects up to batch_max pending lines in (session,
+  /// line) order, parses them (parse pool when configured), dispatches
+  /// the valid ones through ServiceCore::handle_batch, and appends every
+  /// reply in slot order. A parse error answers id 0, drops the
+  /// session's remaining pending lines, and closes after flush — the
+  /// same semantics as the inline path.
+  void dispatch_pending() GTS_REQUIRES(reactor_);
+  bool has_pending() const GTS_REQUIRES(reactor_);
 
   ServiceCore& core_;
   ServerOptions options_;
+  /// Parse workers for batched rounds; created once in the constructor
+  /// and internally synchronized, so it needs no reactor guard. Null when
+  /// batching or parse pipelining is off.
+  std::unique_ptr<util::ThreadPool> parse_pool_;
   std::vector<int> listeners_;
   int tcp_port_ = -1;
   int wake_pipe_[2] = {-1, -1};

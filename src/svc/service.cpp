@@ -19,6 +19,8 @@ sched::DriverOptions make_driver_options(const ServiceOptions& options) {
   sched::DriverOptions driver_options;
   driver_options.utility_weights = options.weights;
   driver_options.self_audit = options.self_audit;
+  driver_options.parallel_scoring = options.config.parallel_scoring;
+  driver_options.scoring_threads = options.config.scoring_threads;
   return driver_options;
 }
 
@@ -48,6 +50,10 @@ int ServiceCore::admission_depth() const noexcept {
 
 Response ServiceCore::handle(const Request& request) {
   util::SerialGuard guard(serial_);
+  return handle_one(request);
+}
+
+Response ServiceCore::handle_one(const Request& request) {
   obs::SpanGuard span(obs::kSvc, "svc.request");
   span.arg("request_id", static_cast<double>(request.id));
   const auto t0 = std::chrono::steady_clock::now();
@@ -64,6 +70,28 @@ Response ServiceCore::handle(const Request& request) {
   GTS_METRIC_GAUGE_SET("svc.queue_depth",
                        static_cast<double>(admission_depth()));
   return response;
+}
+
+std::vector<Response> ServiceCore::handle_batch(
+    const std::vector<Request>& requests) {
+  util::SerialGuard guard(serial_);
+  obs::SpanGuard span(obs::kSvc, "svc.batch");
+  span.arg("requests", static_cast<double>(requests.size()));
+  GTS_METRIC_COUNT("svc.batches", 1);
+  GTS_METRIC_HISTOGRAM("svc.batch_size",
+                       static_cast<double>(requests.size()),
+                       obs::depth_bounds());
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  // Dispatch in arrival order under one serial entry: each request goes
+  // through exactly the per-request path handle() takes, so a batch of N
+  // is semantically N sequential handle() calls — placements, queue and
+  // backpressure behavior are identical by construction
+  // (tests/service_batch_test.cpp holds the responses to that).
+  for (const Request& request : requests) {
+    responses.push_back(handle_one(request));
+  }
+  return responses;
 }
 
 Response ServiceCore::handle_line(std::string_view line) {

@@ -1,8 +1,8 @@
-#include "runner/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace gts::runner {
+namespace gts::util {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
@@ -64,4 +64,4 @@ void parallel_for(ThreadPool& pool, int count,
   pool.wait_idle();
 }
 
-}  // namespace gts::runner
+}  // namespace gts::util

@@ -1,16 +1,20 @@
 // Scheduler-service tests: wire-protocol encode/decode, ServiceCore verb
 // semantics (malformed requests, backpressure, cancel, drain), snapshot →
-// restore state identity, prototype-vs-service placement equivalence, and
-// a concurrent multi-client socket session (the TSan target).
+// restore state identity, prototype-vs-service placement equivalence, a
+// concurrent multi-client socket session (the TSan target), and a protocol
+// fuzz corpus (truncations, garbage, malformed lines at batch boundaries).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "check/audit.hpp"
@@ -455,6 +459,192 @@ TEST(SvcServerTest, MalformedLineClosesSession) {
 
   server.stop();
   server_thread.join();
+}
+
+// --- protocol fuzz corpus ---------------------------------------------------
+
+/// Hostile input the parser must classify the same way every time: empty
+/// and whitespace-only lines, non-object JSON, missing/typed-wrong
+/// required fields, embedded NULs and control bytes, deep nesting, and
+/// near-miss requests. None of these should ever crash or be accepted.
+std::vector<std::string> fuzz_corpus() {
+  std::vector<std::string> corpus = {
+      std::string(),
+      " ",
+      "\t \t",
+      "null",
+      "true",
+      "0",
+      "-1e309",
+      "\"just a string\"",
+      "[]",
+      "[{\"v\":1,\"id\":1,\"verb\":\"ping\"}]",
+      "{}",
+      "{\"v\":1}",
+      "{\"id\":7}",
+      "{\"verb\":\"ping\"}",
+      "{\"v\":1,\"id\":1}",
+      "{\"v\":1,\"verb\":\"ping\"}",
+      "{\"id\":1,\"verb\":\"ping\"}",
+      "{\"v\":\"one\",\"id\":1,\"verb\":\"ping\"}",
+      "{\"v\":1,\"id\":\"one\",\"verb\":\"ping\"}",
+      "{\"v\":1,\"id\":1,\"verb\":7}",
+      "{\"v\":1,\"id\":1,\"verb\":\"\"}",
+      "{\"v\":1,\"id\":1,\"verb\":\"ping\",\"params\":[]}",
+      "{\"v\":1,\"id\":1,\"verb\":\"ping\"}{\"v\":1,\"id\":2,\"verb\":\"ping\"}",
+      "{\"v\":1,\"id\":1,\"verb\":\"ping\" garbage",
+      "{\"v\":1,\"id\":1,\"verb\":\"ping\"",
+      "ping",
+      "GET / HTTP/1.1",
+      "\xff\xfe\x00\x01",
+      std::string("{\"v\":1,\0\"id\":1}", 16),
+  };
+  corpus.push_back(std::string(64, '{'));
+  corpus.push_back(std::string(64, '[') + std::string(64, ']'));
+  return corpus;
+}
+
+// Every proper prefix of a valid request line is malformed, and must be
+// rejected — at every truncation point, not just "obviously broken" ones.
+TEST(SvcProtocolTest, TruncatedRequestPrefixesNeverParse) {
+  json::Value params;
+  params.set("job", jobgraph::to_manifest(dl_job(3, 1.5, 2)));
+  const std::string line = encode(make_request(11, "submit", std::move(params)));
+  const std::string body = line.substr(0, line.size() - 1);  // strip '\n'
+  ASSERT_TRUE(parse_request(body).has_value());
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(parse_request(body.substr(0, cut)).has_value())
+        << "prefix of length " << cut << " parsed";
+  }
+}
+
+// The corpus never crashes the parser and classifies identically across
+// repeated parses — rejection must be a pure function of the bytes.
+TEST(SvcProtocolTest, FuzzCorpusClassifiesDeterministically) {
+  for (const std::string& line : fuzz_corpus()) {
+    const auto first = parse_request(line);
+    const auto second = parse_request(line);
+    EXPECT_FALSE(first.has_value()) << "accepted: " << line;
+    ASSERT_EQ(first.has_value(), second.has_value());
+    if (!first.has_value()) {
+      EXPECT_EQ(first.error().message, second.error().message)
+          << "unstable rejection for: " << line;
+    }
+  }
+}
+
+// handle_line answers every corpus line (and every truncation of a valid
+// line) with a well-formed parse failure on id 0, and the core keeps
+// serving afterwards — hostile input is contained, never sticky.
+TEST_F(ServiceCoreTest, FuzzCorpusLinesAlwaysAnswerWellFormed) {
+  ServiceCore core = make_core();
+  std::vector<std::string> lines = fuzz_corpus();
+  const std::string valid = encode(make_request(5, "ping"));
+  for (size_t cut = 0; cut + 1 < valid.size(); ++cut) {
+    lines.push_back(valid.substr(0, cut));
+  }
+  for (const std::string& line : lines) {
+    const Response response = core.handle_line(line);
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.id, 0);
+    EXPECT_EQ(response.code, ErrorCode::kParse);
+    const auto reparsed = parse_response(encode(response));
+    ASSERT_TRUE(reparsed.has_value()) << "unencodable response for: " << line;
+    EXPECT_EQ(reparsed->code, ErrorCode::kParse);
+  }
+  const Response pong = core.handle(make_request(6, "ping"));
+  EXPECT_TRUE(pong.ok);
+}
+
+/// Raw pipelined exchange: connect, send all bytes at once, read reply
+/// lines until EOF or `max_replies`. Client can't pipeline (strict
+/// request/response), and fuzzing batch boundaries needs pipelining.
+std::vector<std::string> raw_pipelined(const std::string& socket_path,
+                                       const std::string& bytes,
+                                       int max_replies) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0 ||
+      ::send(fd, bytes.data(), bytes.size(), 0) !=
+          static_cast<ssize_t>(bytes.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string in;
+  std::vector<std::string> lines;
+  char buffer[4096];
+  while (static_cast<int>(lines.size()) < max_replies) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    in.append(buffer, static_cast<size_t>(n));
+    size_t start = 0, newline;
+    while ((newline = in.find('\n', start)) != std::string::npos) {
+      lines.push_back(in.substr(start, newline - start));
+      start = newline + 1;
+    }
+    in.erase(0, start);
+  }
+  ::close(fd);
+  return lines;
+}
+
+// A malformed line at EVERY position of a pipelined burst — before, on
+// and after each batch boundary of a batch_max=3 server — produces the
+// same reply stream as the unbatched oracle: the valid replies that
+// preceded it, one parse failure on id 0, then connection close with the
+// rest of the pipeline dropped.
+TEST(SvcServerTest, MalformedLineAtEveryBatchBoundary) {
+  const topo::TopologyGraph topology = topo::builders::cluster(
+      1, topo::builders::MachineShape::kPower8Minsky);
+  const perf::DlWorkloadModel model(perf::CalibrationParams::paper_minsky());
+
+  constexpr int kLines = 6;
+  const auto run_once = [&](int batch_max, int malformed_at)
+      -> std::vector<std::string> {
+    ServiceCore core(topology, model, {});
+    const std::string socket_path =
+        util::fmt("./svc_fuzz_{}_{}_{}.sock", static_cast<int>(::getpid()),
+                  batch_max, malformed_at);
+    ServerOptions server_options;
+    server_options.unix_socket = socket_path;
+    server_options.batch_max = batch_max;
+    server_options.parse_threads = batch_max > 1 ? 2 : 0;
+    Server server(core, server_options);
+    EXPECT_TRUE(server.start());
+    std::thread server_thread([&server] { (void)server.run(); });
+    std::string bytes;
+    for (int i = 0; i < kLines; ++i) {
+      if (i == malformed_at) {
+        bytes += "{\"v\":1,\"id\":99,\"verb\":\"subm\n";  // truncated JSON
+      } else {
+        json::Value params;
+        params.set("job", jobgraph::to_manifest(dl_job(i + 1, 1.0 * (i + 1),
+                                                       /*num_gpus=*/1)));
+        bytes += encode(make_request(i + 1, "submit", std::move(params)));
+      }
+    }
+    const std::vector<std::string> replies =
+        raw_pipelined(socket_path, bytes, kLines + 1);
+    server.stop();
+    server_thread.join();
+    return replies;
+  };
+
+  for (int malformed_at = 0; malformed_at < kLines; ++malformed_at) {
+    const std::vector<std::string> oracle = run_once(1, malformed_at);
+    ASSERT_EQ(static_cast<int>(oracle.size()), malformed_at + 1)
+        << "malformed_at=" << malformed_at;
+    const auto failure = parse_response(oracle.back() + "\n");
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->id, 0);
+    EXPECT_EQ(failure->code, ErrorCode::kParse);
+    const std::vector<std::string> batched = run_once(3, malformed_at);
+    EXPECT_EQ(batched, oracle) << "malformed_at=" << malformed_at;
+  }
 }
 
 }  // namespace

@@ -23,6 +23,14 @@ Contract (DESIGN.md section 15):
     timers regress by 10x from scheduling jitter alone without anything
     being wrong, and a ratio over a tiny denominator means nothing. A
     real hot-path regression clears both bars in the large cells.
+  * Run configuration must match: every `metadata` key present in BOTH
+    documents must carry the same value (worker_threads, batch_max,
+    connections, ...). Comparing a batched/parallel run against an
+    unbatched baseline says nothing about regressions, so a mismatch is
+    a hard error unless --allow-config-mismatch is given. Keys present
+    in only one document are ignored (older baselines predate newer
+    knobs), and the guard only fires when the documents share scenarios
+    (disjoint quick-mode grids gate nothing anyway).
 
 Improvements are reported but never fail the gate. Stdlib only.
 """
@@ -34,12 +42,16 @@ import json
 import sys
 
 
-def load_timing(path: str) -> dict:
+def load_doc(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as err:
         raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+    return doc
+
+
+def timing_of(doc: dict, path: str) -> dict:
     timing = doc.get("timing_aggregates")
     if not isinstance(timing, dict):
         raise SystemExit(
@@ -47,6 +59,41 @@ def load_timing(path: str) -> dict:
             "(was it written with timing stripped?)"
         )
     return timing
+
+
+def check_config(base_doc: dict, cur_doc: dict, allow_mismatch: bool) -> None:
+    """Refuse to gate documents produced under different configurations.
+
+    Every metadata key both documents carry must agree; a differing
+    worker_threads / batch_max / connections means the timing deltas
+    measure the config change, not a code regression.
+    """
+    base_meta = base_doc.get("metadata")
+    cur_meta = cur_doc.get("metadata")
+    if not isinstance(base_meta, dict) or not isinstance(cur_meta, dict):
+        return
+    mismatched = [
+        key
+        for key in sorted(set(base_meta) & set(cur_meta))
+        if base_meta[key] != cur_meta[key]
+    ]
+    if not mismatched:
+        return
+    details = "; ".join(
+        f"{key}: baseline={base_meta[key]!r} current={cur_meta[key]!r}"
+        for key in mismatched
+    )
+    if allow_mismatch:
+        print(
+            "bench_compare: WARNING comparing across differing run "
+            f"configurations ({details}) — --allow-config-mismatch given"
+        )
+        return
+    raise SystemExit(
+        "bench_compare: refusing to compare across differing run "
+        f"configurations ({details}); regenerate the baseline with the "
+        "same flags or pass --allow-config-mismatch"
+    )
 
 
 def metric_mean(entry) -> float | None:
@@ -81,10 +128,17 @@ def main() -> int:
         default=25.0,
         help="absolute delta a regression must also exceed (noise floor)",
     )
+    parser.add_argument(
+        "--allow-config-mismatch",
+        action="store_true",
+        help="downgrade differing run-configuration metadata to a warning",
+    )
     args = parser.parse_args()
 
-    base = load_timing(args.baseline)
-    cur = load_timing(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    base = timing_of(base_doc, args.baseline)
+    cur = timing_of(cur_doc, args.current)
 
     scenarios = sorted(set(base) & set(cur))
     skipped_scenarios = sorted(set(base) ^ set(cur))
@@ -94,6 +148,9 @@ def main() -> int:
             f"{args.baseline} and {args.current}; nothing gated"
         )
         return 0
+    # Only enforce the config guard when something will actually be
+    # gated; disjoint quick-mode grids never reach a comparison.
+    check_config(base_doc, cur_doc, args.allow_config_mismatch)
     if skipped_scenarios:
         print(
             "bench_compare: note: scenarios only in one document, not "

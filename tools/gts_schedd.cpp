@@ -62,6 +62,14 @@ int main(int argc, char** argv) {
   cli.add_option("restore", "restore state from this snapshot, then serve");
   cli.add_option("machines", "cluster size (without --config)", "2");
   cli.add_option("shape", "machine shape: minsky | pcie | dgx1", "minsky");
+  cli.add_option("batch-max",
+                 "requests dispatched per reactor round (1 = unbatched)");
+  cli.add_option("parse-threads",
+                 "protocol-parse workers for batched rounds (0 = inline)");
+  cli.add_flag("parallel-scoring",
+               "parallel candidate scoring (decisions stay byte-identical)");
+  cli.add_option("scoring-threads",
+                 "scoring workers with --parallel-scoring (0 = all cores)");
   cli.add_flag("self-audit", "validate state after every simulated event");
   obs::add_cli_flags(cli);
   if (auto status = cli.parse(argc, argv); !status) {
@@ -123,6 +131,28 @@ int main(int argc, char** argv) {
   if (cli.has("snapshot-every-s")) {
     service.snapshot_every_s = cli.get_double("snapshot-every-s");
   }
+  if (cli.has("batch-max")) {
+    service.batch_max = static_cast<int>(cli.get_int("batch-max"));
+    if (service.batch_max < 1) {
+      std::fprintf(stderr, "--batch-max must be >= 1\n");
+      return 1;
+    }
+  }
+  if (cli.has("parse-threads")) {
+    service.parse_threads = static_cast<int>(cli.get_int("parse-threads"));
+    if (service.parse_threads < 0) {
+      std::fprintf(stderr, "--parse-threads must be >= 0\n");
+      return 1;
+    }
+  }
+  if (cli.has("parallel-scoring")) service.parallel_scoring = true;
+  if (cli.has("scoring-threads")) {
+    service.scoring_threads = static_cast<int>(cli.get_int("scoring-threads"));
+    if (service.scoring_threads < 0) {
+      std::fprintf(stderr, "--scoring-threads must be >= 0\n");
+      return 1;
+    }
+  }
 
   const auto topology = config::build_topology(system);
   if (!topology) {
@@ -160,6 +190,8 @@ int main(int argc, char** argv) {
   }
   server_options.snapshot_path = service.snapshot_path;
   server_options.snapshot_every_s = service.snapshot_every_s;
+  server_options.batch_max = service.batch_max;
+  server_options.parse_threads = service.parse_threads;
 
   svc::Server server(core, server_options);
   if (auto status = server.start(); !status) {

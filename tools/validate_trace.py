@@ -244,6 +244,24 @@ def validate_bench(path, doc):
     if len(replicas) != len(scenarios) * len(seeds):
         fail(path, f"expected {len(scenarios)}x{len(seeds)} replicas, "
                    f"got {len(replicas)}")
+    # Execution-config fields (batched admission / parallel scoring):
+    # optional, but when present they must be sane and agree between the
+    # run metadata and every replica payload — bench_compare.py keys its
+    # config guard on them.
+    metadata = doc.get("metadata")
+    metadata = metadata if isinstance(metadata, dict) else {}
+    for key, minimum in (("batch_max", 1), ("parse_threads", 0),
+                         ("worker_threads", 0), ("scoring_threads", 0)):
+        if key in metadata:
+            value = metadata[key]
+            if (not isinstance(value, (int, float)) or
+                    isinstance(value, bool) or value < minimum):
+                fail(path, f"metadata['{key}']: expected number >= "
+                           f"{minimum}, got {value!r}")
+    for key in ("parallel_scoring", "pipeline"):
+        if key in metadata and not isinstance(metadata[key], bool):
+            fail(path, f"metadata['{key}']: expected bool, got "
+                       f"{metadata[key]!r}")
     for index, replica in enumerate(replicas):
         where = f"replicas[{index}]"
         if replica.get("scenario") not in scenarios:
@@ -251,8 +269,28 @@ def validate_bench(path, doc):
                        f"{replica.get('scenario')!r}")
         if replica.get("seed") not in seeds:
             fail(path, f"{where}: unknown seed {replica.get('seed')!r}")
-        if not isinstance(replica.get("payload"), dict):
+        payload = replica.get("payload")
+        if not isinstance(payload, dict):
             fail(path, f"{where}: missing payload object")
+        for key in ("batch_max", "worker_threads"):
+            if key in payload:
+                value = payload[key]
+                if (not isinstance(value, (int, float)) or
+                        isinstance(value, bool) or value < 0):
+                    fail(path, f"{where}: payload['{key}']: expected "
+                               f"non-negative number, got {value!r}")
+                if key in metadata and value != metadata[key]:
+                    fail(path, f"{where}: payload['{key}'] {value!r} "
+                               f"disagrees with metadata {metadata[key]!r}")
+        if "pipeline" in payload:
+            value = payload["pipeline"]
+            if not isinstance(value, bool):
+                fail(path, f"{where}: payload['pipeline']: expected bool, "
+                           f"got {value!r}")
+            if "pipeline" in metadata and value != metadata["pipeline"]:
+                fail(path, f"{where}: payload['pipeline'] {value!r} "
+                           f"disagrees with metadata "
+                           f"{metadata['pipeline']!r}")
     aggregates = doc.get("aggregates")
     if not isinstance(aggregates, dict):
         fail(path, "missing aggregates object")
