@@ -38,7 +38,12 @@ void Recorder::on_place(int job_id, double t, const std::vector<int>& gpus,
     record->gpus = gpus;
     record->placement_utility = utility;
     record->p2p = p2p;
+    if (utility + 1e-9 < record->min_utility) ++record->degradation_events;
   }
+}
+
+void Recorder::on_postpone(int job_id) {
+  if (JobRecord* record = find(job_id)) ++record->postponements;
 }
 
 void Recorder::on_finish(int job_id, double t) {
@@ -85,6 +90,31 @@ int Recorder::slo_violations() const {
     if (record.slo_violated()) ++violations;
   }
   return violations;
+}
+
+long long Recorder::total_postponements() const {
+  long long total = 0;
+  for (const JobRecord& record : records_) total += record.postponements;
+  return total;
+}
+
+int Recorder::total_degradations() const {
+  int total = 0;
+  for (const JobRecord& record : records_) total += record.degradation_events;
+  return total;
+}
+
+double Recorder::mean_jct_slowdown() const {
+  double total = 0.0;
+  int count = 0;
+  for (const JobRecord& record : records_) {
+    const double slowdown = record.jct_slowdown();
+    if (slowdown >= 0.0) {
+      total += slowdown;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / count;
 }
 
 std::vector<double> Recorder::sorted_qos_slowdowns() const {

@@ -33,6 +33,12 @@ struct JobRecord {
   bool p2p = false;
   /// Ideal (best-placement, solo) completion time from the profile.
   double best_solo_time = 0.0;
+  /// Scheduling passes that offered this job to the scheduler and were
+  /// declined (Algorithm 1 re-offers after every capacity change).
+  int postponements = 0;
+  /// Placements enacted below the job's declared minimum utility (the
+  /// job accepted a degraded mapping rather than keep waiting).
+  int degradation_events = 0;
 
   bool placed() const noexcept { return start >= 0.0; }
   bool finished() const noexcept { return end >= 0.0 && !cancelled; }
@@ -55,6 +61,13 @@ struct JobRecord {
   bool slo_violated() const {
     return placed() && !cancelled && placement_utility + 1e-9 < min_utility;
   }
+  /// Realized JCT (arrival to finish) over the ideal solo JCT; >= 1 for
+  /// finished jobs, -1 while unknown. The live-telemetry SLO figure
+  /// surfaced by the `status`/`list` verbs (DESIGN.md section 18.4).
+  double jct_slowdown() const {
+    if (!finished() || best_solo_time <= 0.0) return -1.0;
+    return (end - arrival) / best_solo_time;
+  }
 };
 
 struct SeriesPoint {
@@ -67,6 +80,8 @@ class Recorder {
   void on_submit(const jobgraph::JobRequest& request);
   void on_place(int job_id, double t, const std::vector<int>& gpus,
                 double utility, bool p2p);
+  /// Counts one declined scheduler offer for a still-queued job.
+  void on_postpone(int job_id);
   void on_finish(int job_id, double t);
   /// Marks a queued or running job withdrawn at `t`.
   void on_cancel(int job_id, double t);
@@ -93,6 +108,13 @@ class Recorder {
   /// Time the last job finished ("cumulative execution time", Section 5.2.2).
   double makespan() const;
   int slo_violations() const;
+  /// Declined offers summed over all jobs (live-telemetry SLO summary).
+  long long total_postponements() const;
+  /// Below-minimum-utility placements summed over all jobs.
+  int total_degradations() const;
+  /// Mean jct_slowdown() over finished jobs with a known solo time
+  /// (0 when no job qualifies).
+  double mean_jct_slowdown() const;
   /// QoS slowdowns sorted descending (the Fig. 8e/9e/10/11 curves).
   std::vector<double> sorted_qos_slowdowns() const;
   std::vector<double> sorted_qos_wait_slowdowns() const;

@@ -294,7 +294,7 @@ double ClusterState::fragmentation() const {
   for (int machine = 0; machine < topology_->machine_count(); ++machine) {
     const int socket_count = topology_->sockets_of_machine(machine);
     for (int socket = 0; socket < socket_count; ++socket) {
-      const std::vector<int> gpus = topology_->gpus_of_socket(machine, socket);
+      const std::vector<int>& gpus = topology_->gpus_of_socket(machine, socket);
       if (gpus.empty()) continue;
       const int free = static_cast<int>(
           std::count_if(gpus.begin(), gpus.end(),
@@ -311,7 +311,7 @@ double ClusterState::fragmentation_of_machine(int machine) const {
   int sockets = 0;
   const int socket_count = topology_->sockets_of_machine(machine);
   for (int socket = 0; socket < socket_count; ++socket) {
-    const std::vector<int> gpus = topology_->gpus_of_socket(machine, socket);
+    const std::vector<int>& gpus = topology_->gpus_of_socket(machine, socket);
     if (gpus.empty()) continue;
     const int free = static_cast<int>(std::count_if(
         gpus.begin(), gpus.end(), [&](int g) { return gpu_free(g); }));
@@ -329,7 +329,7 @@ double ClusterState::fragmentation_after(std::span<const int> gpus) const {
   for (int machine = 0; machine < topology_->machine_count(); ++machine) {
     const int socket_count = topology_->sockets_of_machine(machine);
     for (int socket = 0; socket < socket_count; ++socket) {
-      const std::vector<int> socket_gpus =
+      const std::vector<int>& socket_gpus =
           topology_->gpus_of_socket(machine, socket);
       if (socket_gpus.empty()) continue;
       int free = 0;

@@ -106,6 +106,13 @@ util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
   if (svc.scoring_threads < 0) {
     return util::Error{"sys-config [service]: scoring_threads must be >= 0"};
   }
+  svc.prom_port =
+      static_cast<int>(ini.get_int("service", "prom_port", svc.prom_port));
+  if (svc.prom_port < -1 || svc.prom_port > 65535) {
+    return util::Error{
+        "sys-config [service]: prom_port must be in [-1, 65535]"};
+  }
+  svc.prom_host = ini.get_or("service", "prom_host", svc.prom_host);
   return config;
 }
 
@@ -163,6 +170,10 @@ Ini SystemConfig::to_ini() const {
     ini.set("service", "parallel_scoring", "true");
     ini.set("service", "scoring_threads",
             std::to_string(service.scoring_threads));
+  }
+  if (service.prom_port >= 0) {
+    ini.set("service", "prom_port", std::to_string(service.prom_port));
+    ini.set("service", "prom_host", service.prom_host);
   }
   return ini;
 }

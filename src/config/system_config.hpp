@@ -55,6 +55,10 @@ struct ServiceConfig {
   bool parallel_scoring = false;
   /// Scoring workers when parallel_scoring is on; 0 = all cores.
   int scoring_threads = 0;
+  /// Prometheus scrape listener port (HTTP GET /metrics, DESIGN.md
+  /// section 18.2); 0 = ephemeral, -1 = disabled.
+  int prom_port = -1;
+  std::string prom_host = "127.0.0.1";
 };
 
 /// Parsed sys-config.ini.

@@ -54,6 +54,15 @@ std::span<const double> depth_bounds() {
   return bounds;
 }
 
+std::span<const double> fraction_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (int i = 1; i <= 20; ++i) b.push_back(0.05 * i);
+    return b;
+  }();
+  return bounds;
+}
+
 std::span<const double> cost_bounds() {
   static const std::vector<double> bounds = [] {
     std::vector<double> b;

@@ -61,6 +61,7 @@ class Gauge {
 std::span<const double> latency_bounds_us();  // 1us .. 1e7us, 1-2-5 series
 std::span<const double> depth_bounds();       // 1..24 linear
 std::span<const double> cost_bounds();        // 1 .. ~1e6 geometric
+std::span<const double> fraction_bounds();    // 0.05..1.0 linear (ratios)
 
 /// Plain (non-atomic) fixed-bucket histogram with value semantics.
 class HistogramData {
@@ -95,7 +96,8 @@ class HistogramData {
   json::Value to_json() const;
 
  private:
-  friend class Histogram;  // snapshot() fills the representation directly
+  friend class Histogram;       // snapshot() fills the representation directly
+  friend class WindowedStats;   // window-slot merges fill it the same way
   std::vector<double> bounds_;
   std::vector<long long> counts_;  // bounds_.size() + 1 (overflow)
   long long count_ = 0;

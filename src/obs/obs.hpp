@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,6 +71,20 @@ struct ObsConfig {
   std::string trace_out;
   std::string metrics_out;
   std::string explain_out;
+
+  // --- live telemetry (DESIGN.md section 18) -------------------------------
+  /// Sliding-window aggregates (obs/window.hpp). Independent of the
+  /// cumulative metrics pillar: GTS_METRIC_WINDOW sites check only this.
+  bool windows = false;
+  /// Crash-safe flight recorder (obs/flight.hpp) and its ring capacity.
+  bool flight = false;
+  std::size_t flight_capacity = 4096;
+  /// Prometheus text-format exposition written by finalize(); non-empty
+  /// implies metrics.
+  std::string prom_out;
+  /// Flight-recorder JSONL dump written by finalize() and on GTS_CHECK
+  /// failure; non-empty implies flight.
+  std::string flight_out;
 };
 
 /// Installs `config` process-wide: flips the pillar switches and opens the

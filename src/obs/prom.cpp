@@ -1,0 +1,122 @@
+#include "obs/prom.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace gts::obs {
+
+namespace {
+
+std::string format_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string format_count(long long value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", value);
+  return buffer;
+}
+
+/// The le= label of one inclusive upper bound: integral bounds render
+/// without a fraction ("100"), the overflow bucket renders "+Inf".
+std::string le_label(double bound) { return format_number(bound); }
+
+void append_help_type(std::string& out, const std::string& name,
+                      const std::string& help, const char* type) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+void append_histogram(std::string& out, const std::string& raw_name,
+                      const json::Value& histogram) {
+  const std::string name = prometheus_name(raw_name);
+  append_help_type(out, name, "histogram of " + raw_name, "histogram");
+  const auto& bounds = histogram.at("bounds").as_array();
+  const auto& counts = histogram.at("counts").as_array();
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i].as_int();
+    const std::string le =
+        i < bounds.size() ? le_label(bounds[i].as_number()) : "+Inf";
+    out += name + "_bucket{le=\"" + le + "\"} " + format_count(cumulative) +
+           "\n";
+  }
+  out += name + "_sum " + format_number(histogram.at("sum").as_number()) +
+         "\n";
+  out += name + "_count " +
+         format_count(histogram.at("count").as_int()) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string sanitized = "gts_";
+  sanitized.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool valid = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    sanitized.push_back(valid ? c : '_');
+  }
+  return sanitized;
+}
+
+void append_prometheus_gauge(std::string& out, const std::string& name,
+                             const std::string& help, double value) {
+  const std::string sanitized = prometheus_name(name);
+  append_help_type(out, sanitized, help, "gauge");
+  out += sanitized + " " + format_number(value) + "\n";
+}
+
+std::string prometheus_text() {
+  std::string out;
+  const json::Value registry = Registry::instance().snapshot_json();
+  for (const auto& [name, value] : registry.at("counters").as_object()) {
+    const std::string sanitized = prometheus_name(name);
+    append_help_type(out, sanitized, "counter " + name, "counter");
+    out += sanitized + " " + format_count(value.as_int()) + "\n";
+  }
+  for (const auto& [name, value] : registry.at("gauges").as_object()) {
+    const std::string sanitized = prometheus_name(name);
+    append_help_type(out, sanitized, "gauge " + name, "gauge");
+    out += sanitized + " " + format_number(value.as_number()) + "\n";
+  }
+  for (const auto& [name, histogram] :
+       registry.at("histograms").as_object()) {
+    append_histogram(out, name, histogram);
+  }
+
+  const json::Value windows = WindowRegistry::instance().snapshot_json();
+  const auto& instruments = windows.at("windows").as_object();
+  if (!instruments.empty()) {
+    append_help_type(out, "gts_window",
+                     "windowed statistic (stat over the trailing span)",
+                     "gauge");
+    append_help_type(out, "gts_window_rate",
+                     "windowed sample rate over the trailing span (1/s)",
+                     "gauge");
+    for (const auto& [name, spans] : instruments) {
+      for (const json::Value& span : spans.as_array()) {
+        const std::string labels = "metric=\"" + name + "\",span=\"" +
+                                   span.at("span").as_string() + "\"";
+        for (const char* stat : {"mean", "min", "max", "p50", "p95", "p99"}) {
+          out += "gts_window{" + labels + ",stat=\"" + stat + "\"} " +
+                 format_number(span.at(stat).as_number()) + "\n";
+        }
+        out += "gts_window{" + labels + ",stat=\"count\"} " +
+               format_count(span.at("count").as_int()) + "\n";
+        out += "gts_window_rate{" + labels + "} " +
+               format_number(span.at("rate_per_s").as_number()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gts::obs

@@ -1,0 +1,36 @@
+// Prometheus text-format exposition (version 0.0.4) of the metrics
+// registry and the windowed aggregates (DESIGN.md section 18.2).
+//
+// Counters and gauges render as single samples; registry histograms
+// render with the Prometheus cumulative-bucket contract (`_bucket{le=}`
+// monotone non-decreasing, terminated by `le="+Inf"` equal to `_count`),
+// converted from the registry's per-bucket counts. Windowed aggregates
+// render as one `gts_window{metric=,span=,stat=}` gauge family plus a
+// `gts_window_rate{metric=,span=}` family — flat label sets that a
+// scraper (or gts_top) can select without knowing the metric names up
+// front. Metric names are sanitized to the Prometheus grammar and
+// prefixed "gts_" ("sched.decision_latency_us" ->
+// "gts_sched_decision_latency_us").
+#pragma once
+
+#include <string>
+
+namespace gts::obs {
+
+/// Sanitizes one metric name to [a-zA-Z_:][a-zA-Z0-9_:]* with the
+/// "gts_" prefix.
+std::string prometheus_name(const std::string& name);
+
+/// Renders the full exposition: every registry counter/gauge/histogram
+/// plus every windowed instrument, with # HELP / # TYPE lines. Safe to
+/// call with metrics or windows disabled (renders whatever has been
+/// registered so far).
+std::string prometheus_text();
+
+/// Appends one externally computed gauge sample (`# TYPE` emitted on
+/// first use of the family) — the service front-end adds live gauges
+/// (queue depth, fragmentation) the registry does not own.
+void append_prometheus_gauge(std::string& out, const std::string& name,
+                             const std::string& help, double value);
+
+}  // namespace gts::obs

@@ -1,0 +1,225 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace gts::obs {
+
+namespace detail {
+std::atomic<bool> windows_on{false};
+std::atomic<std::int64_t> window_clock_us{-1};
+}  // namespace detail
+
+namespace {
+
+/// fetch_add / running-extrema for atomic<double> via CAS (portable to
+/// pre-C++20 ABIs), mirroring metrics.cpp.
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value < expected && !target.compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (value > expected && !target.compare_exchange_weak(
+                                 expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+constexpr WindowSpec kSpans[] = {
+    {10.0, 10, "10s"},
+    {60.0, 12, "1m"},
+    {300.0, 15, "5m"},
+};
+
+}  // namespace
+
+std::span<const WindowSpec> window_spans() { return kSpans; }
+
+std::int64_t window_now_us() noexcept {
+  const std::int64_t manual =
+      detail::window_clock_us.load(std::memory_order_relaxed);
+  return manual >= 0 ? manual : wall_now_us();
+}
+
+void set_window_clock_us(std::int64_t now_us) noexcept {
+  detail::window_clock_us.store(now_us, std::memory_order_relaxed);
+}
+
+WindowedStats::WindowedStats(std::span<const double> bounds)
+    : bounds_((bounds.empty() ? latency_bounds_us() : bounds).begin(),
+              (bounds.empty() ? latency_bounds_us() : bounds).end()) {
+  windows_.reserve(std::size(kSpans));
+  for (const WindowSpec& spec : kSpans) {
+    Window window;
+    window.spec = spec;
+    window.epoch_us = static_cast<std::int64_t>(spec.span_s * 1e6) /
+                      static_cast<std::int64_t>(spec.slots);
+    window.slots = std::vector<Slot>(static_cast<std::size_t>(spec.slots));
+    for (Slot& slot : window.slots) {
+      slot.counts = std::vector<std::atomic<long long>>(bounds_.size() + 1);
+    }
+    windows_.push_back(std::move(window));
+  }
+}
+
+void WindowedStats::record_into(Window& window, std::int64_t now_us,
+                                double value) noexcept {
+  const std::int64_t epoch = now_us / window.epoch_us;
+  Slot& slot = window.slots[static_cast<std::size_t>(
+      epoch % static_cast<std::int64_t>(window.slots.size()))];
+  std::int64_t current = slot.epoch.load(std::memory_order_relaxed);
+  if (current != epoch) {
+    // Reclaim: first recorder of the new epoch zeroes the slot. A sample
+    // racing the reclaim may be dropped or double-counted into the fresh
+    // epoch — acceptable for telemetry, and every access stays atomic.
+    if (slot.epoch.compare_exchange_strong(current, epoch,
+                                           std::memory_order_relaxed)) {
+      for (auto& count : slot.counts) {
+        count.store(0, std::memory_order_relaxed);
+      }
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.min.store(value, std::memory_order_relaxed);
+      slot.max.store(value, std::memory_order_relaxed);
+    }
+  }
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(slot.sum, value);
+  atomic_min(slot.min, value);
+  atomic_max(slot.max, value);
+}
+
+void WindowedStats::record(double value) noexcept {
+  const std::int64_t now_us = window_now_us();
+  for (Window& window : windows_) {
+    record_into(window, now_us, value);
+  }
+}
+
+std::vector<WindowedStats::SpanSnapshot> WindowedStats::snapshot() const {
+  const std::int64_t now_us = window_now_us();
+  std::vector<SpanSnapshot> spans;
+  spans.reserve(windows_.size());
+  for (const Window& window : windows_) {
+    const std::int64_t epoch = now_us / window.epoch_us;
+    const auto live_slots = static_cast<std::int64_t>(window.slots.size());
+    SpanSnapshot span;
+    span.label = window.spec.label;
+    span.span_s = window.spec.span_s;
+    span.histogram = HistogramData(bounds_);
+    for (const Slot& slot : window.slots) {
+      const std::int64_t slot_epoch =
+          slot.epoch.load(std::memory_order_relaxed);
+      // Live = the current (partial) epoch and the slots-1 before it.
+      if (slot_epoch < 0 || slot_epoch > epoch ||
+          slot_epoch <= epoch - live_slots) {
+        continue;  // empty or expired
+      }
+      const long long slot_count = slot.count.load(std::memory_order_relaxed);
+      if (slot_count <= 0) continue;
+      for (std::size_t i = 0; i < slot.counts.size(); ++i) {
+        span.histogram.counts_[i] +=
+            slot.counts[i].load(std::memory_order_relaxed);
+      }
+      const double slot_min = slot.min.load(std::memory_order_relaxed);
+      const double slot_max = slot.max.load(std::memory_order_relaxed);
+      if (span.histogram.count_ == 0) {
+        span.histogram.min_ = slot_min;
+        span.histogram.max_ = slot_max;
+      } else {
+        span.histogram.min_ = std::min(span.histogram.min_, slot_min);
+        span.histogram.max_ = std::max(span.histogram.max_, slot_max);
+      }
+      span.histogram.count_ += slot_count;
+      span.histogram.sum_ += slot.sum.load(std::memory_order_relaxed);
+    }
+    span.count = span.histogram.count();
+    span.rate_per_s =
+        static_cast<double>(span.count) / window.spec.span_s;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+void WindowedStats::reset() noexcept {
+  for (Window& window : windows_) {
+    for (Slot& slot : window.slots) {
+      slot.epoch.store(-1, std::memory_order_relaxed);
+      for (auto& count : slot.counts) {
+        count.store(0, std::memory_order_relaxed);
+      }
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.min.store(0.0, std::memory_order_relaxed);
+      slot.max.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+WindowRegistry& WindowRegistry::instance() {
+  static WindowRegistry* registry = new WindowRegistry();
+  return *registry;
+}
+
+WindowedStats& WindowRegistry::stats(const std::string& name,
+                                     std::span<const double> bounds) {
+  util::MutexLock lock(mutex_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(name, std::make_unique<WindowedStats>(bounds)).first;
+  }
+  return *it->second;
+}
+
+void WindowRegistry::reset() {
+  util::MutexLock lock(mutex_);
+  for (auto& [name, stats] : stats_) stats->reset();
+}
+
+std::size_t WindowRegistry::instrument_count() const {
+  util::MutexLock lock(mutex_);
+  return stats_.size();
+}
+
+json::Value WindowRegistry::snapshot_json() const {
+  util::MutexLock lock(mutex_);
+  json::Value windows;
+  for (const auto& [name, stats] : stats_) {
+    json::Array spans;
+    for (const WindowedStats::SpanSnapshot& span : stats->snapshot()) {
+      json::Value entry;
+      entry.set("span", span.label);
+      entry.set("span_s", span.span_s);
+      entry.set("count", span.count);
+      entry.set("rate_per_s", span.rate_per_s);
+      entry.set("mean", span.histogram.mean());
+      entry.set("min", span.histogram.min());
+      entry.set("max", span.histogram.max());
+      entry.set("p50", span.histogram.percentile(0.50));
+      entry.set("p95", span.histogram.percentile(0.95));
+      entry.set("p99", span.histogram.percentile(0.99));
+      spans.push_back(std::move(entry));
+    }
+    windows.set(name, std::move(spans));
+  }
+  json::Value document;
+  document.set("windows", std::move(windows));
+  return document;
+}
+
+}  // namespace gts::obs

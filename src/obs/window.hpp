@@ -1,0 +1,159 @@
+// Sliding-window aggregates: ring-of-buckets time windows over the PR 3
+// metrics registry, giving rolling rates and windowed quantile estimates
+// (p50/p95/p99 over the last 10 s / 1 min / 5 min) for live operation of
+// the scheduler daemon (DESIGN.md section 18.1).
+//
+// Each windowed instrument keeps, per window span, a fixed ring of
+// bucket slots; a slot covers one epoch (span / slots seconds) and holds
+// a small atomic histogram. record() stamps the sample into the slot of
+// the current epoch, lazily reclaiming slots whose epoch fell out of the
+// window — there is no advancing thread. All state is relaxed atomics:
+// recording is lock-free, wait-free, and a disabled site costs exactly
+// one relaxed load + branch (GTS_METRIC_WINDOW), matching the DESIGN.md
+// section 13 zero-cost discipline. Recording never influences decisions
+// (tests/livetelemetry_test.cpp extends the obs-on/off identity
+// regression over this layer).
+//
+// The window clock is wall time (obs::wall_now_us) by default; tests and
+// sim-driven harnesses install a manual clock (set_window_clock_us) to
+// make advancement and expiry deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace gts::obs {
+
+/// One configured window span. All instruments share the same ladder
+/// (window_spans()); labels name the span in snapshots/exposition.
+struct WindowSpec {
+  double span_s = 10.0;
+  int slots = 10;
+  const char* label = "10s";
+};
+
+/// The 10 s / 1 min / 5 min ladder.
+std::span<const WindowSpec> window_spans();
+
+namespace detail {
+extern std::atomic<bool> windows_on;
+/// Manual clock in microseconds; < 0 = use the wall clock.
+extern std::atomic<std::int64_t> window_clock_us;
+}  // namespace detail
+
+inline bool windows_enabled() noexcept {
+  return detail::windows_on.load(std::memory_order_relaxed);
+}
+
+/// Current window-clock reading (manual clock when installed, else the
+/// wall clock shared with the trace timeline).
+std::int64_t window_now_us() noexcept;
+
+/// Installs a manual window clock at `now_us` (deterministic tests /
+/// sim-driven advancement). Pass a negative value to return to the wall
+/// clock. The clock must never move backwards while instruments record.
+void set_window_clock_us(std::int64_t now_us) noexcept;
+
+/// Windowed statistics over one metric: for every window span, the
+/// sample count, rolling rate (count / span) and merged histogram of the
+/// samples that fell inside the window.
+class WindowedStats {
+ public:
+  /// `bounds` follow the registry histogram convention (ascending
+  /// inclusive upper edges, implicit overflow bucket); empty = latency
+  /// ladder.
+  explicit WindowedStats(std::span<const double> bounds);
+
+  /// Records one sample at the current window clock. Lock-free; callable
+  /// from any thread.
+  void record(double value) noexcept;
+
+  struct SpanSnapshot {
+    std::string label;
+    double span_s = 0.0;
+    long long count = 0;
+    double rate_per_s = 0.0;  // count / span
+    HistogramData histogram;  // merged over the window's live slots
+  };
+  /// Merges the live slots of every span at the current clock. Slots
+  /// whose epoch expired are excluded (their counts are dropped, not
+  /// carried).
+  std::vector<SpanSnapshot> snapshot() const;
+
+  /// Zeroes every slot (registry reset semantics; the instrument and the
+  /// references to it stay valid).
+  void reset() noexcept;
+
+ private:
+  struct Slot {
+    /// Epoch this slot's counts belong to; -1 = empty. A recorder that
+    /// finds a stale epoch claims the slot with a CAS and zeroes it;
+    /// samples racing a reclaim may be dropped (telemetry tolerance).
+    std::atomic<std::int64_t> epoch{-1};
+    std::vector<std::atomic<long long>> counts;  // bounds + overflow
+    std::atomic<long long> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+  };
+  struct Window {
+    WindowSpec spec;
+    std::int64_t epoch_us = 0;  // slot width
+    std::vector<Slot> slots;
+  };
+
+  void record_into(Window& window, std::int64_t now_us, double value) noexcept;
+
+  std::vector<double> bounds_;
+  std::vector<Window> windows_;
+};
+
+/// Process-wide registry of windowed instruments, mirroring
+/// obs::Registry: lookup registers on first use, references stay valid
+/// for the process lifetime, reset() zeroes values only.
+class WindowRegistry {
+ public:
+  static WindowRegistry& instance();
+
+  /// `bounds` applies on first registration only (empty = latency
+  /// ladder), like Registry::histogram.
+  WindowedStats& stats(const std::string& name,
+                       std::span<const double> bounds = {});
+
+  void reset();
+  std::size_t instrument_count() const;
+
+  /// {"windows": {name: [{"span","span_s","count","rate_per_s",
+  ///   "mean","min","max","p50","p95","p99"}, ...]}}.
+  json::Value snapshot_json() const;
+
+ private:
+  WindowRegistry() = default;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<WindowedStats>> stats_
+      GTS_GUARDED_BY(mutex_);
+};
+
+}  // namespace gts::obs
+
+/// Hot-path macro: one relaxed load + branch when windows are disabled;
+/// instrument lookup happens once per call site.
+#define GTS_METRIC_WINDOW(name, value, bounds)                           \
+  do {                                                                   \
+    if (::gts::obs::windows_enabled()) {                                 \
+      static ::gts::obs::WindowedStats& gts_obs_window =                 \
+          ::gts::obs::WindowRegistry::instance().stats(name, bounds);    \
+      gts_obs_window.record(value);                                      \
+    }                                                                    \
+  } while (0)

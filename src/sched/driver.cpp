@@ -7,7 +7,9 @@
 #include "check/audit.hpp"
 #include "check/check.hpp"
 #include "obs/explain.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -183,7 +185,8 @@ util::Status Driver::restore_running(const jobgraph::JobRequest& request,
                                      double start_time,
                                      double progress_iterations,
                                      double placement_utility,
-                                     double noise_factor) {
+                                     double noise_factor,
+                                     int postponements) {
   // Replay the placement through the feasibility audit before enacting
   // it: a corrupted or stale snapshot must not poison the cluster state.
   if (util::Status audit = check::audit_placement(request, gpus, state_);
@@ -207,12 +210,19 @@ util::Status Driver::restore_running(const jobgraph::JobRequest& request,
   const cluster::RunningJob* running = state_.find(request.id);
   report_.recorder.on_place(request.id, start_time, gpus, placement_utility,
                             running != nullptr && running->p2p);
+  if (cluster::JobRecord* record = report_.recorder.find(request.id)) {
+    record->postponements = postponements;
+  }
   return util::Status::ok();
 }
 
 void Driver::restore_waiting(const jobgraph::JobRequest& request,
-                             std::uint64_t attempted_version) {
+                             std::uint64_t attempted_version,
+                             int postponements) {
   report_.recorder.on_submit(request);
+  if (cluster::JobRecord* record = report_.recorder.find(request.id)) {
+    record->postponements = postponements;
+  }
   queue_.push_back({request, attempted_version});
 }
 
@@ -300,10 +310,17 @@ void Driver::scheduling_pass() {
     GTS_METRIC_COUNT("sched.decisions", 1);
     GTS_METRIC_HISTOGRAM("sched.decision_latency_us", decision_us,
                          obs::latency_bounds_us());
+    GTS_METRIC_WINDOW("sched.decision_latency_us", decision_us,
+                      obs::latency_bounds_us());
 
     if (!placement) {
       it->attempted_version = capacity_version_;
+      report_.recorder.on_postpone(request.id);
       GTS_METRIC_COUNT("sched.declines", 1);
+      GTS_FLIGHT_AT(obs::FlightKind::kPostponement, request.id, decision_us,
+                    static_cast<double>(queue_.size()),
+                    scheduler_.blocking_queue() ? "postponed" : "declined",
+                    now);
       if (explain_scope) {
         explain_scope->record().outcome =
             scheduler_.blocking_queue() ? "postponed" : "declined";
@@ -350,12 +367,22 @@ void Driver::scheduling_pass() {
     report_.recorder.on_place(request.id, now, placement->gpus, utility,
                               running != nullptr && running->p2p);
     GTS_METRIC_COUNT("sched.placements", 1);
+    if (utility + 1e-9 < request.min_utility) {
+      GTS_METRIC_COUNT("sched.degradations", 1);
+    }
+    GTS_METRIC_WINDOW("sched.placements", 1.0, obs::depth_bounds());
+    GTS_FLIGHT_AT(obs::FlightKind::kDecision, request.id, decision_us,
+                  utility, "placed", now);
     it = queue_.erase(it);
     placed_any = true;
   }
   if (options_.record_series) {
     report_.recorder.sample(state_, now);
   }
+  GTS_METRIC_WINDOW("sched.queue_depth",
+                    static_cast<double>(queue_.size()), obs::depth_bounds());
+  GTS_METRIC_WINDOW("cluster.fragmentation", state_.fragmentation(),
+                    obs::fraction_bounds());
   (void)placed_any;
   arm_completion_event();
 }

@@ -166,9 +166,11 @@ class Driver {
   util::Status restore_running(const jobgraph::JobRequest& request,
                                const std::vector<int>& gpus,
                                double start_time, double progress_iterations,
-                               double placement_utility, double noise_factor);
+                               double placement_utility, double noise_factor,
+                               int postponements = 0);
   void restore_waiting(const jobgraph::JobRequest& request,
-                       std::uint64_t attempted_version);
+                       std::uint64_t attempted_version,
+                       int postponements = 0);
   util::Status finish_restore();
 
  private:

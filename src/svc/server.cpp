@@ -38,6 +38,44 @@ util::Error socket_error(const char* what) {
                                std::string(std::strerror(errno)))};
 }
 
+/// Binds + listens a nonblocking TCP socket; writes the actually bound
+/// port (port 0 = ephemeral) to *bound_port. Shared by the protocol and
+/// Prometheus listeners.
+util::Expected<int> bind_tcp_listener(const std::string& host, int port,
+                                      int* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Error{util::fmt("invalid TCP bind address '{}'", host)};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_error("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const util::Error error = socket_error("bind");
+    ::close(fd);
+    return error.with_context(util::fmt("{}:{}", host, port));
+  }
+  if (::listen(fd, 64) < 0) {
+    const util::Error error = socket_error("listen");
+    ::close(fd);
+    return error;
+  }
+  if (auto status = set_nonblocking(fd); !status) {
+    ::close(fd);
+    return status.error();
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
+}
+
 }  // namespace
 
 Server::Server(ServiceCore& core, ServerOptions options)
@@ -55,6 +93,7 @@ Server::~Server() {
     if (session->fd >= 0) ::close(session->fd);
   }
   for (const int fd : listeners_) ::close(fd);
+  if (prom_listener_ >= 0) ::close(prom_listener_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
   if (!options_.unix_socket.empty() && started_) {
@@ -91,37 +130,16 @@ util::Status Server::listen_unix(const std::string& path) {
 }
 
 util::Status Server::listen_tcp(const std::string& host, int port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return util::Error{util::fmt("invalid TCP bind address '{}'", host)};
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return socket_error("socket(AF_INET)");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const util::Error error = socket_error("bind");
-    ::close(fd);
-    return error.with_context(util::fmt("{}:{}", host, port));
-  }
-  if (::listen(fd, 64) < 0) {
-    const util::Error error = socket_error("listen");
-    ::close(fd);
-    return error;
-  }
-  if (auto status = set_nonblocking(fd); !status) {
-    ::close(fd);
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
-      0) {
-    tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
-  }
-  listeners_.push_back(fd);
+  auto fd = bind_tcp_listener(host, port, &tcp_port_);
+  if (!fd) return fd.error();
+  listeners_.push_back(*fd);
+  return util::Status::ok();
+}
+
+util::Status Server::listen_prom(const std::string& host, int port) {
+  auto fd = bind_tcp_listener(host, port, &prom_port_);
+  if (!fd) return fd.error().with_context("prometheus listener");
+  prom_listener_ = *fd;
   return util::Status::ok();
 }
 
@@ -144,6 +162,13 @@ util::Status Server::start() {
       return status;
     }
   }
+  if (options_.prom_port >= 0) {
+    const std::string host =
+        options_.prom_host.empty() ? "127.0.0.1" : options_.prom_host;
+    if (auto status = listen_prom(host, options_.prom_port); !status) {
+      return status;
+    }
+  }
   started_ = true;
   return util::Status::ok();
 }
@@ -154,7 +179,7 @@ void Server::stop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
 }
 
-void Server::accept_clients(int listener_fd) {
+void Server::accept_clients(int listener_fd, bool http) {
   while (true) {
     const int fd = ::accept(listener_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -169,13 +194,72 @@ void Server::accept_clients(int listener_fd) {
     }
     auto session = std::make_unique<Session>();
     session->fd = fd;
+    session->http = http;
     sessions_.push_back(std::move(session));
     GTS_METRIC_GAUGE_SET("svc.active_sessions",
                          static_cast<double>(sessions_.size()));
   }
 }
 
+bool Server::service_http_input(Session& session) {
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(session.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      session.in.append(buffer, static_cast<std::size_t>(n));
+      if (session.in.size() > kMaxLineBytes) return false;  // header flood
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  // One request per connection (HTTP/1.0 semantics): wait for the full
+  // header, answer, then flush-and-close.
+  if (session.in.find("\r\n\r\n") == std::string::npos &&
+      session.in.find("\n\n") == std::string::npos) {
+    return true;  // header incomplete; keep reading
+  }
+  std::string request_line = session.in.substr(0, session.in.find('\n'));
+  while (!request_line.empty() &&
+         (request_line.back() == '\r' || request_line.back() == ' ')) {
+    request_line.pop_back();
+  }
+  const std::size_t method_end = request_line.find(' ');
+  const std::string method = request_line.substr(0, method_end);
+  std::string target = "/";
+  if (method_end != std::string::npos) {
+    const std::size_t target_end = request_line.find(' ', method_end + 1);
+    target = request_line.substr(
+        method_end + 1,
+        target_end == std::string::npos ? std::string::npos
+                                        : target_end - method_end - 1);
+  }
+  std::string status_line;
+  std::string body;
+  if (method != "GET") {
+    status_line = "HTTP/1.0 405 Method Not Allowed";
+    body = "GET only\n";
+  } else if (target == "/metrics" || target == "/") {
+    status_line = "HTTP/1.0 200 OK";
+    body = core_.prometheus_text();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "try /metrics\n";
+  }
+  session.out = util::fmt(
+      "{}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: {}\r\nConnection: close\r\n\r\n",
+      status_line, body.size());
+  session.out += body;
+  session.close_after_flush = true;
+  session.in.clear();
+  return true;
+}
+
 bool Server::service_input(Session& session) {
+  if (session.http) return service_http_input(session);
   const bool batched = options_.batch_max > 1;
   char buffer[4096];
   while (true) {
@@ -393,6 +477,9 @@ util::Status Server::run() {
       // Stop accepting new sessions while shutting down.
       if (!core_.shutdown_requested()) fds.push_back({listener, POLLIN, 0});
     }
+    if (prom_listener_ >= 0 && !core_.shutdown_requested()) {
+      fds.push_back({prom_listener_, POLLIN, 0});
+    }
     const std::size_t first_session = fds.size();
     for (const auto& session : sessions_) {
       short events = POLLIN;
@@ -427,7 +514,9 @@ util::Status Server::run() {
       stop_requested_ = true;
     }
     for (std::size_t i = 1; i < first_session; ++i) {
-      if ((fds[i].revents & POLLIN) != 0) accept_clients(fds[i].fd);
+      if ((fds[i].revents & POLLIN) != 0) {
+        accept_clients(fds[i].fd, fds[i].fd == prom_listener_);
+      }
     }
     // Service sessions; drop the ones that closed or errored. Sessions
     // past `polled_sessions` were accepted after the pollfd array was

@@ -53,6 +53,12 @@ struct ServerOptions {
   /// Protocol-parse workers for batched rounds (0 = parse on the reactor
   /// thread; ignored when batch_max == 1).
   int parse_threads = 0;
+  /// Prometheus scrape endpoint: a tiny HTTP/1.0 GET-only listener
+  /// serving ServiceCore::prometheus_text() on the same poll() reactor
+  /// (DESIGN.md section 18.2). Port 0 picks an ephemeral port (see
+  /// Server::prom_port); -1 disables the listener.
+  int prom_port = -1;
+  std::string prom_host = "127.0.0.1";
 };
 
 class Server {
@@ -78,6 +84,9 @@ class Server {
   /// bind port 0 and discover the ephemeral port.
   int port() const noexcept { return tcp_port_; }
 
+  /// Bound Prometheus scrape port (after start); -1 when disabled.
+  int prom_port() const noexcept { return prom_port_; }
+
   /// Number of currently connected sessions (diagnostics/tests). Read
   /// from the owning thread between run() rounds; exempt from the
   /// reactor-confinement analysis for that reason.
@@ -90,6 +99,9 @@ class Server {
     int fd = -1;
     std::string in;
     std::string out;
+    /// Accepted on the Prometheus listener: input is parsed as one HTTP
+    /// GET request instead of JSONL frames; the reply closes the session.
+    bool http = false;
     /// Set after an unrecoverable framing error: flush `out`, then close.
     bool close_after_flush = false;
     /// Batched mode only: complete lines framed but not yet dispatched.
@@ -103,10 +115,14 @@ class Server {
 
   util::Status listen_unix(const std::string& path);
   util::Status listen_tcp(const std::string& host, int port);
-  void accept_clients(int listener_fd) GTS_REQUIRES(reactor_);
+  util::Status listen_prom(const std::string& host, int port);
+  void accept_clients(int listener_fd, bool http) GTS_REQUIRES(reactor_);
   /// Reads available bytes and dispatches complete lines; returns false
   /// when the session should be dropped.
   bool service_input(Session& session) GTS_REQUIRES(reactor_);
+  /// HTTP sessions (the Prometheus listener): buffers until the header
+  /// terminator, answers one GET with the exposition, then closes.
+  bool service_http_input(Session& session) GTS_REQUIRES(reactor_);
   /// Flushes buffered output; returns false when the session should be
   /// dropped.
   bool service_output(Session& session) GTS_REQUIRES(reactor_);
@@ -128,7 +144,11 @@ class Server {
   /// batching or parse pipelining is off.
   std::unique_ptr<util::ThreadPool> parse_pool_;
   std::vector<int> listeners_;
+  /// Prometheus HTTP listener fd; -1 while disabled. Kept out of
+  /// `listeners_` so accepts can tag their sessions as HTTP.
+  int prom_listener_ = -1;
   int tcp_port_ = -1;
+  int prom_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
   /// Confines the live session table and the stop flag to the reactor
   /// loop: run() enters the role, every helper requires it, and stop()

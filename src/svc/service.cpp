@@ -6,8 +6,11 @@
 
 #include "jobgraph/manifest.hpp"
 #include "json/json.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "perf/profile.hpp"
 #include "util/strings.hpp"
 
@@ -69,6 +72,12 @@ Response ServiceCore::handle_one(const Request& request) {
                        obs::latency_bounds_us());
   GTS_METRIC_GAUGE_SET("svc.queue_depth",
                        static_cast<double>(admission_depth()));
+  GTS_METRIC_WINDOW("svc.request_latency_us", latency_us,
+                    obs::latency_bounds_us());
+  GTS_METRIC_WINDOW("svc.requests", 1.0, obs::depth_bounds());
+  GTS_METRIC_WINDOW("svc.queue_depth",
+                    static_cast<double>(admission_depth()),
+                    obs::depth_bounds());
   return response;
 }
 
@@ -81,6 +90,9 @@ std::vector<Response> ServiceCore::handle_batch(
   GTS_METRIC_HISTOGRAM("svc.batch_size",
                        static_cast<double>(requests.size()),
                        obs::depth_bounds());
+  GTS_FLIGHT_AT(obs::FlightKind::kBatch, -1,
+                static_cast<double>(requests.size()), 0.0, "batch",
+                driver_.now());
   std::vector<Response> responses;
   responses.reserve(requests.size());
   // Dispatch in arrival order under one serial entry: each request goes
@@ -116,6 +128,8 @@ Response ServiceCore::dispatch(const Request& request) {
   if (request.verb == "cancel") return verb_cancel(request);
   if (request.verb == "topology") return verb_topology(request);
   if (request.verb == "metrics") return verb_metrics(request);
+  if (request.verb == "metrics_prom") return verb_metrics_prom(request);
+  if (request.verb == "dump") return verb_dump(request);
   if (request.verb == "advance") return verb_advance(request);
   if (request.verb == "snapshot") return verb_snapshot(request);
   if (request.verb == "drain") return verb_drain(request);
@@ -136,6 +150,10 @@ Response ServiceCore::submit_one(long long request_id,
                                  jobgraph::JobRequest job) {
   if (admission_depth() >= options_.config.max_queue) {
     GTS_METRIC_COUNT("svc.backpressure", 1);
+    GTS_FLIGHT_AT(obs::FlightKind::kBackpressure, job.id,
+                  static_cast<double>(admission_depth()),
+                  static_cast<double>(options_.config.retry_after_ms),
+                  "queue_full", driver_.now());
     return Response::failure(
         request_id, ErrorCode::kBackpressure,
         util::fmt("admission queue full ({} jobs); retry later",
@@ -150,6 +168,10 @@ Response ServiceCore::submit_one(long long request_id,
   switch (outcome) {
     case sched::SubmitResult::kAccepted: {
       if (job.id >= next_auto_id_) next_auto_id_ = job.id + 1;
+      GTS_FLIGHT_AT(obs::FlightKind::kAdmission, job.id,
+                    static_cast<double>(admission_depth()),
+                    static_cast<double>(job.num_gpus), "accepted",
+                    driver_.now());
       json::Value result;
       result.set("id", job.id);
       result.set("status", "accepted");
@@ -262,6 +284,12 @@ Response ServiceCore::verb_status(const Request& request) {
                         static_cast<double>(running->request.iterations)));
     result.set("iterations", running->request.iterations);
     result.set("placement_utility", running->placement_utility);
+    if (const cluster::JobRecord* record = driver_.recorder().find(job_id)) {
+      result.set("postponements", record->postponements);
+      result.set("degradation_events", record->degradation_events);
+      result.set("queue_time", record->waiting_time());
+      result.set("slo_violated", record->slo_violated());
+    }
     return Response::success(request.id, std::move(result));
   }
   for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
@@ -269,6 +297,10 @@ Response ServiceCore::verb_status(const Request& request) {
     result.set("state", "queued");
     result.set("arrival", entry.request.arrival_time);
     result.set("num_gpus", entry.request.num_gpus);
+    result.set("waited", driver_.now() - entry.request.arrival_time);
+    if (const cluster::JobRecord* record = driver_.recorder().find(job_id)) {
+      result.set("postponements", record->postponements);
+    }
     return Response::success(request.id, std::move(result));
   }
   for (const jobgraph::JobRequest& pending : driver_.pending_arrivals()) {
@@ -322,6 +354,58 @@ Response ServiceCore::verb_list(const Request& request) {
   result.set("finished", std::move(finished));
   result.set("cancelled", std::move(cancelled));
   result.set("rejected", std::move(rejected));
+  if (request.params.at("detail").as_bool(false)) {
+    // Per-job lifecycle table (gts_top's job pane): one row per known
+    // job with state, timing, and SLO accounting.
+    json::Array jobs;
+    for (const auto& [id, job] : driver_.state().running_jobs()) {
+      json::Value row;
+      row.set("id", id);
+      row.set("state", "running");
+      row.set("arrival", job.request.arrival_time);
+      row.set("start", job.start_time);
+      row.set("num_gpus", job.request.num_gpus);
+      row.set("placement_utility", job.placement_utility);
+      const double live_progress =
+          job.progress_iterations +
+          job.rate * (driver_.now() - job.last_update);
+      row.set("progress",
+              job.request.iterations > 0
+                  ? std::min(live_progress /
+                                 static_cast<double>(job.request.iterations),
+                             1.0)
+                  : 0.0);
+      if (const cluster::JobRecord* record = driver_.recorder().find(id)) {
+        row.set("postponements", record->postponements);
+        row.set("queue_time", record->waiting_time());
+        row.set("slo_violated", record->slo_violated());
+      }
+      jobs.push_back(std::move(row));
+    }
+    for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
+      json::Value row;
+      row.set("id", entry.request.id);
+      row.set("state", "queued");
+      row.set("arrival", entry.request.arrival_time);
+      row.set("num_gpus", entry.request.num_gpus);
+      row.set("waited", driver_.now() - entry.request.arrival_time);
+      if (const cluster::JobRecord* record =
+              driver_.recorder().find(entry.request.id)) {
+        row.set("postponements", record->postponements);
+      }
+      jobs.push_back(std::move(row));
+    }
+    for (const jobgraph::JobRequest& job : driver_.pending_arrivals()) {
+      json::Value row;
+      row.set("id", job.id);
+      row.set("state", "pending_arrival");
+      row.set("arrival", job.arrival_time);
+      row.set("num_gpus", job.num_gpus);
+      jobs.push_back(std::move(row));
+    }
+    for (const auto& [id, record] : history_) jobs.push_back(record);
+    result.set("jobs", std::move(jobs));
+  }
   return Response::success(request.id, std::move(result));
 }
 
@@ -374,10 +458,83 @@ Response ServiceCore::verb_metrics(const Request& request) {
   result.set("rejected_jobs", report.rejected_jobs);
   result.set("capacity_version", driver_.capacity_version());
   result.set("draining", driver_.draining());
+  // Lifecycle / SLO summary over every job the recorder has seen
+  // (DESIGN.md section 18.4).
+  const cluster::Recorder& recorder = driver_.recorder();
+  result.set("postponements", recorder.total_postponements());
+  result.set("degradations", recorder.total_degradations());
+  result.set("slo_violations", recorder.slo_violations());
+  result.set("mean_jct_slowdown", recorder.mean_jct_slowdown());
+  result.set("mean_waiting_time", recorder.mean_waiting_time());
   if (obs::metrics_enabled()) {
     result.set("registry", obs::Registry::instance().snapshot_json());
   }
+  if (obs::windows_enabled()) {
+    result.set("windows",
+               obs::WindowRegistry::instance().snapshot_json().at("windows"));
+  }
   return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_metrics_prom(const Request& request) {
+  reconcile_history();
+  json::Value result;
+  result.set("content_type", "text/plain; version=0.0.4");
+  result.set("text", prometheus_text_locked());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_dump(const Request& request) {
+  const obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  json::Value result;
+  result.set("enabled", obs::flight_enabled());
+  result.set("capacity", recorder.capacity());
+  result.set("recorded", static_cast<double>(recorder.recorded()));
+  const std::string path = request.params.at("path").as_string();
+  if (!path.empty()) {
+    if (auto status = recorder.dump_to_file(path); !status) {
+      return Response::failure(request.id, ErrorCode::kInternal,
+                               status.error().message);
+    }
+    result.set("path", path);
+  } else {
+    result.set("text", recorder.dump_jsonl());
+  }
+  return Response::success(request.id, std::move(result));
+}
+
+std::string ServiceCore::prometheus_text() const {
+  util::SerialGuard guard(serial_);
+  return prometheus_text_locked();
+}
+
+std::string ServiceCore::prometheus_text_locked() const {
+  std::string text = obs::prometheus_text();
+  // Live gauges computed at scrape time: present (and fresh) even when
+  // the cumulative metrics pillar is disabled.
+  obs::append_prometheus_gauge(text, "svc.up", "daemon liveness flag", 1.0);
+  obs::append_prometheus_gauge(text, "svc.sim_now_seconds",
+                               "simulated clock", driver_.now());
+  obs::append_prometheus_gauge(
+      text, "svc.queue_depth_live",
+      "jobs waiting or pending arrival (admission depth)",
+      static_cast<double>(admission_depth()));
+  obs::append_prometheus_gauge(
+      text, "svc.running_jobs_live", "jobs currently placed",
+      static_cast<double>(driver_.state().running_job_count()));
+  obs::append_prometheus_gauge(text, "svc.draining",
+                               "1 while the daemon refuses new submits",
+                               driver_.draining() ? 1.0 : 0.0);
+  obs::append_prometheus_gauge(
+      text, "cluster.free_gpus_live", "unallocated GPUs",
+      static_cast<double>(driver_.state().free_gpu_count()));
+  obs::append_prometheus_gauge(text, "cluster.fragmentation_live",
+                               "cluster fragmentation in [0,1]",
+                               driver_.state().fragmentation());
+  obs::append_prometheus_gauge(
+      text, "sched.decisions_live", "placement attempts so far",
+      static_cast<double>(driver_.report().decision_count));
+  return text;
 }
 
 Response ServiceCore::verb_advance(const Request& request) {
@@ -419,6 +576,10 @@ Response ServiceCore::verb_snapshot(const Request& request) {
   // is part of the decision-determining request sequence).
   driver_.checkpoint_progress();
   const std::string path = request.params.at("path").as_string();
+  GTS_FLIGHT_AT(obs::FlightKind::kSnapshot, -1,
+                static_cast<double>(driver_.state().running_job_count()),
+                static_cast<double>(driver_.queue_depth()),
+                path.empty() ? "inline" : "file", driver_.now());
   if (path.empty()) {
     json::Value result;
     result.set("snapshot", snapshot_json_locked());
@@ -468,6 +629,12 @@ json::Value ServiceCore::terminal_record(const cluster::JobRecord& record,
   value.set("num_gpus", record.num_gpus);
   value.set("gpus", int_array(record.gpus));
   value.set("placement_utility", record.placement_utility);
+  value.set("postponements", record.postponements);
+  value.set("degradation_events", record.degradation_events);
+  value.set("queue_time", record.waiting_time());
+  value.set("execution_time", record.execution_time());
+  value.set("jct_slowdown", record.jct_slowdown());
+  value.set("slo_violated", record.slo_violated());
   return value;
 }
 

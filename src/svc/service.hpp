@@ -10,7 +10,8 @@
 // and tools/service_smoke.sh hold it to that).
 //
 // Verbs: ping, submit (inline manifest object or manifest file), status,
-// list, cancel, topology, metrics, advance, snapshot, drain, shutdown.
+// list, cancel, topology, metrics, metrics_prom, dump, advance, snapshot,
+// drain, shutdown.
 // Admission is bounded: when queued + pending-arrival jobs reach
 // max_queue, submit fails with a `backpressure` error carrying a
 // retry_after_ms hint.
@@ -78,6 +79,12 @@ class ServiceCore {
   /// Jobs counted against max_queue: waiting + pending arrivals.
   int admission_depth() const noexcept;
 
+  /// Prometheus text-format exposition (obs/prom.hpp) plus live service
+  /// gauges (queue depth, running jobs, fragmentation, free GPUs) that
+  /// stay meaningful even when the metrics pillar is off. Served by the
+  /// `metrics_prom` verb and the Server's --prom-port HTTP listener.
+  std::string prometheus_text() const;
+
   // --- snapshot/restore (svc/snapshot.cpp) ---------------------------------
   /// The versioned crash-recovery document (schema_version 1, kind
   /// "svc_snapshot"): simulated clock, capacity version, every running /
@@ -104,6 +111,8 @@ class ServiceCore {
   Response verb_cancel(const Request& request) GTS_REQUIRES(serial_);
   Response verb_topology(const Request& request) GTS_REQUIRES(serial_);
   Response verb_metrics(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_metrics_prom(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_dump(const Request& request) GTS_REQUIRES(serial_);
   Response verb_advance(const Request& request) GTS_REQUIRES(serial_);
   Response verb_snapshot(const Request& request) GTS_REQUIRES(serial_);
   Response verb_drain(const Request& request) GTS_REQUIRES(serial_);
@@ -117,6 +126,8 @@ class ServiceCore {
   void reconcile_history() GTS_REQUIRES(serial_);
   json::Value terminal_record(const cluster::JobRecord& record,
                               std::string state) const;
+
+  std::string prometheus_text_locked() const GTS_REQUIRES(serial_);
 
   /// In-context bodies of the public snapshot entry points, callable from
   /// verb handlers without re-entering the serial capability.

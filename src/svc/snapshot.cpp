@@ -114,6 +114,9 @@ json::Value ServiceCore::snapshot_json_locked() const {
                        static_cast<double>(job.request.iterations)));
     entry.set("placement_utility", job.placement_utility);
     entry.set("noise_factor", job.noise_factor);
+    if (const cluster::JobRecord* record = driver_.recorder().find(id)) {
+      entry.set("postponements", record->postponements);
+    }
     running.push_back(std::move(entry));
   }
   document.set("running", std::move(running));
@@ -124,6 +127,10 @@ json::Value ServiceCore::snapshot_json_locked() const {
     item.set("manifest", jobgraph::to_manifest(entry.request));
     item.set("attempted_version",
              encode_attempted_version(entry.attempted_version));
+    if (const cluster::JobRecord* record =
+            driver_.recorder().find(entry.request.id)) {
+      item.set("postponements", record->postponements);
+    }
     waiting.push_back(std::move(item));
   }
   document.set("waiting", std::move(waiting));
@@ -168,7 +175,8 @@ util::Status ServiceCore::restore_json_locked(const json::Value& document) {
             *job, gpus, entry.at("start_time").as_number(),
             entry.at("progress_iterations").as_number(),
             entry.at("placement_utility").as_number(),
-            entry.at("noise_factor").as_number(1.0));
+            entry.at("noise_factor").as_number(1.0),
+            static_cast<int>(entry.at("postponements").as_int(0)));
         !status) {
       return status;
     }
@@ -178,7 +186,8 @@ util::Status ServiceCore::restore_json_locked(const json::Value& document) {
     if (!job) return job.error().with_context("snapshot waiting job");
     perf::fill_profile(*job, model_, topology_);
     driver_.restore_waiting(
-        *job, decode_attempted_version(entry.at("attempted_version")));
+        *job, decode_attempted_version(entry.at("attempted_version")),
+        static_cast<int>(entry.at("postponements").as_int(0)));
   }
   for (const json::Value& entry : document.at("pending").as_array()) {
     auto job = jobgraph::from_manifest(entry.at("manifest"));

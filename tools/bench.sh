@@ -78,6 +78,9 @@ FIG10_JOBS=100
 OVERHEAD_MACHINES="5,20,50"
 OVERHEAD_TASKS="2,4,8"
 OVERHEAD_JOBS=40
+# Matches the committed baseline's min-of-repeats estimator; a repeats
+# mismatch trips bench_compare's config guard on overlapping grids.
+OVERHEAD_REPEATS=5
 # decision_micro keeps the baseline grid even under --quick: the sweep is
 # sub-second, and shrinking it would leave the perf gate with no
 # overlapping scenarios against bench/baselines/BENCH_decision_micro.json.
@@ -95,6 +98,7 @@ if [[ "$QUICK" -eq 1 ]]; then
   OVERHEAD_MACHINES="2,4,8"
   OVERHEAD_TASKS="2,4,8"
   OVERHEAD_JOBS=15
+  OVERHEAD_REPEATS=2
   SERVICE_JOBS=24
   SERVICE_MACHINES=2
 elif [[ "$FULL" -eq 1 ]]; then
@@ -151,7 +155,8 @@ run_scenario() {
     overhead)
       bin="$(bench_bin bench_overhead)" || return 1
       "$bin" --machines "$OVERHEAD_MACHINES" --tasks "$OVERHEAD_TASKS" \
-        --jobs "$OVERHEAD_JOBS" --seeds "$SEEDS" --threads "$THREADS" \
+        --jobs "$OVERHEAD_JOBS" --repeats "$OVERHEAD_REPEATS" \
+        --seeds "$SEEDS" --threads "$THREADS" \
         --out "$out" --metrics-out "$metrics"
       ;;
     decision_micro)
@@ -166,11 +171,15 @@ run_scenario() {
     service_load)
       # Live socket daemon + concurrent clients; replicas stay sequential
       # (--threads 1) because each one spawns its own server and client
-      # threads.
+      # threads. This scenario also exercises the live-telemetry layer:
+      # windowed aggregates + flight recorder on, with the Prometheus
+      # exposition and the flight dump written as validated artifacts.
       bin="$(bench_bin bench_service_load)" || return 1
       "$bin" --connections "$SERVICE_CONNECTIONS" --jobs "$SERVICE_JOBS" \
         --machines "$SERVICE_MACHINES" --seeds "$SEEDS" --threads 1 \
-        --out "$out" --metrics-out "$metrics"
+        --out "$out" --metrics-out "$metrics" --obs-windows \
+        --prom-out "${OUT_DIR}/PROM_service_load.prom" \
+        --flight-out "${OUT_DIR}/FLIGHT_service_load.jsonl"
       ;;
     *)
       echo "unknown scenario: $scenario" >&2
@@ -183,6 +192,16 @@ for scenario in "${SCENARIOS[@]}"; do
   if ! run_scenario "$scenario"; then
     echo "FAILED: ${scenario}" >&2
     FAILED+=("$scenario")
+  fi
+done
+
+# Telemetry-artifact validation: the service_load scenario emits a
+# Prometheus exposition + flight-recorder dump; both must parse.
+for artifact in "${OUT_DIR}"/PROM_*.prom "${OUT_DIR}"/FLIGHT_*.jsonl; do
+  [[ -f "$artifact" ]] || continue
+  if ! python3 tools/validate_trace.py "$artifact"; then
+    echo "FAILED: validate:$(basename "$artifact")" >&2
+    FAILED+=("validate:$(basename "$artifact")")
   fi
 done
 

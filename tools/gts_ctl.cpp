@@ -6,15 +6,25 @@
 //   gts_ctl --socket /tmp/gts.sock status 7
 //   gts_ctl --socket /tmp/gts.sock cancel 7
 //   gts_ctl --tcp 127.0.0.1:7070 list | topology | metrics
+//   gts_ctl --socket S list --detail          (per-job lifecycle table)
+//   gts_ctl --socket S metrics --prom         (Prometheus text format)
+//   gts_ctl --socket S dump [--out flight.jsonl]   (flight recorder)
+//   gts_ctl --socket S watch list 2           (repeat a verb every 2 s)
 //   gts_ctl --socket S advance --to 120.5     (or: advance --all)
 //   gts_ctl --socket S snapshot --out snap.json
 //   gts_ctl --socket S drain [--no-wait]
 //   gts_ctl --socket S shutdown
 //
-// Prints the verb's result JSON on stdout. Exit codes: 0 success,
+// Prints the verb's result JSON on stdout (metrics --prom and dump print
+// their text payloads raw). watch repeats an argument-less read-only verb
+// (ping/list/metrics/topology) until interrupted. Exit codes: 0 success,
 // 2 backpressure (retry later), 3 unknown job, 1 anything else.
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "svc/client.hpp"
 #include "util/cli.hpp"
@@ -38,20 +48,53 @@ int main(int argc, char** argv) {
   cli.add_option("job", "submit: inline manifest JSON object");
   cli.add_option("to", "advance: target simulated time (seconds)");
   cli.add_flag("all", "advance: run until idle");
-  cli.add_option("out", "snapshot: write the snapshot to this path");
+  cli.add_option("out", "snapshot/dump: write the payload to this path");
   cli.add_flag("no-wait", "drain: only flip the flag, do not run to idle");
+  cli.add_flag("prom", "metrics: Prometheus text format (metrics_prom verb)");
+  cli.add_flag("detail", "list: include the per-job lifecycle table");
   if (auto status = cli.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
                  cli.usage(argv[0]).c_str());
     return 1;
   }
   if (cli.positional().empty()) {
-    std::fprintf(stderr, "usage: %s [--socket PATH | --tcp HOST:PORT] "
-                 "<verb> [args]\n%s",
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH | --tcp HOST:PORT] <verb> [args]\n"
+                 "verbs: ping submit status list cancel topology metrics\n"
+                 "       dump advance snapshot drain shutdown\n"
+                 "       watch <verb> [interval_s]\n%s",
                  argv[0], cli.usage(argv[0]).c_str());
     return 1;
   }
-  const std::string verb = cli.positional()[0];
+  std::string verb = cli.positional()[0];
+
+  // watch mode: repeat an argument-less read-only verb until interrupted.
+  bool watch = false;
+  double watch_interval_s = 2.0;
+  if (verb == "watch") {
+    if (cli.positional().size() < 2) {
+      return fail("watch", "expects a verb to repeat, e.g. watch list 2");
+    }
+    watch = true;
+    verb = cli.positional()[1];
+    if (cli.positional().size() >= 3) {
+      try {
+        watch_interval_s = std::stod(cli.positional()[2]);
+      } catch (...) {
+        return fail("watch", "interval must be a number (seconds)");
+      }
+      if (watch_interval_s <= 0.0) {
+        return fail("watch", "interval must be > 0");
+      }
+    }
+    if (verb == "submit" || verb == "status" || verb == "cancel" ||
+        verb == "advance" || verb == "snapshot" || verb == "drain" ||
+        verb == "shutdown") {
+      return fail("watch",
+                  "only read-only argument-less verbs can be watched "
+                  "(ping, list, metrics, topology)");
+    }
+  }
 
   // Connect.
   util::Expected<svc::Client> client = util::Error{"no endpoint"};
@@ -105,22 +148,45 @@ int main(int argc, char** argv) {
     if (cli.has("out")) params.set("path", cli.get("out"));
   } else if (verb == "drain") {
     if (cli.has("no-wait")) params.set("wait", false);
+  } else if (verb == "list") {
+    if (cli.has("detail")) params.set("detail", true);
+  } else if (verb == "metrics" && cli.has("prom")) {
+    verb = "metrics_prom";
+  } else if (verb == "dump") {
+    if (cli.has("out")) params.set("path", cli.get("out"));
   }
 
-  const auto response = client->call(verb, std::move(params));
-  if (!response) return fail("transport", response.error().message);
-  if (!response->ok) {
-    std::fprintf(stderr, "error (%s): %s\n",
-                 std::string(to_string(response->code)).c_str(),
-                 response->message.c_str());
-    if (response->code == svc::ErrorCode::kBackpressure) {
-      std::fprintf(stderr, "retry_after_ms: %.1f\n",
-                   response->retry_after_ms);
-      return 2;
+  while (true) {
+    const auto response = client->call(verb, params);
+    if (!response) return fail("transport", response.error().message);
+    if (!response->ok) {
+      std::fprintf(stderr, "error (%s): %s\n",
+                   std::string(to_string(response->code)).c_str(),
+                   response->message.c_str());
+      if (response->code == svc::ErrorCode::kBackpressure) {
+        std::fprintf(stderr, "retry_after_ms: %.1f\n",
+                     response->retry_after_ms);
+        return 2;
+      }
+      if (response->code == svc::ErrorCode::kNotFound) return 3;
+      return 1;
     }
-    if (response->code == svc::ErrorCode::kNotFound) return 3;
-    return 1;
+    if (watch && isatty(STDOUT_FILENO) != 0) {
+      std::printf("\033[2J\033[H");  // clear + home, like watch(1)
+    }
+    // Text payloads print raw; everything else pretty-prints as JSON.
+    if (verb == "metrics_prom") {
+      std::fputs(response->result.at("text").as_string().c_str(), stdout);
+    } else if (verb == "dump" && response->result.contains("text")) {
+      std::fputs(response->result.at("text").as_string().c_str(), stdout);
+    } else {
+      std::printf("%s\n",
+                  json::write(response->result, {.indent = 2}).c_str());
+    }
+    std::fflush(stdout);
+    if (!watch) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(watch_interval_s));
   }
-  std::printf("%s\n", json::write(response->result, {.indent = 2}).c_str());
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "config/system_config.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "perf/model.hpp"
 #include "svc/server.hpp"
@@ -71,6 +72,15 @@ int main(int argc, char** argv) {
   cli.add_option("scoring-threads",
                  "scoring workers with --parallel-scoring (0 = all cores)");
   cli.add_flag("self-audit", "validate state after every simulated event");
+  cli.add_option("prom-port",
+                 "Prometheus scrape port (HTTP GET /metrics; 0 = ephemeral; "
+                 "enables metrics + windows)");
+  cli.add_option("prom-host", "Prometheus scrape bind address",
+                 "127.0.0.1");
+  cli.add_option("flight-dump",
+                 "flight-recorder crash-dump path: enables the event ring "
+                 "and dumps it there on SIGSEGV/SIGABRT, GTS_CHECK failure, "
+                 "and clean exit");
   obs::add_cli_flags(cli);
   if (auto status = cli.parse(argc, argv); !status) {
     std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
@@ -103,6 +113,24 @@ int main(int argc, char** argv) {
   if (auto status = obs::configure_from_cli(cli); !status) {
     std::fprintf(stderr, "%s\n", status.error().message.c_str());
     return 1;
+  }
+  // Live-telemetry flags layer on top of whatever obs state is installed:
+  // a scrape port implies the cumulative metrics + windowed aggregates it
+  // serves; a crash-dump path implies the flight recorder.
+  if (cli.has("prom-port") || cli.has("flight-dump")) {
+    obs::ObsConfig live = obs::config();
+    if (cli.has("prom-port")) {
+      live.metrics = true;
+      live.windows = true;
+    }
+    if (cli.has("flight-dump")) {
+      live.flight = true;
+      live.flight_out = cli.get("flight-dump");
+    }
+    if (auto status = obs::configure(live); !status) {
+      std::fprintf(stderr, "%s\n", status.error().message.c_str());
+      return 1;
+    }
   }
 
   // Flag overrides on the [service] section.
@@ -153,6 +181,14 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (cli.has("prom-port")) {
+    service.prom_port = static_cast<int>(cli.get_int("prom-port"));
+    if (service.prom_port < 0 || service.prom_port > 65535) {
+      std::fprintf(stderr, "--prom-port must be in [0, 65535]\n");
+      return 1;
+    }
+  }
+  if (cli.has("prom-host")) service.prom_host = cli.get("prom-host");
 
   const auto topology = config::build_topology(system);
   if (!topology) {
@@ -192,6 +228,8 @@ int main(int argc, char** argv) {
   server_options.snapshot_every_s = service.snapshot_every_s;
   server_options.batch_max = service.batch_max;
   server_options.parse_threads = service.parse_threads;
+  server_options.prom_port = service.prom_port;
+  server_options.prom_host = service.prom_host;
 
   svc::Server server(core, server_options);
   if (auto status = server.start(); !status) {
@@ -201,12 +239,25 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // Crash postmortems: pre-open the dump target and install the
+  // async-signal-safe SIGSEGV/SIGABRT handlers.
+  if (obs::flight_enabled() && !obs::config().flight_out.empty()) {
+    if (auto status = obs::FlightRecorder::instance().install_crash_handler(
+            obs::config().flight_out);
+        !status) {
+      std::fprintf(stderr, "flight recorder: %s\n",
+                   status.error().message.c_str());
+      return 1;
+    }
+  }
 
   // Readiness line (scripts wait for it before connecting).
-  std::printf("gts_schedd ready unix=%s tcp_port=%d policy=%s machines=%d\n",
-              service.socket.empty() ? "-" : service.socket.c_str(),
-              server.port(), to_string(options.config.policy).data(),
-              system.machines);
+  std::printf(
+      "gts_schedd ready unix=%s tcp_port=%d prom_port=%d policy=%s "
+      "machines=%d\n",
+      service.socket.empty() ? "-" : service.socket.c_str(), server.port(),
+      server.prom_port(), to_string(options.config.policy).data(),
+      system.machines);
   std::fflush(stdout);
 
   const auto run_status = server.run();

@@ -1,0 +1,270 @@
+// gts_top: live terminal dashboard for a running gts_schedd daemon
+// (DESIGN.md section 18.5).
+//
+//   gts_top --socket /tmp/gts.sock
+//   gts_top --tcp 127.0.0.1:7070 --interval 1
+//   gts_top --socket /tmp/gts.sock --once --json   (one machine-readable
+//                                                   sample, then exit)
+//
+// Each refresh polls the daemon's `metrics_prom` exposition (throughput
+// and latency quantiles come from the gts_window / gts_window_rate
+// families, live gauges from the *_live family) and `list {detail:true}`
+// (the per-job lifecycle table). The daemon needs --prom-port or
+// --obs-windows for the windowed rows; the gauge header works on any
+// daemon.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace gts;
+
+int fail(const char* what, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", what, message.c_str());
+  return 1;
+}
+
+/// Minimal parse of the Prometheus text format: `name value` samples plus
+/// `name{labels} value` samples keyed by selected label values. Ignores
+/// comment lines and samples it has no use for.
+struct PromSample {
+  std::map<std::string, double> plain;  // unlabelled name -> value
+  /// "metric|span|stat" -> value (the gts_window family).
+  std::map<std::string, double> window;
+  /// "metric|span" -> rate (the gts_window_rate family).
+  std::map<std::string, double> rate;
+};
+
+std::string label_value(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  const std::size_t start = labels.find(needle);
+  if (start == std::string::npos) return "";
+  const std::size_t begin = start + needle.size();
+  const std::size_t end = labels.find('"', begin);
+  if (end == std::string::npos) return "";
+  return labels.substr(begin, end - begin);
+}
+
+PromSample parse_prom(const std::string& text) {
+  PromSample sample;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string series = line.substr(0, space);
+    double value = 0.0;
+    try {
+      value = std::stod(line.substr(space + 1));
+    } catch (...) {
+      continue;
+    }
+    const std::size_t brace = series.find('{');
+    if (brace == std::string::npos) {
+      sample.plain[series] = value;
+      continue;
+    }
+    const std::string name = series.substr(0, brace);
+    const std::string labels = series.substr(brace);
+    const std::string metric = label_value(labels, "metric");
+    const std::string span = label_value(labels, "span");
+    if (name == "gts_window") {
+      sample.window[metric + "|" + span + "|" + label_value(labels, "stat")] =
+          value;
+    } else if (name == "gts_window_rate") {
+      sample.rate[metric + "|" + span] = value;
+    }
+  }
+  return sample;
+}
+
+double plain_or(const PromSample& sample, const std::string& name,
+                double fallback) {
+  const auto it = sample.plain.find(name);
+  return it == sample.plain.end() ? fallback : it->second;
+}
+
+std::string format_row(const json::Value& job) {
+  const std::string state = job.at("state").as_string();
+  std::string extra;
+  if (state == "running") {
+    extra = util::fmt("prog={}% util={}",
+                      util::format_double(
+                          job.at("progress").as_number(0.0) * 100.0, 1),
+                      util::format_double(
+                          job.at("placement_utility").as_number(0.0), 3));
+  } else if (state == "queued") {
+    extra = util::fmt("waited={}s",
+                      util::format_double(job.at("waited").as_number(0.0), 1));
+  } else if (state == "finished") {
+    extra = util::fmt("jct_slowdown={}",
+                      util::format_double(
+                          job.at("jct_slowdown").as_number(-1.0), 2));
+  }
+  return util::fmt("  {}  {}  gpus={} postponed={} {}",
+                   std::to_string(job.at("id").as_int()), state,
+                   std::to_string(job.at("num_gpus").as_int(0)),
+                   std::to_string(job.at("postponements").as_int(0)), extra);
+}
+
+void render(const PromSample& prom, const json::Value& list) {
+  std::printf("gts_top  sim_t=%.1fs  queue=%d  running=%d  free_gpus=%d  "
+              "frag=%.2f%s\n",
+              plain_or(prom, "gts_svc_sim_now_seconds", 0.0),
+              static_cast<int>(plain_or(prom, "gts_svc_queue_depth_live", 0)),
+              static_cast<int>(
+                  plain_or(prom, "gts_svc_running_jobs_live", 0)),
+              static_cast<int>(plain_or(prom, "gts_cluster_free_gpus_live", 0)),
+              plain_or(prom, "gts_cluster_fragmentation_live", 0.0),
+              plain_or(prom, "gts_svc_draining", 0.0) > 0.5 ? "  DRAINING"
+                                                            : "");
+  std::printf("decisions=%lld\n",
+              static_cast<long long>(
+                  plain_or(prom, "gts_sched_decisions_live", 0.0)));
+  if (!prom.rate.empty()) {
+    std::printf("%-28s %10s %10s %10s\n", "window", "10s", "1m", "5m");
+    const auto rate_row = [&prom](const char* label,
+                                  const std::string& metric) {
+      std::printf("%-28s %10.2f %10.2f %10.2f\n", label,
+                  prom.rate.count(metric + "|10s") != 0u
+                      ? prom.rate.at(metric + "|10s") : 0.0,
+                  prom.rate.count(metric + "|1m") != 0u
+                      ? prom.rate.at(metric + "|1m") : 0.0,
+                  prom.rate.count(metric + "|5m") != 0u
+                      ? prom.rate.at(metric + "|5m") : 0.0);
+    };
+    const auto stat_row = [&prom](const char* label,
+                                  const std::string& metric,
+                                  const char* stat) {
+      const auto cell = [&](const char* span) {
+        const std::string key = metric + "|" + span + "|" + stat;
+        return prom.window.count(key) != 0u ? prom.window.at(key) : 0.0;
+      };
+      std::printf("%-28s %10.1f %10.1f %10.1f\n", label, cell("10s"),
+                  cell("1m"), cell("5m"));
+    };
+    rate_row("svc req/s", "svc.requests");
+    rate_row("placements/s", "sched.placements");
+    stat_row("decision p99 (us)", "sched.decision_latency_us", "p99");
+    stat_row("svc latency p99 (us)", "svc.request_latency_us", "p99");
+    stat_row("queue depth p95", "sched.queue_depth", "p95");
+  } else {
+    std::printf("(no windowed metrics: start the daemon with --prom-port "
+                "or --obs-windows)\n");
+  }
+  if (list.at("jobs").is_array()) {
+    const auto& jobs = list.at("jobs").as_array();
+    std::printf("jobs (%zu):\n", jobs.size());
+    std::size_t shown = 0;
+    for (const json::Value& job : jobs) {
+      if (shown++ >= 32) {
+        std::printf("  ... %zu more\n", jobs.size() - 32);
+        break;
+      }
+      std::printf("%s\n", format_row(job).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.add_option("socket", "daemon unix-domain socket path");
+  cli.add_option("tcp", "daemon TCP endpoint host:port");
+  cli.add_option("interval", "refresh interval in seconds", "2");
+  cli.add_flag("once", "render one sample and exit");
+  cli.add_flag("json", "emit the sample as JSON instead of the dashboard");
+  if (auto status = cli.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n%s", status.error().message.c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 1;
+  }
+
+  util::Expected<svc::Client> client = util::Error{"no endpoint"};
+  if (cli.has("socket")) {
+    client = svc::Client::connect_unix(cli.get("socket"));
+  } else if (cli.has("tcp")) {
+    const std::string spec = cli.get("tcp");
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) return fail("--tcp", "expects host:port");
+    int port = 0;
+    try {
+      port = std::stoi(spec.substr(colon + 1));
+    } catch (...) {
+      return fail("--tcp", "expects host:port");
+    }
+    client = svc::Client::connect_tcp(spec.substr(0, colon), port);
+  } else {
+    return fail("endpoint", "give --socket PATH or --tcp HOST:PORT");
+  }
+  if (!client) return fail("connect", client.error().message);
+
+  const bool once = cli.has("once");
+  const bool as_json = cli.has("json");
+  const double interval_s = cli.get_double("interval");
+  if (interval_s <= 0.0) return fail("--interval", "must be > 0");
+
+  while (true) {
+    auto prom_response = client->call("metrics_prom");
+    if (!prom_response) {
+      return fail("transport", prom_response.error().message);
+    }
+    if (!prom_response->ok) {
+      return fail("metrics_prom", prom_response->message);
+    }
+    json::Value list_params;
+    list_params.set("detail", true);
+    auto list_response = client->call("list", std::move(list_params));
+    if (!list_response) {
+      return fail("transport", list_response.error().message);
+    }
+    if (!list_response->ok) return fail("list", list_response->message);
+
+    const std::string prom_text =
+        prom_response->result.at("text").as_string();
+    const PromSample prom = parse_prom(prom_text);
+
+    if (as_json) {
+      // One machine-readable sample: the parsed prom families plus the
+      // list result (which carries the per-job table under "jobs").
+      json::Value sample;
+      sample.set("now", plain_or(prom, "gts_svc_sim_now_seconds", 0.0));
+      json::Value gauges;
+      for (const auto& [name, value] : prom.plain) gauges.set(name, value);
+      sample.set("gauges", std::move(gauges));
+      json::Value windows;
+      for (const auto& [key, value] : prom.window) windows.set(key, value);
+      sample.set("windows", std::move(windows));
+      json::Value rates;
+      for (const auto& [key, value] : prom.rate) rates.set(key, value);
+      sample.set("rates", std::move(rates));
+      sample.set("list", list_response->result);
+      std::printf("%s\n", json::write(sample, {.indent = 2}).c_str());
+    } else {
+      if (!once && isatty(STDOUT_FILENO) != 0) {
+        std::printf("\033[2J\033[H");
+      }
+      render(prom, list_response->result);
+    }
+    std::fflush(stdout);
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Live-telemetry end-to-end smoke test (DESIGN.md section 18).
+#
+# Boots gts_schedd with the PR 8 live layer enabled (--prom-port plus a
+# flight-recorder crash-dump path), drives 200 jobs through gts_ctl,
+# then checks every operator-facing surface:
+#
+#   * the Prometheus scrape (raw HTTP/1.0 GET against --prom-port, no
+#     curl needed) passes tools/validate_trace.py --kind prom, carries
+#     the gts_window / gts_window_rate families, and answers 404 / 405
+#     for bad targets and methods;
+#   * `gts_ctl metrics --prom` serves the same exposition over the JSONL
+#     protocol, and `gts_ctl dump` emits a valid flight JSONL stream;
+#   * `gts_top --once --json` returns windowed decision-latency
+#     quantiles, rolling throughput, live queue depth, and the per-job
+#     lifecycle table;
+#   * kill -SEGV leaves a parseable flight-recorder dump on disk
+#     (--kind flight) written by the async-signal-safe crash handler.
+#
+#   tools/live_obs_smoke.sh [--build-dir build] [--out-dir live-obs-out]
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+OUT_DIR="live-obs-out"
+JOBS=200
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    -h|--help) sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "unknown option: $1" >&2; exit 1 ;;
+  esac
+done
+
+SCHEDD="${BUILD_DIR}/tools/gts_schedd"
+CTL="${BUILD_DIR}/tools/gts_ctl"
+TOP="${BUILD_DIR}/tools/gts_top"
+for bin in "$SCHEDD" "$CTL" "$TOP"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+done
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+SOCKET="${OUT_DIR}/live_obs.sock"
+FLIGHT="${OUT_DIR}/flight_crash.jsonl"
+LOG="${OUT_DIR}/schedd.log"
+DAEMON_PID=""
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+die() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+ctl() {
+  "$CTL" --socket "$SOCKET" "$@"
+}
+
+# --- boot: live layer on (ephemeral scrape port + crash-dump path) ----
+"$SCHEDD" --socket "$SOCKET" --machines 4 --policy topo-aware-p \
+  --max-queue 256 --prom-port 0 --flight-dump "$FLIGHT" \
+  >"$LOG" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "gts_schedd ready" "$LOG" 2>/dev/null && break
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    cat "$LOG" >&2
+    die "daemon exited before becoming ready"
+  fi
+  sleep 0.05
+done
+grep -q "gts_schedd ready" "$LOG" || die "daemon did not become ready"
+PROM_PORT="$(sed -n 's/.*prom_port=\([0-9]*\).*/\1/p' "$LOG" | head -1)"
+[[ -n "$PROM_PORT" && "$PROM_PORT" != "-1" ]] || die "no prom_port in readiness line"
+echo "daemon up (pid ${DAEMON_PID}, prom_port ${PROM_PORT})"
+
+# --- drive 200 jobs and some virtual time -----------------------------
+for i in $(seq 1 "$JOBS"); do
+  gpus=$(( 1 + i % 4 ))
+  arrival="$(awk "BEGIN { printf \"%.1f\", $i * 1.5 }")"
+  ctl submit --job "{\"id\":${i},\"nn\":\"AlexNet\",\"batch_size\":4,\"num_gpus\":${gpus},\"arrival_time\":${arrival},\"min_utility\":0.4,\"iterations\":200}" \
+    >/dev/null || die "submit $i"
+done
+ctl advance --to 200 >/dev/null || die "advance --to 200"
+echo "submitted ${JOBS} jobs, advanced to t=200"
+
+# --- scrape over raw HTTP (curl equivalent via /dev/tcp) --------------
+scrape() {
+  local target="$1" out="$2"
+  # Bash /dev/tcp: write an HTTP/1.0 request, read until the server
+  # closes (Connection: close), strip the header block.
+  exec 9<>"/dev/tcp/127.0.0.1/${PROM_PORT}" || return 1
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$target" >&9
+  cat <&9 >"${out}.raw"
+  exec 9>&- 9<&-
+  head -1 "${out}.raw" | tr -d '\r'
+  sed '1,/^\r\{0,1\}$/d' "${out}.raw" >"$out"
+}
+
+STATUS="$(scrape /metrics "${OUT_DIR}/scrape.prom")" || die "scrape failed"
+[[ "$STATUS" == "HTTP/1.0 200 OK" ]] || die "scrape status: ${STATUS}"
+python3 tools/validate_trace.py --kind prom "${OUT_DIR}/scrape.prom" \
+  || die "scraped exposition failed prom validation"
+grep -q '^gts_window{' "${OUT_DIR}/scrape.prom" \
+  || die "scrape has no gts_window family (windows off?)"
+grep -q '^gts_window_rate{' "${OUT_DIR}/scrape.prom" \
+  || die "scrape has no gts_window_rate family"
+STATUS="$(scrape /nope "${OUT_DIR}/notfound.txt")" || die "404 scrape failed"
+[[ "$STATUS" == "HTTP/1.0 404 Not Found" ]] || die "bad-target status: ${STATUS}"
+echo "HTTP scrape ok (200 on /metrics, 404 on /nope, grammar valid)"
+
+# --- the same exposition over the JSONL protocol ----------------------
+ctl metrics --prom >"${OUT_DIR}/ctl_metrics.prom" || die "metrics --prom"
+python3 tools/validate_trace.py --kind prom "${OUT_DIR}/ctl_metrics.prom" \
+  || die "metrics --prom failed validation"
+
+# --- flight recorder via the dump verb --------------------------------
+ctl dump >"${OUT_DIR}/flight_verb.jsonl" || die "dump verb"
+python3 tools/validate_trace.py --kind flight "${OUT_DIR}/flight_verb.jsonl" \
+  || die "dump verb output failed flight validation"
+
+# --- gts_top: one machine-readable sample -----------------------------
+"$TOP" --socket "$SOCKET" --once --json >"${OUT_DIR}/top.json" \
+  || die "gts_top --once --json"
+python3 - "${OUT_DIR}/top.json" <<'EOF' || die "gts_top sample incomplete"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["now"] > 0, "no sim time"
+windows = doc["windows"]
+for span in ("10s", "1m", "5m"):
+    for stat in ("p50", "p95", "p99"):
+        key = f"sched.decision_latency_us|{span}|{stat}"
+        assert key in windows, f"missing {key}"
+assert any(k.startswith("svc.requests|") for k in doc["rates"]), "no rates"
+assert "gts_svc_queue_depth_live" in doc["gauges"], "no live queue depth"
+jobs = doc["list"]["jobs"]
+assert len(jobs) > 0, "empty job table"
+# Lifecycle accounting rides on the recorder, which only knows admitted
+# jobs: running/queued/finished rows must carry it, pre-arrival and
+# rejected rows legitimately have no record.
+tracked = [j for j in jobs if j["state"] in ("running", "queued", "finished")]
+assert tracked, "no admitted jobs in the table"
+assert all("postponements" in j for j in tracked), "no lifecycle fields"
+print(f"gts_top sample ok: {len(jobs)} jobs, "
+      f"{len(windows)} window stats, now={doc['now']}")
+EOF
+
+# --- crash: SIGSEGV must leave a parseable flight dump ----------------
+kill -SEGV "$DAEMON_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -0 "$DAEMON_PID" 2>/dev/null && die "daemon survived SIGSEGV"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+[[ -s "$FLIGHT" ]] || die "SIGSEGV left no flight dump at ${FLIGHT}"
+python3 tools/validate_trace.py --kind flight "$FLIGHT" \
+  || die "crash flight dump failed validation"
+echo "crash dump ok: $(wc -l <"$FLIGHT") events in ${FLIGHT}"
+
+echo "PASS: live-telemetry smoke (scrape + dump + gts_top + crash dump)"

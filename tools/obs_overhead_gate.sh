@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Live-telemetry overhead gate (DESIGN.md section 18.5): prove that
+# enabling the live layer (sliding windows + flight recorder) costs at
+# most 5% mean decision latency.
+#
+# The measurement is differential, not absolute: shared runners drift
+# (this container has shown >1.5x wall-clock swings within one hour), so
+# comparing a live run against a committed baseline measures the
+# machine, not the layer. Instead the same binary runs three times
+# back-to-back on the same runner — off (bracket A), live, off (bracket
+# B) — each with the min-of---repeats estimator, and the live run must
+# stay within the threshold of AT LEAST ONE off bracket. Under monotone
+# drift one bracket is always on the live run's slow side, so only real
+# layer overhead (live slower than BOTH brackets by >5%) fails.
+#
+#   tools/obs_overhead_gate.sh [--build-dir build] [--out-dir obs-gate-out]
+#                              [--repeats 5] [--threshold 0.05]
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+OUT_DIR="obs-gate-out"
+REPEATS=5
+THRESHOLD=0.05
+# The committed-baseline grid (bench/baselines/BENCH_overhead.json).
+GRID=(--machines 5,20,50 --tasks 2,4,8 --jobs 40 --seeds 42, --threads 1)
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --repeats) REPEATS="$2"; shift 2 ;;
+    --threshold) THRESHOLD="$2"; shift 2 ;;
+    -h|--help) sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "unknown option: $1" >&2; exit 1 ;;
+  esac
+done
+
+BENCH="${BUILD_DIR}/bench/bench_overhead"
+if [[ ! -x "$BENCH" ]]; then
+  echo "missing $BENCH — build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+echo "=== off bracket A (repeats ${REPEATS}) ==="
+"$BENCH" "${GRID[@]}" --repeats "$REPEATS" \
+  --out "${OUT_DIR}/BENCH_overhead_off_a.json" >/dev/null || exit 1
+
+echo "=== live layer on (windows + flight recorder) ==="
+"$BENCH" "${GRID[@]}" --repeats "$REPEATS" \
+  --obs-windows --flight-out "${OUT_DIR}/flight_overhead.jsonl" \
+  --out "${OUT_DIR}/BENCH_overhead_live.json" >/dev/null || exit 1
+python3 tools/validate_trace.py --kind flight \
+  "${OUT_DIR}/flight_overhead.jsonl" || exit 1
+
+echo "=== off bracket B (repeats ${REPEATS}) ==="
+"$BENCH" "${GRID[@]}" --repeats "$REPEATS" \
+  --out "${OUT_DIR}/BENCH_overhead_off_b.json" >/dev/null || exit 1
+
+gate() {
+  python3 tools/bench_compare.py --min-value 150 --threshold "$THRESHOLD" \
+    "$1" "${OUT_DIR}/BENCH_overhead_live.json"
+}
+
+echo "=== gate: live vs off bracket A ==="
+if gate "${OUT_DIR}/BENCH_overhead_off_a.json"; then
+  echo "PASS: live layer within ${THRESHOLD} of off bracket A"
+  exit 0
+fi
+echo "=== bracket A failed; gate: live vs off bracket B ==="
+if gate "${OUT_DIR}/BENCH_overhead_off_b.json"; then
+  echo "PASS: live layer within ${THRESHOLD} of off bracket B (drift on A)"
+  exit 0
+fi
+echo "FAIL: live layer exceeds ${THRESHOLD} vs BOTH off brackets" >&2
+exit 1

@@ -17,7 +17,14 @@ Checks the document kinds src/obs/, src/svc/, and src/runner/ emit:
     verb): schema_version 1, kind "svc_snapshot", running/waiting/pending
     job sections carrying manifests, consistent GPU assignments;
   * BENCH sweep documents (bench/* --out): schema_version 1 with
-    scenario x seed replicas and per-scenario aggregate stat blocks.
+    scenario x seed replicas and per-scenario aggregate stat blocks;
+  * Prometheus text exposition (the `metrics_prom` verb / --prom-port
+    scrape): 0.0.4 grammar — every sample family declared by a # TYPE
+    line, histogram buckets cumulative and monotone with the +Inf bucket
+    equal to the _count sample;
+  * flight-recorder dumps (the `dump` verb / crash handler): JSONL with
+    kind "flight", known event names, and strictly increasing sequence
+    numbers.
 
 Usage:
   tools/validate_trace.py trace.json [more.json ...]
@@ -25,11 +32,15 @@ Usage:
   tools/validate_trace.py --kind explain decisions.jsonl
   tools/validate_trace.py --kind snapshot snap.json
   tools/validate_trace.py --kind bench bench.json
+  tools/validate_trace.py --kind prom scrape.prom
+  tools/validate_trace.py --kind flight flight.jsonl
   tools/validate_trace.py --kind auto out/*.json   # sniff per file (default)
 """
 
 import argparse
 import json
+import math
+import re
 import sys
 
 
@@ -306,13 +317,190 @@ def validate_bench(path, doc):
             f"{len(seeds)} seed(s), {len(replicas)} replicas")
 
 
-def sniff_kind(path, text):
-    if path.endswith(".jsonl"):
+_PROM_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_PROM_SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*\Z")
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # accepts "NaN" too
+
+
+def _prom_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_prom(path, lines):
+    """Prometheus text-format 0.0.4 grammar + histogram monotonicity."""
+    types = {}       # family -> declared type
+    helps = set()
+    samples = 0
+    # (family, frozen non-le labels) -> list of (le, value) in file order,
+    # and the same key -> _count value, for the cumulative cross-check.
+    buckets = {}
+    counts = {}
+    for number, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        where = f"line {number}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            name = parts[2]
+            if not _PROM_NAME.match(name):
+                fail(path, f"{where}: bad metric name {name!r}")
+            if parts[1] == "HELP":
+                if name in helps:
+                    fail(path, f"{where}: duplicate HELP for {name}")
+                helps.add(name)
+            else:
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    fail(path, f"{where}: bad TYPE {kind!r} for {name}")
+                if name in types:
+                    fail(path, f"{where}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if not match:
+            fail(path, f"{where}: not a sample line: {line!r}")
+        name = match.group("name")
+        try:
+            value = _prom_value(match.group("value"))
+        except ValueError:
+            fail(path, f"{where}: bad sample value {match.group('value')!r}")
+        family = _prom_family(name)
+        declared = types.get(family, types.get(name))
+        if declared is None:
+            fail(path, f"{where}: sample {name} has no preceding # TYPE")
+        labels = dict(_PROM_LABEL.findall(match.group("labels") or ""))
+        if name.endswith("_bucket") and declared == "histogram":
+            if "le" not in labels:
+                fail(path, f"{where}: histogram bucket without le label")
+            try:
+                le = _prom_value(labels["le"])
+            except ValueError:
+                fail(path, f"{where}: bad le value {labels['le']!r}")
+            key = (family,
+                   tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le")))
+            buckets.setdefault(key, []).append((number, le, value))
+        elif name.endswith("_count") and declared == "histogram":
+            key = (family, tuple(sorted(labels.items())))
+            counts[key] = (number, value)
+        elif declared == "counter" and value < 0:
+            fail(path, f"{where}: negative counter {name}")
+        samples += 1
+    histograms = 0
+    for (family, label_key), series in buckets.items():
+        where = f"histogram {family}"
+        last_le, last_value = -math.inf, -math.inf
+        for number, le, value in series:
+            if le <= last_le:
+                fail(path, f"{where}: le not increasing at line {number}")
+            if value < last_value:
+                fail(path, f"{where}: cumulative bucket count decreases "
+                           f"at line {number}")
+            last_le, last_value = le, value
+        if not math.isinf(last_le):
+            fail(path, f"{where}: missing le=\"+Inf\" bucket")
+        count = counts.get((family, label_key))
+        if count is None:
+            fail(path, f"{where}: missing _count sample")
+        if count[1] != last_value:
+            fail(path, f"{where}: +Inf bucket {last_value} != _count "
+                       f"{count[1]} (line {count[0]})")
+        histograms += 1
+    if samples == 0:
+        fail(path, "no samples")
+    return (f"prom ok: {samples} samples, {len(types)} families, "
+            f"{histograms} histogram series")
+
+
+_FLIGHT_EVENTS = ("admission", "decision", "postponement", "batch",
+                  "backpressure", "snapshot", "error")
+
+
+def validate_flight(path, lines):
+    """Flight-recorder JSONL: schema + strictly increasing sequence."""
+    last_sequence = -1
+    records = 0
+    events = {}
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {number}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, f"{where}: {error}")
+        if record.get("kind") != "flight":
+            fail(path, f"{where}: bad kind {record.get('kind')!r}")
+        for key in ("seq", "event", "wall_us", "sim_s", "job", "a", "b",
+                    "detail"):
+            if key not in record:
+                fail(path, f"{where}: missing '{key}'")
+        if record["event"] not in _FLIGHT_EVENTS:
+            fail(path, f"{where}: unknown event {record['event']!r}")
+        sequence = record["seq"]
+        if not isinstance(sequence, int) or sequence <= last_sequence:
+            fail(path, f"{where}: sequence {sequence!r} not increasing")
+        last_sequence = sequence
+        if (not isinstance(record["wall_us"], (int, float)) or
+                record["wall_us"] < 0):
+            fail(path, f"{where}: bad wall_us {record['wall_us']!r}")
+        if not isinstance(record["job"], int):
+            fail(path, f"{where}: bad job {record['job']!r}")
+        events[record["event"]] = events.get(record["event"], 0) + 1
+        records += 1
+    if records == 0:
+        fail(path, "no flight records")
+    summary = " ".join(f"{k}={v}" for k, v in sorted(events.items()))
+    return f"flight ok: {records} events ({summary})"
+
+
+def _sniff_jsonl(text):
+    """flight vs explain: peek at the first record's "kind"."""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return "explain"
+        if isinstance(record, dict) and record.get("kind") == "flight":
+            return "flight"
         return "explain"
+    return "explain"
+
+
+def sniff_kind(path, text):
+    if path.endswith(".prom"):
+        return "prom"
+    if path.endswith(".jsonl"):
+        return _sniff_jsonl(text)
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:
-        return "explain"  # JSONL files are not one JSON document
+        stripped = text.lstrip()
+        if stripped and not stripped.startswith(("{", "[")):
+            return "prom"  # text exposition, not JSON at all
+        return _sniff_jsonl(text)  # JSONL files are not one JSON document
     if isinstance(doc, dict) and doc.get("kind") == "metrics":
         return "metrics"
     if isinstance(doc, dict) and doc.get("kind") == "svc_snapshot":
@@ -322,13 +510,14 @@ def sniff_kind(path, text):
     if isinstance(doc, dict) and "replicas" in doc and "name" in doc:
         return "bench"
     fail(path, "cannot determine document kind "
-               "(trace/metrics/explain/snapshot/bench)")
+               "(trace/metrics/explain/snapshot/bench/prom/flight)")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", choices=("auto", "trace", "metrics",
-                                           "explain", "snapshot", "bench"),
+                                           "explain", "snapshot", "bench",
+                                           "prom", "flight"),
                         default="auto")
     parser.add_argument("files", nargs="+")
     args = parser.parse_args()
@@ -347,6 +536,10 @@ def main():
                 message = validate_snapshot(path, json.loads(text))
             elif kind == "bench":
                 message = validate_bench(path, json.loads(text))
+            elif kind == "prom":
+                message = validate_prom(path, text.splitlines())
+            elif kind == "flight":
+                message = validate_flight(path, text.splitlines())
             else:
                 message = validate_explain(path, text.splitlines())
             print(f"{path}: {message}")
