@@ -170,8 +170,8 @@ int main(int argc, char** argv) {
                                                        tasks_axis)];
         const int t =
             task_axis[static_cast<size_t>(context.scenario_index % tasks_axis)];
-        const topo::TopologyGraph topology = topo::builders::cluster(
-            m, topo::builders::MachineShape::kPower8Minsky);
+        const topo::TopologyGraph topology = topo::builders::make_cluster(
+            m, 4, topo::builders::MachineShape::kPower8Minsky);
         const perf::DlWorkloadModel model(
             perf::CalibrationParams::paper_minsky());
         util::Rng rng = context.rng;

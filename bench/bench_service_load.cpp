@@ -244,8 +244,8 @@ int main(int argc, char** argv) {
 
   const runner::SweepResult result = runner::run_sweep(
       options, [=](const runner::ReplicaContext& context) {
-        const topo::TopologyGraph topology = topo::builders::cluster(
-            machines, topo::builders::MachineShape::kPower8Minsky);
+        const topo::TopologyGraph topology = topo::builders::make_cluster(
+            machines, 4, topo::builders::MachineShape::kPower8Minsky);
         const perf::DlWorkloadModel model(
             perf::CalibrationParams::paper_minsky());
         svc::ServiceOptions service_options;

@@ -21,6 +21,11 @@ void Recorder::on_submit(const jobgraph::JobRequest& request) {
   records_.push_back(std::move(record));
 }
 
+void Recorder::import_record(JobRecord record) {
+  index_.emplace(record.id, records_.size());
+  records_.push_back(std::move(record));
+}
+
 JobRecord* Recorder::find(int job_id) {
   const auto it = index_.find(job_id);
   return it == index_.end() ? nullptr : &records_[it->second];

@@ -90,6 +90,10 @@ class Recorder {
   /// GB/s) and mean running-job utility series. Call at every state change.
   void sample(const ClusterState& state, double t);
 
+  /// Appends one fully formed record (the sharded driver merges per-cell
+  /// recorders into a facade report this way). The id must be unused.
+  void import_record(JobRecord record);
+
   const std::vector<JobRecord>& records() const noexcept { return records_; }
   JobRecord* find(int job_id);
   const JobRecord* find(int job_id) const;

@@ -119,9 +119,12 @@ void ClusterState::place(const jobgraph::JobRequest& request,
   index_job(job, /*insert=*/true);
   const std::vector<int> touched = machines_of(job.gpus);
   if (touched.size() > 1) any_multi_machine_job_ = true;
-  jobs_.emplace(request.id, std::move(job));
+  const auto inserted = jobs_.emplace(request.id, std::move(job));
   ++version_;
   recompute_rates(now, &touched);
+  if (allocation_listener_) {
+    allocation_listener_(inserted.first->second.gpus, /*allocated=*/true);
+  }
   GTS_METRIC_COUNT("cluster.placements", 1);
   GTS_TRACE_INSTANT(obs::kCluster, "cluster.place", "job", request.id);
   publish_occupancy_metrics();
@@ -160,9 +163,13 @@ void ClusterState::remove(int job_id, double now) {
   for (const int gpu : it->second.gpus) {
     owner_[static_cast<size_t>(gpu)] = -1;
   }
+  const std::vector<int> freed = std::move(it->second.gpus);
   jobs_.erase(it);
   ++version_;
   recompute_rates(now, &touched);
+  if (allocation_listener_) {
+    allocation_listener_(freed, /*allocated=*/false);
+  }
   GTS_METRIC_COUNT("cluster.releases", 1);
   GTS_TRACE_INSTANT(obs::kCluster, "cluster.release", "job", job_id);
   publish_occupancy_metrics();

@@ -9,6 +9,7 @@
 // integration, not approximations.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
@@ -84,6 +85,20 @@ class ClusterState {
   /// (instance, version) can never confuse two states that happen to share
   /// an address (e.g. a scheduler reused across Driver runs).
   std::uint64_t instance_id() const noexcept { return instance_id_; }
+
+  /// Observer of allocation mutations. Fired synchronously after place()
+  /// and restore_job() with allocated=true and after remove() with
+  /// allocated=false, carrying the job's GPU ids. The sharded scheduler's
+  /// per-cell routing summaries subscribe here so they update in
+  /// O(gpus-of-job) per event instead of rescanning the state. At most one
+  /// listener; install it before any traffic. Not fired by
+  /// corrupt_gpu_owner_for_test (the fault injector deliberately
+  /// desynchronizes state).
+  using AllocationListener =
+      std::function<void(std::span<const int> gpus, bool allocated)>;
+  void set_allocation_listener(AllocationListener listener) {
+    allocation_listener_ = std::move(listener);
+  }
 
   /// Places a job: banks progress of affected jobs, allocates GPUs,
   /// registers link flows, recomputes rates. `gpus` must all be free.
@@ -203,6 +218,7 @@ class ClusterState {
   std::uint64_t instance_id_ = 0;
   double noise_sigma_ = 0.0;
   util::Rng noise_rng_{1234};
+  AllocationListener allocation_listener_;
 };
 
 }  // namespace gts::cluster

@@ -113,6 +113,16 @@ util::Expected<SystemConfig> SystemConfig::from_ini(const Ini& ini) {
         "sys-config [service]: prom_port must be in [-1, 65535]"};
   }
   svc.prom_host = ini.get_or("service", "prom_host", svc.prom_host);
+  svc.shard_count = static_cast<int>(
+      ini.get_int("service", "shard_count", svc.shard_count));
+  if (svc.shard_count < 1) {
+    return util::Error{"sys-config [service]: shard_count must be >= 1"};
+  }
+  svc.shard_threads = static_cast<int>(
+      ini.get_int("service", "shard_threads", svc.shard_threads));
+  if (svc.shard_threads < 0) {
+    return util::Error{"sys-config [service]: shard_threads must be >= 0"};
+  }
   return config;
 }
 
@@ -174,6 +184,11 @@ Ini SystemConfig::to_ini() const {
   if (service.prom_port >= 0) {
     ini.set("service", "prom_port", std::to_string(service.prom_port));
     ini.set("service", "prom_host", service.prom_host);
+  }
+  if (service.shard_count != 1) {
+    ini.set("service", "shard_count", std::to_string(service.shard_count));
+    ini.set("service", "shard_threads",
+            std::to_string(service.shard_threads));
   }
   return ini;
 }

@@ -59,6 +59,12 @@ struct ServiceConfig {
   /// section 18.2); 0 = ephemeral, -1 = disabled.
   int prom_port = -1;
   std::string prom_host = "127.0.0.1";
+  /// Cells the cluster is partitioned into (shard::ShardedDriver,
+  /// DESIGN.md section 19); 1 = the classic single-driver daemon.
+  int shard_count = 1;
+  /// Worker threads advancing cells concurrently; <= 1 advances serially.
+  /// Any value produces byte-identical decisions.
+  int shard_threads = 1;
 };
 
 /// Parsed sys-config.ini.

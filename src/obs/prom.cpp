@@ -74,6 +74,16 @@ void append_prometheus_gauge(std::string& out, const std::string& name,
   out += sanitized + " " + format_number(value) + "\n";
 }
 
+void append_prometheus_gauge_labeled(std::string& out,
+                                     const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels,
+                                     double value) {
+  const std::string sanitized = prometheus_name(name);
+  append_help_type(out, sanitized, help, "gauge");
+  out += sanitized + "{" + labels + "} " + format_number(value) + "\n";
+}
+
 std::string prometheus_text() {
   std::string out;
   const json::Value registry = Registry::instance().snapshot_json();

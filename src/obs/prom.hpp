@@ -33,4 +33,11 @@ std::string prometheus_text();
 void append_prometheus_gauge(std::string& out, const std::string& name,
                              const std::string& help, double value);
 
+/// Labeled variant: one sample of a gauge family with a caller-built
+/// label body (e.g. `shard="3"`) — per-shard live gauges use this.
+void append_prometheus_gauge_labeled(std::string& out,
+                                     const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels, double value);
+
 }  // namespace gts::obs

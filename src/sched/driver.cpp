@@ -24,6 +24,9 @@ Driver::Driver(const topo::TopologyGraph& topology,
       options_(options),
       shared_utility_(options.utility_weights),
       state_(topology, model) {
+  if (options_.allocation_listener) {
+    state_.set_allocation_listener(std::move(options_.allocation_listener));
+  }
   if (options_.noise_sigma > 0.0) {
     state_.set_execution_noise(options_.noise_sigma, options_.noise_seed);
   }
@@ -44,27 +47,29 @@ Driver::Driver(const topo::TopologyGraph& topology,
   }
 }
 
-bool Driver::job_can_ever_fit(const jobgraph::JobRequest& request) const {
+bool job_can_ever_fit(const jobgraph::JobRequest& request,
+                      const topo::TopologyGraph& topology,
+                      const perf::DlWorkloadModel& model) {
   // Section 4.3: a job demanding more host bandwidth than any machine
   // offers can never satisfy t_bw <= p_bw.
   if (request.profile.host_bw_demand_gbps >
-      model_.params().host_bw_capacity_gbps *
-          (request.profile.single_node ? 1.0 : topology_.machine_count())) {
+      model.params().host_bw_capacity_gbps *
+          (request.profile.single_node ? 1.0 : topology.machine_count())) {
     return false;
   }
   if (request.profile.anti_collocate) {
-    return request.num_gpus <= topology_.machine_count();
+    return request.num_gpus <= topology.machine_count();
   }
   if (request.profile.single_node) {
-    for (int machine = 0; machine < topology_.machine_count(); ++machine) {
-      if (static_cast<int>(topology_.gpus_of_machine(machine).size()) >=
+    for (int machine = 0; machine < topology.machine_count(); ++machine) {
+      if (static_cast<int>(topology.gpus_of_machine(machine).size()) >=
           request.num_gpus) {
         return true;
       }
     }
     return false;
   }
-  return request.num_gpus <= topology_.gpu_count();
+  return request.num_gpus <= topology.gpu_count();
 }
 
 std::string_view to_string(SubmitResult result) noexcept {
@@ -102,7 +107,7 @@ SubmitResult Driver::submit(const jobgraph::JobRequest& request) {
   jobgraph::JobRequest job = request;
   if (job.arrival_time < engine_.now()) job.arrival_time = engine_.now();
   report_.recorder.on_submit(job);
-  if (!job_can_ever_fit(job)) {
+  if (!job_can_ever_fit(job, topology_, model_)) {
     ++report_.rejected_jobs;
     GTS_LOG_WARN("driver", "job ", job.id, " can never fit; rejected");
     return SubmitResult::kNeverFits;
@@ -168,6 +173,76 @@ void Driver::sync_report() {
   if (makespan > report_.end_time) report_.end_time = makespan;
 }
 
+DriverCounters Driver::counters() const {
+  return {report_.decision_count, report_.decision_seconds, report_.events,
+          report_.rejected_jobs};
+}
+
+LifecycleSummary Driver::lifecycle() const {
+  const cluster::Recorder& recorder = report_.recorder;
+  return {recorder.total_postponements(), recorder.total_degradations(),
+          recorder.slo_violations(), recorder.mean_jct_slowdown(),
+          recorder.mean_waiting_time()};
+}
+
+std::vector<ShardInfo> Driver::shard_infos() const {
+  ShardInfo info;
+  info.shard = 0;
+  info.machines = topology_.machine_count();
+  info.gpus = topology_.gpu_count();
+  info.free_gpus = state_.free_gpu_count();
+  info.running = state_.running_job_count();
+  info.queued = queue_depth();
+  info.fragmentation = state_.fragmentation();
+  info.decisions = report_.decision_count;
+  for (const cluster::JobRecord& record : report_.recorder.records()) {
+    if (record.placed()) ++info.placements;
+  }
+  info.routed =
+      static_cast<long long>(report_.recorder.records().size());
+  return {info};
+}
+
+void Driver::visit_running(
+    const std::function<bool(const RunningJobView&)>& fn) const {
+  for (const auto& [id, job] : state_.running_jobs()) {
+    RunningJobView view;
+    view.request = &job.request;
+    view.gpus = job.gpus;
+    view.start_time = job.start_time;
+    view.progress_iterations = job.progress_iterations;
+    view.last_update = job.last_update;
+    view.rate = job.rate;
+    view.placement_utility = job.placement_utility;
+    view.noise_factor = job.noise_factor;
+    view.p2p = job.p2p;
+    if (!fn(view)) return;
+  }
+}
+
+void Driver::visit_waiting(
+    const std::function<bool(const WaitingView&)>& fn) const {
+  for (const QueueEntry& entry : queue_) {
+    if (!fn({&entry.request, entry.attempted_version})) return;
+  }
+}
+
+void Driver::visit_records(
+    const std::function<bool(const cluster::JobRecord&)>& fn) const {
+  for (const cluster::JobRecord& record : report_.recorder.records()) {
+    if (!fn(record)) return;
+  }
+}
+
+std::optional<cluster::JobRecord> Driver::job_record(int job_id) const {
+  if (const cluster::JobRecord* record = report_.recorder.find(job_id)) {
+    return *record;
+  }
+  return std::nullopt;
+}
+
+util::Status Driver::validate() const { return check::validate(state_); }
+
 util::Status Driver::begin_restore(double now,
                                    std::uint64_t capacity_version) {
   if (state_.running_job_count() > 0 || !queue_.empty() ||
@@ -218,7 +293,7 @@ util::Status Driver::restore_running(const jobgraph::JobRequest& request,
 
 void Driver::restore_waiting(const jobgraph::JobRequest& request,
                              std::uint64_t attempted_version,
-                             int postponements) {
+                             int postponements, int /*shard_hint*/) {
   report_.recorder.on_submit(request);
   if (cluster::JobRecord* record = report_.recorder.find(request.id)) {
     record->postponements = postponements;

@@ -25,6 +25,7 @@
 #include "cluster/recorder.hpp"
 #include "cluster/state.hpp"
 #include "obs/metrics.hpp"
+#include "sched/driver_api.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "util/expected.hpp"
@@ -55,6 +56,9 @@ struct DriverOptions {
   bool parallel_scoring = false;
   /// Scoring workers when parallel_scoring is on; 0 = all cores.
   int scoring_threads = 0;
+  /// Installed on the ClusterState before any traffic; the sharded
+  /// scheduler's per-cell routing summaries subscribe here.
+  cluster::ClusterState::AllocationListener allocation_listener;
 };
 
 struct DriverReport {
@@ -83,16 +87,7 @@ struct DriverReport {
   int rejected_jobs = 0;
 };
 
-/// Outcome of an online submit.
-enum class SubmitResult {
-  kAccepted,   // arrival event scheduled (or queued immediately)
-  kNeverFits,  // exceeds cluster capacity under its constraints; rejected
-  kDuplicate,  // a job with this id was already submitted
-  kDraining,   // driver is draining; new work refused
-};
-std::string_view to_string(SubmitResult result) noexcept;
-
-class Driver {
+class Driver : public DriverApi {
  public:
   Driver(const topo::TopologyGraph& topology,
          const perf::DlWorkloadModel& model, Scheduler& scheduler,
@@ -114,46 +109,76 @@ class Driver {
   /// Admits one job. Its arrival event fires at
   /// max(request.arrival_time, now); an arrival at `now` is only enacted
   /// by the next advance_to/advance_all call.
-  SubmitResult submit(const jobgraph::JobRequest& request);
+  SubmitResult submit(const jobgraph::JobRequest& request) override;
 
   /// Withdraws a job: pending arrival events are cancelled, queued jobs
   /// leave the queue, running jobs release their GPUs (freed capacity is
   /// offered to the queue immediately). False when the id is unknown or
   /// the job already finished.
-  bool cancel(int job_id);
+  bool cancel(int job_id) override;
 
   /// Refuses all subsequent submits; queued and running work proceeds.
-  void drain() noexcept { draining_ = true; }
-  bool draining() const noexcept { return draining_; }
+  void drain() noexcept override { draining_ = true; }
+  bool draining() const noexcept override { return draining_; }
 
   /// Fires every event with timestamp <= t and leaves the clock at t.
-  void advance_to(double t);
+  void advance_to(double t) override;
   /// Runs until no events remain (all admitted work finished or stuck
   /// waiting for capacity that will never free). Returns the clock.
-  double advance_all();
+  double advance_all() override;
   /// Banks every running job's progress at the current clock and re-arms
   /// the completion event from the banked values. Taking a snapshot calls
   /// this first so the snapshotting process and a process restored from
   /// the snapshot continue with bitwise-identical progress arithmetic
   /// (both then extrapolate from `now`, not from the last event).
-  void checkpoint_progress();
+  void checkpoint_progress() override;
   /// True when nothing is running, queued, or pending arrival.
-  bool idle() const {
+  bool idle() const override {
     return state_.running_job_count() == 0 && queue_.empty() &&
            !engine_.has_pending();
   }
 
-  double now() const noexcept { return engine_.now(); }
-  int queue_depth() const noexcept { return static_cast<int>(queue_.size()); }
+  double now() const noexcept override { return engine_.now(); }
+  int queue_depth() const noexcept override {
+    return static_cast<int>(queue_.size());
+  }
   const std::vector<QueueEntry>& waiting() const noexcept { return queue_; }
   /// Jobs submitted with a future arrival time, not yet in the queue.
-  std::vector<jobgraph::JobRequest> pending_arrivals() const;
-  std::uint64_t capacity_version() const noexcept { return capacity_version_; }
+  std::vector<jobgraph::JobRequest> pending_arrivals() const override;
+  int pending_count() const noexcept override {
+    return static_cast<int>(pending_arrivals_.size());
+  }
+  std::uint64_t capacity_version() const noexcept override {
+    return capacity_version_;
+  }
   const cluster::ClusterState& state() const noexcept { return state_; }
   const DriverReport& report() const noexcept { return report_; }
   const cluster::Recorder& recorder() const noexcept {
     return report_.recorder;
   }
+
+  // --- DriverApi aggregate views -------------------------------------------
+  std::uint64_t allocation_version() const override {
+    return state_.allocation_version();
+  }
+  int running_job_count() const override {
+    return state_.running_job_count();
+  }
+  int free_gpu_count() const override { return state_.free_gpu_count(); }
+  double fragmentation() const override { return state_.fragmentation(); }
+  DriverCounters counters() const override;
+  LifecycleSummary lifecycle() const override;
+  int shard_count() const override { return 1; }
+  std::vector<ShardInfo> shard_infos() const override;
+  RouterTelemetry router() const override { return {}; }
+  void visit_running(
+      const std::function<bool(const RunningJobView&)>& fn) const override;
+  void visit_waiting(
+      const std::function<bool(const WaitingView&)>& fn) const override;
+  void visit_records(
+      const std::function<bool(const cluster::JobRecord&)>& fn) const override;
+  std::optional<cluster::JobRecord> job_record(int job_id) const override;
+  util::Status validate() const override;
 
   // --- snapshot restore ----------------------------------------------------
   /// Restore protocol (svc snapshots): on a freshly constructed driver,
@@ -162,16 +187,17 @@ class Driver {
   ///   restore_waiting(...)  per queued job   (queue order preserved)
   ///   submit(...)           per pending future arrival
   ///   finish_restore()                       (validate + arm completions)
-  util::Status begin_restore(double now, std::uint64_t capacity_version);
+  util::Status begin_restore(double now,
+                             std::uint64_t capacity_version) override;
   util::Status restore_running(const jobgraph::JobRequest& request,
                                const std::vector<int>& gpus,
                                double start_time, double progress_iterations,
                                double placement_utility, double noise_factor,
-                               int postponements = 0);
+                               int postponements = 0) override;
   void restore_waiting(const jobgraph::JobRequest& request,
                        std::uint64_t attempted_version,
-                       int postponements = 0);
-  util::Status finish_restore();
+                       int postponements = 0, int shard_hint = -1) override;
+  util::Status finish_restore() override;
 
  private:
   void on_arrival(const jobgraph::JobRequest& request);
@@ -179,7 +205,6 @@ class Driver {
   void scheduling_pass();
   void arm_completion_event();
   void sync_report();
-  bool job_can_ever_fit(const jobgraph::JobRequest& request) const;
 
   const topo::TopologyGraph& topology_;
   const perf::DlWorkloadModel& model_;

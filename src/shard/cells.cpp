@@ -1,0 +1,100 @@
+#include "shard/cells.hpp"
+
+#include <algorithm>
+
+#include "check/check.hpp"
+
+namespace gts::shard {
+
+std::vector<std::pair<int, int>> partition_machines(int machines,
+                                                    int shards) {
+  GTS_CHECK(machines >= 1, "partition_machines: machines must be >= 1, got ",
+            machines);
+  shards = std::clamp(shards, 1, machines);
+  const int base = machines / shards;
+  const int extra = machines % shards;
+  std::vector<std::pair<int, int>> ranges;
+  ranges.reserve(static_cast<size_t>(shards));
+  int begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    const int size = base + (s < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return ranges;
+}
+
+CellTopology extract_cell(const topo::TopologyGraph& cluster,
+                          int machine_begin, int machine_end) {
+  GTS_CHECK(machine_begin >= 0 && machine_begin < machine_end &&
+                machine_end <= cluster.machine_count(),
+            "extract_cell: bad machine range [", machine_begin, ", ",
+            machine_end, ") for a ", cluster.machine_count(),
+            "-machine cluster");
+  CellTopology cell;
+  cell.machine_begin = machine_begin;
+  const bool multi_machine = machine_end - machine_begin > 1;
+
+  // The cell's own network root, added first so the node layout matches
+  // what topo::builders::cluster would have produced for this many
+  // machines (single-machine graphs carry no root there either).
+  topo::NodeId cell_root = topo::kInvalidNode;
+  if (multi_machine) {
+    cell_root = cell.graph.add_node(
+        {topo::NodeKind::kNetwork, "Net", -1, -1, -1, -1});
+  }
+
+  // Copy in-range nodes in original insertion order; GPU indices are
+  // re-assigned densely by add_node, and because the original order is
+  // preserved, local GPU k maps to the k-th in-range global GPU.
+  std::vector<topo::NodeId> node_map(
+      static_cast<size_t>(cluster.node_count()), topo::kInvalidNode);
+  topo::NodeId cluster_root = topo::kInvalidNode;
+  for (topo::NodeId id = 0; id < cluster.node_count(); ++id) {
+    const topo::Node& node = cluster.node(id);
+    if (node.machine < 0) {
+      if (node.kind == topo::NodeKind::kNetwork) cluster_root = id;
+      continue;
+    }
+    if (node.machine < machine_begin || node.machine >= machine_end) continue;
+    topo::Node copy = node;
+    copy.machine -= machine_begin;
+    node_map[static_cast<size_t>(id)] = cell.graph.add_node(std::move(copy));
+    if (node.kind == topo::NodeKind::kGpu) {
+      cell.gpu_to_global.push_back(node.gpu_index);
+    }
+  }
+
+  for (const topo::Link& link : cluster.links()) {
+    const topo::NodeId a = node_map[static_cast<size_t>(link.a)];
+    const topo::NodeId b = node_map[static_cast<size_t>(link.b)];
+    if (a != topo::kInvalidNode && b != topo::kInvalidNode) {
+      topo::Link copy = link;
+      copy.a = a;
+      copy.b = b;
+      cell.graph.add_link(copy);
+      continue;
+    }
+    // Machine uplink to the cluster root: re-anchor it on the cell root
+    // (multi-machine cells), or drop it (a standalone machine has none).
+    if (cell_root == topo::kInvalidNode) continue;
+    const bool a_is_root = link.a == cluster_root;
+    const bool b_is_root = link.b == cluster_root;
+    if (a_is_root && b != topo::kInvalidNode) {
+      topo::Link copy = link;
+      copy.a = cell_root;
+      copy.b = b;
+      cell.graph.add_link(copy);
+    } else if (b_is_root && a != topo::kInvalidNode) {
+      topo::Link copy = link;
+      copy.a = a;
+      copy.b = cell_root;
+      cell.graph.add_link(copy);
+    }
+  }
+
+  cell.graph.warm_caches();
+  return cell;
+}
+
+}  // namespace gts::shard

@@ -1,0 +1,113 @@
+// Per-cell routing summaries and the two-stage inter-shard router
+// (DESIGN.md section 19).
+//
+// A CellSummary is the router's cheap aggregate view of one cell: free
+// GPUs in total, per machine and per socket (as max-tier histograms),
+// machines with any free GPU, and the Eq. 5 fragmentation estimate. It is
+// maintained incrementally — O(GPUs of the job) per placement/completion
+// event via ClusterState's allocation listener — so routing never rescans
+// a cell.
+//
+// Routing runs two stages before any full scheduler pass happens:
+//
+//   Filter — rejects shards that *provably* cannot place the job right
+//            now. Only necessary conditions are checked (free total,
+//            largest free machine for single-node jobs, machines with a
+//            free GPU for anti-collocated jobs), so the Filter never
+//            rejects a shard the full scheduler could have placed into —
+//            the soundness invariant tests/shard_test.cpp holds over
+//            random topologies.
+//   Score  — ranks surviving shards 0..100 (packing tier, free capacity,
+//            queue pressure, fragmentation; the k8s shim's score idiom).
+//            Ties break toward the lowest shard id.
+//
+// When every shard is filtered, the job falls back to the ever-fitting
+// shard with the most free GPUs (it will queue there); the router counts
+// these as `exhausted`.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "jobgraph/jobgraph.hpp"
+#include "perf/model.hpp"
+#include "topo/topology.hpp"
+
+namespace gts::shard {
+
+class CellSummary {
+ public:
+  /// Builds the all-free summary of `cell` (the cell's own sub-topology;
+  /// GPU ids below are cell-local).
+  explicit CellSummary(const topo::TopologyGraph& cell);
+
+  /// Allocation-listener target: `gpus` (cell-local) were just allocated
+  /// or freed as one job-sized event.
+  void on_allocation(std::span<const int> gpus, bool allocated);
+
+  int total_gpus() const noexcept { return total_gpus_; }
+  int free_total() const noexcept { return free_total_; }
+  int machines_with_free() const noexcept { return machines_with_free_; }
+  /// Largest number of free GPUs on any single machine / socket
+  /// (top-down histogram scan; machines hold at most a few GPUs).
+  int max_free_machine() const;
+  int max_free_socket() const;
+  int socket_count() const noexcept {
+    return static_cast<int>(socket_free_.size());
+  }
+  /// Eq. 5 mean free-socket fraction, maintained incrementally.
+  double fragmentation() const;
+
+ private:
+  void bump(std::vector<int>& hist, int from, int to);
+
+  int total_gpus_ = 0;
+  int free_total_ = 0;
+  int machines_with_free_ = 0;
+  double frag_sum_ = 0.0;  // sum over sockets of free/size
+  std::vector<int> gpu_machine_;      // per local GPU
+  std::vector<int> gpu_socket_slot_;  // per local GPU, flat socket index
+  std::vector<double> socket_inv_size_;  // per socket slot, 1/size
+  std::vector<int> machine_free_;     // free GPUs per machine
+  std::vector<int> socket_free_;      // free GPUs per socket slot
+  std::vector<int> machine_hist_;     // machines with exactly k free GPUs
+  std::vector<int> socket_hist_;      // sockets with exactly k free GPUs
+};
+
+/// One routing candidate: the cell's summary + static topology, plus its
+/// current queue depth (jobs already waiting there).
+struct ShardCandidate {
+  const CellSummary* summary = nullptr;
+  const topo::TopologyGraph* topology = nullptr;
+  int queue_depth = 0;
+};
+
+struct RouteDecision {
+  /// Chosen shard, or -1 when no shard can ever fit the job.
+  int shard = -1;
+  /// Score of the winner (0 when the route fell back).
+  int score = 0;
+  /// Shards rejected by the Filter stage for this job.
+  int filtered = 0;
+  /// True when every shard was filtered and the fallback picked the
+  /// ever-fitting shard with the most free GPUs (the job will queue).
+  bool exhausted = false;
+};
+
+/// Filter stage alone: can `candidate` possibly place `request` right now?
+/// Necessary conditions only — a true return is NOT a placement guarantee,
+/// but a false return is a proof of infeasibility.
+bool filter_admits(const jobgraph::JobRequest& request,
+                   const ShardCandidate& candidate,
+                   const perf::DlWorkloadModel& model);
+
+/// Score stage alone: 0..100 rank of a Filter-surviving candidate.
+int score_shard(const jobgraph::JobRequest& request,
+                const ShardCandidate& candidate);
+
+/// Full two-stage route over `candidates` (indexed by shard id).
+RouteDecision route_job(const jobgraph::JobRequest& request,
+                        std::span<const ShardCandidate> candidates,
+                        const perf::DlWorkloadModel& model);
+
+}  // namespace gts::shard

@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
 #include "perf/profile.hpp"
+#include "shard/sharded_driver.hpp"
 #include "util/strings.hpp"
 
 namespace gts::svc {
@@ -27,7 +28,30 @@ sched::DriverOptions make_driver_options(const ServiceOptions& options) {
   return driver_options;
 }
 
+std::unique_ptr<sched::DriverApi> make_driver(
+    const topo::TopologyGraph& topology, const perf::DlWorkloadModel& model,
+    const ServiceOptions& options, sched::Scheduler& scheduler) {
+  if (options.config.shard_count > 1) {
+    shard::ShardedOptions sharded;
+    sharded.shards = options.config.shard_count;
+    sharded.shard_threads = options.config.shard_threads;
+    sharded.policy = options.config.policy;
+    sharded.driver = make_driver_options(options);
+    return std::make_unique<shard::ShardedDriver>(topology, model,
+                                                  std::move(sharded));
+  }
+  return std::make_unique<sched::Driver>(topology, model, scheduler,
+                                         make_driver_options(options));
+}
+
 json::Value int_array(const std::vector<int>& values) {
+  json::Array array;
+  array.reserve(values.size());
+  for (const int value : values) array.push_back(value);
+  return json::Value{std::move(array)};
+}
+
+json::Value int_array(std::span<const int> values) {
   json::Array array;
   array.reserve(values.size());
   for (const int value : values) array.push_back(value);
@@ -44,11 +68,10 @@ ServiceCore::ServiceCore(const topo::TopologyGraph& topology,
       options_(std::move(options)),
       scheduler_(sched::make_scheduler(options_.config.policy,
                                        options_.weights)),
-      driver_(topology_, model_, *scheduler_, make_driver_options(options_)) {}
+      driver_(make_driver(topology_, model_, options_, *scheduler_)) {}
 
 int ServiceCore::admission_depth() const noexcept {
-  return driver_.queue_depth() +
-         static_cast<int>(driver_.pending_arrivals().size());
+  return driver_->queue_depth() + driver_->pending_count();
 }
 
 Response ServiceCore::handle(const Request& request) {
@@ -92,7 +115,7 @@ std::vector<Response> ServiceCore::handle_batch(
                        obs::depth_bounds());
   GTS_FLIGHT_AT(obs::FlightKind::kBatch, -1,
                 static_cast<double>(requests.size()), 0.0, "batch",
-                driver_.now());
+                driver_->now());
   std::vector<Response> responses;
   responses.reserve(requests.size());
   // Dispatch in arrival order under one serial entry: each request goes
@@ -129,6 +152,7 @@ Response ServiceCore::dispatch(const Request& request) {
   if (request.verb == "topology") return verb_topology(request);
   if (request.verb == "metrics") return verb_metrics(request);
   if (request.verb == "metrics_prom") return verb_metrics_prom(request);
+  if (request.verb == "shards") return verb_shards(request);
   if (request.verb == "dump") return verb_dump(request);
   if (request.verb == "advance") return verb_advance(request);
   if (request.verb == "snapshot") return verb_snapshot(request);
@@ -140,9 +164,10 @@ Response ServiceCore::dispatch(const Request& request) {
 
 Response ServiceCore::verb_ping(const Request& request) {
   json::Value result;
-  result.set("now", driver_.now());
+  result.set("now", driver_->now());
   result.set("protocol", kProtocolVersion);
   result.set("policy", std::string(scheduler_->name()));
+  result.set("shards", driver_->shard_count());
   return Response::success(request.id, std::move(result));
 }
 
@@ -153,7 +178,7 @@ Response ServiceCore::submit_one(long long request_id,
     GTS_FLIGHT_AT(obs::FlightKind::kBackpressure, job.id,
                   static_cast<double>(admission_depth()),
                   static_cast<double>(options_.config.retry_after_ms),
-                  "queue_full", driver_.now());
+                  "queue_full", driver_->now());
     return Response::failure(
         request_id, ErrorCode::kBackpressure,
         util::fmt("admission queue full ({} jobs); retry later",
@@ -164,14 +189,14 @@ Response ServiceCore::submit_one(long long request_id,
   // from the same model-backed profiling the batch paths use, keeping
   // service and prototype placements identical on the same workload.
   perf::fill_profile(job, model_, topology_);
-  const sched::SubmitResult outcome = driver_.submit(job);
+  const sched::SubmitResult outcome = driver_->submit(job);
   switch (outcome) {
     case sched::SubmitResult::kAccepted: {
       if (job.id >= next_auto_id_) next_auto_id_ = job.id + 1;
       GTS_FLIGHT_AT(obs::FlightKind::kAdmission, job.id,
                     static_cast<double>(admission_depth()),
                     static_cast<double>(job.num_gpus), "accepted",
-                    driver_.now());
+                    driver_->now());
       json::Value result;
       result.set("id", job.id);
       result.set("status", "accepted");
@@ -270,40 +295,46 @@ Response ServiceCore::verb_status(const Request& request) {
   reconcile_history();
   json::Value result;
   result.set("id", job_id);
-  if (const cluster::RunningJob* running = driver_.state().find(job_id)) {
+  bool found = false;
+  driver_->visit_running([&](const sched::RunningJobView& view) {
+    if (view.request->id != job_id) return true;
+    found = true;
     result.set("state", "running");
-    result.set("arrival", running->request.arrival_time);
-    result.set("start", running->start_time);
-    result.set("gpus", int_array(running->gpus));
+    result.set("arrival", view.request->arrival_time);
+    result.set("start", view.start_time);
+    result.set("gpus", int_array(view.gpus));
     // Progress is banked lazily on state changes; report it as of `now`.
     const double live_progress =
-        running->progress_iterations +
-        running->rate * (driver_.now() - running->last_update);
+        view.progress_iterations +
+        view.rate * (driver_->now() - view.last_update);
     result.set("progress_iterations",
                std::min(live_progress,
-                        static_cast<double>(running->request.iterations)));
-    result.set("iterations", running->request.iterations);
-    result.set("placement_utility", running->placement_utility);
-    if (const cluster::JobRecord* record = driver_.recorder().find(job_id)) {
+                        static_cast<double>(view.request->iterations)));
+    result.set("iterations", view.request->iterations);
+    result.set("placement_utility", view.placement_utility);
+    if (const auto record = driver_->job_record(job_id)) {
       result.set("postponements", record->postponements);
       result.set("degradation_events", record->degradation_events);
       result.set("queue_time", record->waiting_time());
       result.set("slo_violated", record->slo_violated());
     }
-    return Response::success(request.id, std::move(result));
-  }
-  for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
-    if (entry.request.id != job_id) continue;
+    return false;
+  });
+  if (found) return Response::success(request.id, std::move(result));
+  driver_->visit_waiting([&](const sched::WaitingView& view) {
+    if (view.request->id != job_id) return true;
+    found = true;
     result.set("state", "queued");
-    result.set("arrival", entry.request.arrival_time);
-    result.set("num_gpus", entry.request.num_gpus);
-    result.set("waited", driver_.now() - entry.request.arrival_time);
-    if (const cluster::JobRecord* record = driver_.recorder().find(job_id)) {
+    result.set("arrival", view.request->arrival_time);
+    result.set("num_gpus", view.request->num_gpus);
+    result.set("waited", driver_->now() - view.request->arrival_time);
+    if (const auto record = driver_->job_record(job_id)) {
       result.set("postponements", record->postponements);
     }
-    return Response::success(request.id, std::move(result));
-  }
-  for (const jobgraph::JobRequest& pending : driver_.pending_arrivals()) {
+    return false;
+  });
+  if (found) return Response::success(request.id, std::move(result));
+  for (const jobgraph::JobRequest& pending : driver_->pending_arrivals()) {
     if (pending.id != job_id) continue;
     result.set("state", "pending_arrival");
     result.set("arrival", pending.arrival_time);
@@ -319,15 +350,17 @@ Response ServiceCore::verb_status(const Request& request) {
 Response ServiceCore::verb_list(const Request& request) {
   reconcile_history();
   json::Array running;
-  for (const auto& [id, job] : driver_.state().running_jobs()) {
-    running.push_back(id);
-  }
+  driver_->visit_running([&](const sched::RunningJobView& view) {
+    running.push_back(view.request->id);
+    return true;
+  });
   json::Array queued;
-  for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
-    queued.push_back(entry.request.id);
-  }
+  driver_->visit_waiting([&](const sched::WaitingView& view) {
+    queued.push_back(view.request->id);
+    return true;
+  });
   json::Array pending;
-  for (const jobgraph::JobRequest& job : driver_.pending_arrivals()) {
+  for (const jobgraph::JobRequest& job : driver_->pending_arrivals()) {
     pending.push_back(job.id);
   }
   json::Array finished;
@@ -344,10 +377,10 @@ Response ServiceCore::verb_list(const Request& request) {
     }
   }
   json::Value result;
-  result.set("now", driver_.now());
-  result.set("draining", driver_.draining());
+  result.set("now", driver_->now());
+  result.set("draining", driver_->draining());
   result.set("queue_depth", admission_depth());
-  result.set("capacity_version", driver_.capacity_version());
+  result.set("capacity_version", driver_->capacity_version());
   result.set("running", std::move(running));
   result.set("queued", std::move(queued));
   result.set("pending", std::move(pending));
@@ -358,44 +391,45 @@ Response ServiceCore::verb_list(const Request& request) {
     // Per-job lifecycle table (gts_top's job pane): one row per known
     // job with state, timing, and SLO accounting.
     json::Array jobs;
-    for (const auto& [id, job] : driver_.state().running_jobs()) {
+    driver_->visit_running([&](const sched::RunningJobView& view) {
       json::Value row;
-      row.set("id", id);
+      row.set("id", view.request->id);
       row.set("state", "running");
-      row.set("arrival", job.request.arrival_time);
-      row.set("start", job.start_time);
-      row.set("num_gpus", job.request.num_gpus);
-      row.set("placement_utility", job.placement_utility);
+      row.set("arrival", view.request->arrival_time);
+      row.set("start", view.start_time);
+      row.set("num_gpus", view.request->num_gpus);
+      row.set("placement_utility", view.placement_utility);
       const double live_progress =
-          job.progress_iterations +
-          job.rate * (driver_.now() - job.last_update);
+          view.progress_iterations +
+          view.rate * (driver_->now() - view.last_update);
       row.set("progress",
-              job.request.iterations > 0
+              view.request->iterations > 0
                   ? std::min(live_progress /
-                                 static_cast<double>(job.request.iterations),
+                                 static_cast<double>(view.request->iterations),
                              1.0)
                   : 0.0);
-      if (const cluster::JobRecord* record = driver_.recorder().find(id)) {
+      if (const auto record = driver_->job_record(view.request->id)) {
         row.set("postponements", record->postponements);
         row.set("queue_time", record->waiting_time());
         row.set("slo_violated", record->slo_violated());
       }
       jobs.push_back(std::move(row));
-    }
-    for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
+      return true;
+    });
+    driver_->visit_waiting([&](const sched::WaitingView& view) {
       json::Value row;
-      row.set("id", entry.request.id);
+      row.set("id", view.request->id);
       row.set("state", "queued");
-      row.set("arrival", entry.request.arrival_time);
-      row.set("num_gpus", entry.request.num_gpus);
-      row.set("waited", driver_.now() - entry.request.arrival_time);
-      if (const cluster::JobRecord* record =
-              driver_.recorder().find(entry.request.id)) {
+      row.set("arrival", view.request->arrival_time);
+      row.set("num_gpus", view.request->num_gpus);
+      row.set("waited", driver_->now() - view.request->arrival_time);
+      if (const auto record = driver_->job_record(view.request->id)) {
         row.set("postponements", record->postponements);
       }
       jobs.push_back(std::move(row));
-    }
-    for (const jobgraph::JobRequest& job : driver_.pending_arrivals()) {
+      return true;
+    });
+    for (const jobgraph::JobRequest& job : driver_->pending_arrivals()) {
       json::Value row;
       row.set("id", job.id);
       row.set("state", "pending_arrival");
@@ -404,6 +438,13 @@ Response ServiceCore::verb_list(const Request& request) {
       jobs.push_back(std::move(row));
     }
     for (const auto& [id, record] : history_) jobs.push_back(record);
+    // Numeric id order across all states: with datacenter-scale clusters
+    // the table mixes 1-digit and 5-digit ids, and the per-state section
+    // order (running, queued, pending, terminal) read as unsorted.
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const json::Value& a, const json::Value& b) {
+                       return a.at("id").as_int() < b.at("id").as_int();
+                     });
     result.set("jobs", std::move(jobs));
   }
   return Response::success(request.id, std::move(result));
@@ -416,12 +457,12 @@ Response ServiceCore::verb_cancel(const Request& request) {
   }
   const int job_id = static_cast<int>(request.params.at("id").as_int());
   reconcile_history();
-  if (driver_.cancel(job_id)) {
+  if (driver_->cancel(job_id)) {
     reconcile_history();
     json::Value result;
     result.set("id", job_id);
     result.set("cancelled", true);
-    result.set("now", driver_.now());
+    result.set("now", driver_->now());
     return Response::success(request.id, std::move(result));
   }
   if (history_.count(job_id) > 0) {
@@ -438,34 +479,44 @@ Response ServiceCore::verb_topology(const Request& request) {
   json::Value result;
   result.set("machines", topology_.machine_count());
   result.set("gpus", topology_.gpu_count());
-  result.set("free_gpus", driver_.state().free_gpu_count());
-  result.set("fragmentation", driver_.state().fragmentation());
-  result.set("allocation_version", driver_.state().allocation_version());
+  result.set("free_gpus", driver_->free_gpu_count());
+  result.set("fragmentation", driver_->fragmentation());
+  result.set("allocation_version", driver_->allocation_version());
+  result.set("shards", driver_->shard_count());
   return Response::success(request.id, std::move(result));
 }
 
 Response ServiceCore::verb_metrics(const Request& request) {
   reconcile_history();
-  const sched::DriverReport& report = driver_.report();
+  const sched::DriverCounters counters = driver_->counters();
   json::Value result;
-  result.set("now", driver_.now());
+  result.set("now", driver_->now());
   result.set("queue_depth", admission_depth());
-  result.set("running", driver_.state().running_job_count());
+  result.set("running", driver_->running_job_count());
   result.set("terminal", history_.size());
-  result.set("decisions", report.decision_count);
-  result.set("decision_seconds", report.decision_seconds);
-  result.set("events", report.events);
-  result.set("rejected_jobs", report.rejected_jobs);
-  result.set("capacity_version", driver_.capacity_version());
-  result.set("draining", driver_.draining());
+  result.set("decisions", counters.decision_count);
+  result.set("decision_seconds", counters.decision_seconds);
+  result.set("events", counters.events);
+  result.set("rejected_jobs", counters.rejected_jobs);
+  result.set("capacity_version", driver_->capacity_version());
+  result.set("draining", driver_->draining());
   // Lifecycle / SLO summary over every job the recorder has seen
   // (DESIGN.md section 18.4).
-  const cluster::Recorder& recorder = driver_.recorder();
-  result.set("postponements", recorder.total_postponements());
-  result.set("degradations", recorder.total_degradations());
-  result.set("slo_violations", recorder.slo_violations());
-  result.set("mean_jct_slowdown", recorder.mean_jct_slowdown());
-  result.set("mean_waiting_time", recorder.mean_waiting_time());
+  const sched::LifecycleSummary lifecycle = driver_->lifecycle();
+  result.set("postponements", lifecycle.postponements);
+  result.set("degradations", lifecycle.degradations);
+  result.set("slo_violations", lifecycle.slo_violations);
+  result.set("mean_jct_slowdown", lifecycle.mean_jct_slowdown);
+  result.set("mean_waiting_time", lifecycle.mean_waiting_time);
+  if (driver_->shard_count() > 1) {
+    const sched::RouterTelemetry router = driver_->router();
+    json::Value routing;
+    routing.set("shards", driver_->shard_count());
+    routing.set("routed", router.routed);
+    routing.set("filtered", router.filtered);
+    routing.set("exhausted", router.exhausted);
+    result.set("router", std::move(routing));
+  }
   if (obs::metrics_enabled()) {
     result.set("registry", obs::Registry::instance().snapshot_json());
   }
@@ -481,6 +532,40 @@ Response ServiceCore::verb_metrics_prom(const Request& request) {
   json::Value result;
   result.set("content_type", "text/plain; version=0.0.4");
   result.set("text", prometheus_text_locked());
+  return Response::success(request.id, std::move(result));
+}
+
+Response ServiceCore::verb_shards(const Request& request) {
+  // Per-cell occupancy plus router telemetry (one summary row per shard;
+  // gts_top renders this instead of a per-machine listing at datacenter
+  // scale). Works on an unsharded daemon too: one cell, no router
+  // traffic.
+  const sched::RouterTelemetry router = driver_->router();
+  json::Value routing;
+  routing.set("routed", router.routed);
+  routing.set("filtered", router.filtered);
+  routing.set("exhausted", router.exhausted);
+  routing.set("route_latency_us", router.route_latency_us.to_json());
+  json::Array cells;
+  for (const sched::ShardInfo& info : driver_->shard_infos()) {
+    json::Value cell;
+    cell.set("shard", info.shard);
+    cell.set("machines", info.machines);
+    cell.set("gpus", info.gpus);
+    cell.set("free_gpus", info.free_gpus);
+    cell.set("running", info.running);
+    cell.set("queued", info.queued);
+    cell.set("fragmentation", info.fragmentation);
+    cell.set("decisions", info.decisions);
+    cell.set("placements", info.placements);
+    cell.set("routed", info.routed);
+    cells.push_back(std::move(cell));
+  }
+  json::Value result;
+  result.set("now", driver_->now());
+  result.set("shards", driver_->shard_count());
+  result.set("router", std::move(routing));
+  result.set("cells", std::move(cells));
   return Response::success(request.id, std::move(result));
 }
 
@@ -514,26 +599,62 @@ std::string ServiceCore::prometheus_text_locked() const {
   // the cumulative metrics pillar is disabled.
   obs::append_prometheus_gauge(text, "svc.up", "daemon liveness flag", 1.0);
   obs::append_prometheus_gauge(text, "svc.sim_now_seconds",
-                               "simulated clock", driver_.now());
+                               "simulated clock", driver_->now());
   obs::append_prometheus_gauge(
       text, "svc.queue_depth_live",
       "jobs waiting or pending arrival (admission depth)",
       static_cast<double>(admission_depth()));
   obs::append_prometheus_gauge(
       text, "svc.running_jobs_live", "jobs currently placed",
-      static_cast<double>(driver_.state().running_job_count()));
+      static_cast<double>(driver_->running_job_count()));
   obs::append_prometheus_gauge(text, "svc.draining",
                                "1 while the daemon refuses new submits",
-                               driver_.draining() ? 1.0 : 0.0);
+                               driver_->draining() ? 1.0 : 0.0);
   obs::append_prometheus_gauge(
       text, "cluster.free_gpus_live", "unallocated GPUs",
-      static_cast<double>(driver_.state().free_gpu_count()));
+      static_cast<double>(driver_->free_gpu_count()));
   obs::append_prometheus_gauge(text, "cluster.fragmentation_live",
                                "cluster fragmentation in [0,1]",
-                               driver_.state().fragmentation());
+                               driver_->fragmentation());
   obs::append_prometheus_gauge(
       text, "sched.decisions_live", "placement attempts so far",
-      static_cast<double>(driver_.report().decision_count));
+      static_cast<double>(driver_->counters().decision_count));
+  if (driver_->shard_count() > 1) {
+    const sched::RouterTelemetry router = driver_->router();
+    obs::append_prometheus_gauge(text, "shard.count",
+                                 "cells the cluster is partitioned into",
+                                 static_cast<double>(driver_->shard_count()));
+    obs::append_prometheus_gauge(text, "shard.routed_live",
+                                 "jobs routed to a cell so far",
+                                 static_cast<double>(router.routed));
+    obs::append_prometheus_gauge(
+        text, "shard.filtered_live",
+        "shard candidates rejected by the router's Filter stage",
+        static_cast<double>(router.filtered));
+    obs::append_prometheus_gauge(
+        text, "shard.exhausted_live",
+        "routes that fell back after every shard was filtered",
+        static_cast<double>(router.exhausted));
+    for (const sched::ShardInfo& info : driver_->shard_infos()) {
+      const std::string labels =
+          "shard=\"" + std::to_string(info.shard) + "\"";
+      obs::append_prometheus_gauge_labeled(
+          text, "shard.free_gpus_live", "unallocated GPUs per cell", labels,
+          static_cast<double>(info.free_gpus));
+      obs::append_prometheus_gauge_labeled(
+          text, "shard.running_jobs_live", "jobs placed per cell", labels,
+          static_cast<double>(info.running));
+      obs::append_prometheus_gauge_labeled(
+          text, "shard.queue_depth_live", "jobs waiting per cell", labels,
+          static_cast<double>(info.queued));
+      obs::append_prometheus_gauge_labeled(
+          text, "shard.fragmentation_live",
+          "per-cell fragmentation in [0,1]", labels, info.fragmentation);
+      obs::append_prometheus_gauge_labeled(
+          text, "shard.routed_jobs_live", "jobs ever routed to the cell",
+          labels, static_cast<double>(info.routed));
+    }
+  }
   return text;
 }
 
@@ -552,19 +673,19 @@ Response ServiceCore::verb_advance(const Request& request) {
                                "params.to must be a number");
     }
     const double to = params.at("to").as_number();
-    if (to < driver_.now() - 1e-9) {
+    if (to < driver_->now() - 1e-9) {
       return Response::failure(
           request.id, ErrorCode::kBadRequest,
-          util::fmt("cannot advance into the past (now={})", driver_.now()));
+          util::fmt("cannot advance into the past (now={})", driver_->now()));
     }
-    driver_.advance_to(to);
+    driver_->advance_to(to);
   } else {
-    driver_.advance_all();
+    driver_->advance_all();
   }
   reconcile_history();
   json::Value result;
-  result.set("now", driver_.now());
-  result.set("idle", driver_.idle());
+  result.set("now", driver_->now());
+  result.set("idle", driver_->idle());
   return Response::success(request.id, std::move(result));
 }
 
@@ -574,12 +695,12 @@ Response ServiceCore::verb_snapshot(const Request& request) {
   // serializing: the origin process and one restored from this snapshot
   // then continue with bitwise-identical arithmetic (a snapshot request
   // is part of the decision-determining request sequence).
-  driver_.checkpoint_progress();
+  driver_->checkpoint_progress();
   const std::string path = request.params.at("path").as_string();
   GTS_FLIGHT_AT(obs::FlightKind::kSnapshot, -1,
-                static_cast<double>(driver_.state().running_job_count()),
-                static_cast<double>(driver_.queue_depth()),
-                path.empty() ? "inline" : "file", driver_.now());
+                static_cast<double>(driver_->running_job_count()),
+                static_cast<double>(driver_->queue_depth()),
+                path.empty() ? "inline" : "file", driver_->now());
   if (path.empty()) {
     json::Value result;
     result.set("snapshot", snapshot_json_locked());
@@ -591,30 +712,30 @@ Response ServiceCore::verb_snapshot(const Request& request) {
   }
   json::Value result;
   result.set("path", path);
-  result.set("now", driver_.now());
-  result.set("running", driver_.state().running_job_count());
-  result.set("queued", driver_.queue_depth());
+  result.set("now", driver_->now());
+  result.set("running", driver_->running_job_count());
+  result.set("queued", driver_->queue_depth());
   return Response::success(request.id, std::move(result));
 }
 
 Response ServiceCore::verb_drain(const Request& request) {
-  driver_.drain();
+  driver_->drain();
   const bool wait = request.params.at("wait").as_bool(true);
-  if (wait) driver_.advance_all();
+  if (wait) driver_->advance_all();
   reconcile_history();
   json::Value result;
   result.set("draining", true);
-  result.set("now", driver_.now());
-  result.set("idle", driver_.idle());
+  result.set("now", driver_->now());
+  result.set("idle", driver_->idle());
   return Response::success(request.id, std::move(result));
 }
 
 Response ServiceCore::verb_shutdown(const Request& request) {
-  driver_.drain();
+  driver_->drain();
   shutdown_requested_ = true;
   json::Value result;
   result.set("shutdown", true);
-  result.set("now", driver_.now());
+  result.set("now", driver_->now());
   return Response::success(request.id, std::move(result));
 }
 
@@ -639,14 +760,15 @@ json::Value ServiceCore::terminal_record(const cluster::JobRecord& record,
 }
 
 void ServiceCore::reconcile_history() {
-  for (const cluster::JobRecord& record : driver_.recorder().records()) {
-    if (history_.count(record.id) > 0) continue;
+  driver_->visit_records([&](const cluster::JobRecord& record) {
+    if (history_.count(record.id) > 0) return true;
     if (record.cancelled) {
       history_[record.id] = terminal_record(record, "cancelled");
     } else if (record.end >= 0.0) {
       history_[record.id] = terminal_record(record, "finished");
     }
-  }
+    return true;
+  });
 }
 
 }  // namespace gts::svc

@@ -10,8 +10,14 @@
 // and tools/service_smoke.sh hold it to that).
 //
 // Verbs: ping, submit (inline manifest object or manifest file), status,
-// list, cancel, topology, metrics, metrics_prom, dump, advance, snapshot,
-// drain, shutdown.
+// list, cancel, topology, metrics, metrics_prom, shards, dump, advance,
+// snapshot, drain, shutdown.
+//
+// The core runs against the sched::DriverApi interface: with
+// config.shard_count == 1 it owns a classic single sched::Driver; with
+// shard_count > 1 it owns a shard::ShardedDriver federation (DESIGN.md
+// section 19) — every verb, the snapshot document, and the Prometheus
+// gauges work identically on both.
 // Admission is bounded: when queued + pending-arrival jobs reach
 // max_queue, submit fails with a `backpressure` error carrying a
 // retry_after_ms hint.
@@ -73,8 +79,8 @@ class ServiceCore {
   }
 
   const ServiceOptions& options() const noexcept { return options_; }
-  sched::Driver& driver() noexcept { return driver_; }
-  const sched::Driver& driver() const noexcept { return driver_; }
+  sched::DriverApi& driver() noexcept { return *driver_; }
+  const sched::DriverApi& driver() const noexcept { return *driver_; }
 
   /// Jobs counted against max_queue: waiting + pending arrivals.
   int admission_depth() const noexcept;
@@ -112,6 +118,7 @@ class ServiceCore {
   Response verb_topology(const Request& request) GTS_REQUIRES(serial_);
   Response verb_metrics(const Request& request) GTS_REQUIRES(serial_);
   Response verb_metrics_prom(const Request& request) GTS_REQUIRES(serial_);
+  Response verb_shards(const Request& request) GTS_REQUIRES(serial_);
   Response verb_dump(const Request& request) GTS_REQUIRES(serial_);
   Response verb_advance(const Request& request) GTS_REQUIRES(serial_);
   Response verb_snapshot(const Request& request) GTS_REQUIRES(serial_);
@@ -140,8 +147,11 @@ class ServiceCore {
   const topo::TopologyGraph& topology_;
   const perf::DlWorkloadModel& model_;
   ServiceOptions options_;
+  /// Only the unsharded driver borrows this; a ShardedDriver builds its
+  /// own per-cell schedulers. Always constructed so verbs can report the
+  /// policy name uniformly.
   std::unique_ptr<sched::Scheduler> scheduler_;
-  sched::Driver driver_;
+  std::unique_ptr<sched::DriverApi> driver_;
   /// Single-thread confinement of the session/queue state below: every
   /// public entry point takes a SerialGuard, so the analysis proves no
   /// code path reaches this state except through them (DESIGN.md

@@ -90,53 +90,58 @@ json::Value ServiceCore::snapshot_json_locked() const {
   json::Value document;
   document.set("schema_version", kSnapshotSchemaVersion);
   document.set("kind", std::string(kSnapshotKind));
-  document.set("now", driver_.now());
-  document.set("capacity_version", driver_.capacity_version());
-  document.set("draining", driver_.draining());
+  document.set("now", driver_->now());
+  document.set("capacity_version", driver_->capacity_version());
+  document.set("draining", driver_->draining());
   document.set("next_auto_id", next_auto_id_);
 
   json::Array running;
-  for (const auto& [id, job] : driver_.state().running_jobs()) {
+  driver_->visit_running([&](const sched::RunningJobView& view) {
     json::Value entry;
-    entry.set("manifest", jobgraph::to_manifest(job.request));
+    entry.set("manifest", jobgraph::to_manifest(*view.request));
     json::Array gpus;
-    for (const int gpu : job.gpus) gpus.push_back(gpu);
+    for (const int gpu : view.gpus) gpus.push_back(gpu);
     entry.set("gpus", std::move(gpus));
-    entry.set("start_time", job.start_time);
+    entry.set("start_time", view.start_time);
     // Live progress at the snapshot clock: progress is banked lazily (at
     // state changes), so the stored value must include the un-banked run
     // since last_update or the restored job would finish late. The
-    // `snapshot` verb banks first (Driver::checkpoint_progress), making
-    // this the identity and the restored arithmetic bitwise-equal.
+    // `snapshot` verb banks first (checkpoint_progress), making this the
+    // identity and the restored arithmetic bitwise-equal.
     entry.set("progress_iterations",
-              std::min(job.progress_iterations +
-                           job.rate * (driver_.now() - job.last_update),
-                       static_cast<double>(job.request.iterations)));
-    entry.set("placement_utility", job.placement_utility);
-    entry.set("noise_factor", job.noise_factor);
-    if (const cluster::JobRecord* record = driver_.recorder().find(id)) {
+              std::min(view.progress_iterations +
+                           view.rate * (driver_->now() - view.last_update),
+                       static_cast<double>(view.request->iterations)));
+    entry.set("placement_utility", view.placement_utility);
+    entry.set("noise_factor", view.noise_factor);
+    if (const auto record = driver_->job_record(view.request->id)) {
       entry.set("postponements", record->postponements);
     }
     running.push_back(std::move(entry));
-  }
+    return true;
+  });
   document.set("running", std::move(running));
 
   json::Array waiting;
-  for (const sched::Driver::QueueEntry& entry : driver_.waiting()) {
+  const bool sharded = driver_->shard_count() > 1;
+  driver_->visit_waiting([&](const sched::WaitingView& view) {
     json::Value item;
-    item.set("manifest", jobgraph::to_manifest(entry.request));
+    item.set("manifest", jobgraph::to_manifest(*view.request));
     item.set("attempted_version",
-             encode_attempted_version(entry.attempted_version));
-    if (const cluster::JobRecord* record =
-            driver_.recorder().find(entry.request.id)) {
+             encode_attempted_version(view.attempted_version));
+    if (const auto record = driver_->job_record(view.request->id)) {
       item.set("postponements", record->postponements);
     }
+    // Only sharded daemons persist the owning cell: the field keeps
+    // unsharded snapshots byte-identical to the pre-shard format.
+    if (sharded) item.set("shard", view.shard);
     waiting.push_back(std::move(item));
-  }
+    return true;
+  });
   document.set("waiting", std::move(waiting));
 
   json::Array pending;
-  for (const jobgraph::JobRequest& job : driver_.pending_arrivals()) {
+  for (const jobgraph::JobRequest& job : driver_->pending_arrivals()) {
     json::Value item;
     item.set("manifest", jobgraph::to_manifest(job));
     pending.push_back(std::move(item));
@@ -160,7 +165,7 @@ util::Status ServiceCore::restore_json_locked(const json::Value& document) {
   const double now = document.at("now").as_number();
   const auto capacity_version =
       static_cast<std::uint64_t>(document.at("capacity_version").as_number());
-  if (auto status = driver_.begin_restore(now, capacity_version); !status) {
+  if (auto status = driver_->begin_restore(now, capacity_version); !status) {
     return status;
   }
   for (const json::Value& entry : document.at("running").as_array()) {
@@ -171,7 +176,7 @@ util::Status ServiceCore::restore_json_locked(const json::Value& document) {
     for (const json::Value& gpu : entry.at("gpus").as_array()) {
       gpus.push_back(static_cast<int>(gpu.as_int()));
     }
-    if (auto status = driver_.restore_running(
+    if (auto status = driver_->restore_running(
             *job, gpus, entry.at("start_time").as_number(),
             entry.at("progress_iterations").as_number(),
             entry.at("placement_utility").as_number(),
@@ -185,21 +190,22 @@ util::Status ServiceCore::restore_json_locked(const json::Value& document) {
     auto job = jobgraph::from_manifest(entry.at("manifest"));
     if (!job) return job.error().with_context("snapshot waiting job");
     perf::fill_profile(*job, model_, topology_);
-    driver_.restore_waiting(
+    driver_->restore_waiting(
         *job, decode_attempted_version(entry.at("attempted_version")),
-        static_cast<int>(entry.at("postponements").as_int(0)));
+        static_cast<int>(entry.at("postponements").as_int(0)),
+        static_cast<int>(entry.at("shard").as_int(-1)));
   }
   for (const json::Value& entry : document.at("pending").as_array()) {
     auto job = jobgraph::from_manifest(entry.at("manifest"));
     if (!job) return job.error().with_context("snapshot pending job");
     perf::fill_profile(*job, model_, topology_);
-    if (driver_.submit(*job) != sched::SubmitResult::kAccepted) {
+    if (driver_->submit(*job) != sched::SubmitResult::kAccepted) {
       return util::Error{util::fmt(
           "snapshot pending job {}: arrival could not be re-scheduled",
           job->id)};
     }
   }
-  if (auto status = driver_.finish_restore(); !status) return status;
+  if (auto status = driver_->finish_restore(); !status) return status;
 
   history_.clear();
   rejected_.clear();
@@ -209,7 +215,7 @@ util::Status ServiceCore::restore_json_locked(const json::Value& document) {
     if (record.at("state").as_string() == "rejected") rejected_.insert(id);
   }
   next_auto_id_ = static_cast<int>(document.at("next_auto_id").as_int(1));
-  if (document.at("draining").as_bool(false)) driver_.drain();
+  if (document.at("draining").as_bool(false)) driver_->drain();
   return util::Status::ok();
 }
 

@@ -1,5 +1,6 @@
 #include "topo/builders.hpp"
 
+#include "check/check.hpp"
 #include "util/strings.hpp"
 
 namespace gts::topo::builders {
@@ -171,6 +172,20 @@ TopologyGraph cluster(int machine_count, MachineShape shape,
   for (int m = 0; m < machine_count; ++m) {
     add_machine(graph, net, m, shape, options);
   }
+  return graph;
+}
+
+TopologyGraph make_cluster(int machines, int gpus_per_machine,
+                           MachineShape fabric,
+                           const MachineShapeOptions& options) {
+  GTS_CHECK(machines >= 1, "make_cluster: machines must be >= 1, got ",
+            machines);
+  GTS_CHECK(gpus_per_machine == builders::gpus_per_machine(fabric),
+            "make_cluster: fabric provides ",
+            builders::gpus_per_machine(fabric),
+            " GPUs per machine, caller expected ", gpus_per_machine);
+  TopologyGraph graph = cluster(machines, fabric, options);
+  graph.warm_caches();
   return graph;
 }
 

@@ -1,0 +1,435 @@
+// Sharded-scheduling differential suite (DESIGN.md section 19).
+//
+// The load-bearing guarantees of src/shard/ are all *relative* to the
+// unsharded sched::Driver, so nearly every test here is differential:
+//   * cell extraction preserves machine/GPU structure and id mappings;
+//   * a 1-shard ShardedDriver is byte-identical to a plain Driver on the
+//     Fig. 8 prototype workload and on a 500-job generated trace;
+//   * an N-shard run is byte-identical for --shard-threads {1, 2, 8};
+//   * the router's Filter stage is sound: it never rejects a shard the
+//     full scheduler would have placed the job into (checked over seeded
+//     random occupancy patterns);
+//   * a sharded ServiceCore snapshot restores and re-snapshots
+//     byte-identically, and the continuation matches the uninterrupted
+//     run verb-for-verb.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/recorder.hpp"
+#include "cluster/state.hpp"
+#include "exp/scenarios.hpp"
+#include "jobgraph/manifest.hpp"
+#include "perf/profile.hpp"
+#include "sched/driver.hpp"
+#include "shard/cells.hpp"
+#include "shard/sharded_driver.hpp"
+#include "shard/summary.hpp"
+#include "svc/service.hpp"
+#include "svc/snapshot.hpp"
+#include "topo/builders.hpp"
+#include "trace/generator.hpp"
+
+namespace gts::shard {
+namespace {
+
+using jobgraph::JobRequest;
+using jobgraph::NeuralNet;
+using topo::builders::MachineShape;
+
+/// Field-by-field bitwise comparison of two job records. EXPECT_EQ on the
+/// doubles is deliberate: "byte-identical" means the same bits, not
+/// nearly-equal values.
+void expect_identical_record(const cluster::JobRecord& got,
+                             const cluster::JobRecord& want,
+                             const std::string& label) {
+  EXPECT_EQ(got.id, want.id) << label;
+  EXPECT_EQ(got.num_gpus, want.num_gpus) << label << " job " << want.id;
+  EXPECT_EQ(got.arrival, want.arrival) << label << " job " << want.id;
+  EXPECT_EQ(got.start, want.start) << label << " job " << want.id;
+  EXPECT_EQ(got.end, want.end) << label << " job " << want.id;
+  EXPECT_EQ(got.cancelled, want.cancelled) << label << " job " << want.id;
+  EXPECT_EQ(got.gpus, want.gpus) << label << " job " << want.id;
+  EXPECT_EQ(got.placement_utility, want.placement_utility)
+      << label << " job " << want.id;
+  EXPECT_EQ(got.p2p, want.p2p) << label << " job " << want.id;
+  EXPECT_EQ(got.best_solo_time, want.best_solo_time)
+      << label << " job " << want.id;
+  EXPECT_EQ(got.postponements, want.postponements)
+      << label << " job " << want.id;
+  EXPECT_EQ(got.degradation_events, want.degradation_events)
+      << label << " job " << want.id;
+}
+
+void expect_identical_recorders(const cluster::Recorder& got,
+                                const cluster::Recorder& want,
+                                const std::string& label) {
+  ASSERT_EQ(got.records().size(), want.records().size()) << label;
+  for (const cluster::JobRecord& record : want.records()) {
+    const cluster::JobRecord* other = got.find(record.id);
+    ASSERT_NE(other, nullptr) << label << " missing job " << record.id;
+    expect_identical_record(*other, record, label);
+  }
+}
+
+// --- cell extraction --------------------------------------------------------
+
+TEST(CellPartitionTest, SplitsContiguouslyWithRemainderUpFront) {
+  const auto even = partition_machines(10, 2);
+  ASSERT_EQ(even.size(), 2u);
+  EXPECT_EQ(even[0], (std::pair<int, int>{0, 5}));
+  EXPECT_EQ(even[1], (std::pair<int, int>{5, 10}));
+
+  // 10 = 4 + 3 + 3: the first machines % shards cells get the extra.
+  const auto uneven = partition_machines(10, 3);
+  ASSERT_EQ(uneven.size(), 3u);
+  EXPECT_EQ(uneven[0], (std::pair<int, int>{0, 4}));
+  EXPECT_EQ(uneven[1], (std::pair<int, int>{4, 7}));
+  EXPECT_EQ(uneven[2], (std::pair<int, int>{7, 10}));
+
+  // Shard count clamps to the machine count (never an empty cell).
+  const auto clamped = partition_machines(3, 8);
+  ASSERT_EQ(clamped.size(), 3u);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(clamped[static_cast<size_t>(m)],
+              (std::pair<int, int>{m, m + 1}));
+  }
+}
+
+TEST(CellPartitionTest, ExtractCellPreservesStructureAndIdMaps) {
+  const topo::TopologyGraph cluster =
+      topo::builders::cluster(6, MachineShape::kPower8Minsky);
+  const int per_machine = cluster.gpu_count() / 6;
+
+  const CellTopology cell = extract_cell(cluster, 2, 5);
+  EXPECT_EQ(cell.machine_begin, 2);
+  EXPECT_EQ(cell.graph.machine_count(), 3);
+  EXPECT_EQ(cell.graph.gpu_count(), 3 * per_machine);
+  ASSERT_EQ(cell.gpu_to_global.size(),
+            static_cast<size_t>(cell.graph.gpu_count()));
+  // Global ids are dense, ascending, and each local GPU sits on the
+  // machine its global twin occupies (shifted by machine_begin).
+  EXPECT_TRUE(std::is_sorted(cell.gpu_to_global.begin(),
+                             cell.gpu_to_global.end()));
+  for (int local = 0; local < cell.graph.gpu_count(); ++local) {
+    const int global = cell.gpu_to_global[static_cast<size_t>(local)];
+    EXPECT_EQ(cell.graph.machine_of_gpu(local) + 2,
+              cluster.machine_of_gpu(global))
+        << "local gpu " << local;
+  }
+
+  // A single-machine cell matches the standalone machine graph shape:
+  // no synthetic network root.
+  const CellTopology solo = extract_cell(cluster, 5, 6);
+  EXPECT_EQ(solo.graph.machine_count(), 1);
+  EXPECT_EQ(solo.graph.gpu_count(), per_machine);
+  EXPECT_EQ(solo.graph.node_count(),
+            topo::builders::power8_minsky().node_count());
+}
+
+// --- 1-shard byte-identity --------------------------------------------------
+
+class ShardDifferentialTest : public ::testing::Test {
+ protected:
+  perf::DlWorkloadModel model_{perf::CalibrationParams::paper_minsky()};
+
+  sched::DriverReport run_unsharded(const topo::TopologyGraph& topology,
+                                    std::vector<JobRequest> jobs) {
+    const auto scheduler = sched::make_scheduler(sched::Policy::kTopoAwareP);
+    sched::Driver driver(topology, model_, *scheduler);
+    return driver.run(std::move(jobs));
+  }
+
+  sched::DriverReport run_sharded(const topo::TopologyGraph& topology,
+                                  std::vector<JobRequest> jobs, int shards,
+                                  int shard_threads = 1) {
+    ShardedOptions options;
+    options.shards = shards;
+    options.shard_threads = shard_threads;
+    ShardedDriver driver(topology, model_, options);
+    return driver.run(std::move(jobs));
+  }
+};
+
+TEST_F(ShardDifferentialTest, OneShardMatchesDriverOnFig8Workload) {
+  const topo::TopologyGraph topology = topo::builders::power8_minsky();
+  const auto jobs = exp::table1_jobs(model_, topology, /*iterations=*/700);
+
+  const sched::DriverReport want = run_unsharded(topology, jobs);
+  const sched::DriverReport got = run_sharded(topology, jobs, /*shards=*/1);
+
+  expect_identical_recorders(got.recorder, want.recorder, "fig8");
+  EXPECT_EQ(got.decision_count, want.decision_count);
+  EXPECT_EQ(got.recorder.makespan(), want.recorder.makespan());
+}
+
+TEST_F(ShardDifferentialTest, OneShardMatchesDriverOn500JobTrace) {
+  const topo::TopologyGraph topology = topo::builders::make_cluster(
+      4, 4, MachineShape::kPower8Minsky);
+  trace::GeneratorOptions options;
+  options.job_count = 500;
+  options.iterations = 400;
+  options.seed = 42;
+  const auto jobs = trace::generate_workload(options, model_, topology);
+  ASSERT_EQ(jobs.size(), 500u);
+
+  const sched::DriverReport want = run_unsharded(topology, jobs);
+  const sched::DriverReport got = run_sharded(topology, jobs, /*shards=*/1);
+
+  expect_identical_recorders(got.recorder, want.recorder, "trace500");
+  EXPECT_EQ(got.decision_count, want.decision_count);
+  EXPECT_EQ(got.rejected_jobs, want.rejected_jobs);
+}
+
+// --- shard-thread determinism -----------------------------------------------
+
+TEST_F(ShardDifferentialTest, ShardThreadsAreByteIdentical) {
+  const topo::TopologyGraph topology = topo::builders::make_cluster(
+      8, 4, MachineShape::kPower8Minsky);
+  trace::GeneratorOptions options;
+  options.job_count = 300;
+  options.iterations = 400;
+  options.seed = 7;
+  const auto jobs = trace::generate_workload(options, model_, topology);
+
+  const sched::DriverReport serial =
+      run_sharded(topology, jobs, /*shards=*/4, /*shard_threads=*/1);
+  for (const int threads : {2, 8}) {
+    const sched::DriverReport pooled =
+        run_sharded(topology, jobs, /*shards=*/4, threads);
+    expect_identical_recorders(pooled.recorder, serial.recorder,
+                               "threads=" + std::to_string(threads));
+    EXPECT_EQ(pooled.decision_count, serial.decision_count);
+    EXPECT_EQ(pooled.rejected_jobs, serial.rejected_jobs);
+  }
+}
+
+TEST_F(ShardDifferentialTest, ShardedRunPlacesEveryGlobalGpuOnce) {
+  // Structural sanity of the global id space: concurrent records never
+  // share a GPU, and every published id is within the cluster.
+  const topo::TopologyGraph topology = topo::builders::make_cluster(
+      6, 4, MachineShape::kPower8Minsky);
+  trace::GeneratorOptions options;
+  options.job_count = 120;
+  options.iterations = 300;
+  options.seed = 11;
+  const auto jobs = trace::generate_workload(options, model_, topology);
+
+  const sched::DriverReport report =
+      run_sharded(topology, jobs, /*shards=*/3);
+  for (const cluster::JobRecord& a : report.recorder.records()) {
+    if (!a.placed()) continue;
+    for (const int gpu : a.gpus) {
+      EXPECT_GE(gpu, 0);
+      EXPECT_LT(gpu, topology.gpu_count());
+    }
+    for (const cluster::JobRecord& b : report.recorder.records()) {
+      if (b.id <= a.id || !b.placed()) continue;
+      const bool overlap_in_time =
+          a.start < (b.finished() ? b.end : b.start + 1.0) &&
+          b.start < (a.finished() ? a.end : a.start + 1.0);
+      if (!overlap_in_time) continue;
+      for (const int gpu : a.gpus) {
+        EXPECT_EQ(std::count(b.gpus.begin(), b.gpus.end(), gpu), 0)
+            << "jobs " << a.id << " and " << b.id << " share gpu " << gpu;
+      }
+    }
+  }
+}
+
+// --- router Filter soundness ------------------------------------------------
+
+TEST(ShardRouterTest, FilterNeverRejectsAPlaceableShard) {
+  // The Filter may only reject on *necessary* conditions: whenever the
+  // full scheduler can place a job into a cell's current state, the
+  // Filter must admit that cell. Checked over seeded random occupancy.
+  const perf::DlWorkloadModel model{perf::CalibrationParams::paper_minsky()};
+  const topo::TopologyGraph cell = topo::builders::make_cluster(
+      3, 4, MachineShape::kPower8Minsky);
+
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    cluster::ClusterState state(cell, model);
+    CellSummary summary(cell);
+    state.set_allocation_listener(
+        [&summary](std::span<const int> gpus, bool allocated) {
+          summary.on_allocation(gpus, allocated);
+        });
+    const auto scheduler = sched::make_scheduler(sched::Policy::kTopoAwareP);
+
+    // Seeded random occupancy: keep placing random-size blockers until
+    // one fails; min_utility 0 so the scheduler never declines by SLO.
+    std::uint64_t rng = seed * 2654435761u + 1;
+    const auto next = [&rng](int bound) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<int>((rng >> 33) % static_cast<std::uint64_t>(bound));
+    };
+    int blocker_id = 1000;
+    for (int k = next(10); k >= 0; --k) {
+      const int gpus = 1 << next(3);  // 1, 2 or 4
+      const JobRequest blocker = perf::make_profiled_dl(
+          blocker_id++, 0.0, NeuralNet::kAlexNet, 4, gpus, 0.0, model, cell);
+      const auto placement = scheduler->place(blocker, state);
+      if (!placement) break;
+      state.place(blocker, placement->gpus, 0.0, placement->utility);
+    }
+    ASSERT_EQ(summary.free_total(), state.free_gpu_count())
+        << "summary drifted at seed " << seed;
+
+    // Probes: every job size x constraint combination must obey the
+    // implication place-able => Filter-admitted.
+    const ShardCandidate candidate{&summary, &cell, /*queue_depth=*/0};
+    int probe_id = 1;
+    for (const int gpus : {1, 2, 3, 4}) {
+      for (const bool anti : {false, true}) {
+        JobRequest probe = perf::make_profiled_dl(
+            probe_id++, 0.0, NeuralNet::kGoogLeNet, 4, gpus, 0.0, model,
+            cell);
+        if (anti) {
+          probe.profile.single_node = false;
+          probe.profile.anti_collocate = true;
+        }
+        const auto placement = scheduler->place(probe, state);
+        if (placement.has_value()) {
+          EXPECT_TRUE(filter_admits(probe, candidate, model))
+              << "seed " << seed << " gpus " << gpus << " anti " << anti
+              << ": Filter rejected a placeable cell";
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, ScoreBreaksTiesTowardLowestShard) {
+  const perf::DlWorkloadModel model{perf::CalibrationParams::paper_minsky()};
+  const topo::TopologyGraph a = topo::builders::power8_minsky();
+  const topo::TopologyGraph b = topo::builders::power8_minsky();
+  const CellSummary sa(a), sb(b);
+  const JobRequest job = perf::make_profiled_dl(
+      1, 0.0, NeuralNet::kAlexNet, 4, 2, 0.0, model, a);
+  const std::vector<ShardCandidate> candidates = {
+      ShardCandidate{&sa, &a, 0}, ShardCandidate{&sb, &b, 0}};
+  const RouteDecision decision = route_job(job, candidates, model);
+  EXPECT_EQ(decision.shard, 0);
+  EXPECT_EQ(decision.filtered, 0);
+  EXPECT_FALSE(decision.exhausted);
+}
+
+// --- sharded service snapshot/restore ---------------------------------------
+
+class ShardedServiceTest : public ::testing::Test {
+ protected:
+  ShardedServiceTest()
+      : topology_(topo::builders::make_cluster(
+            8, 4, MachineShape::kPower8Minsky)),
+        model_(perf::CalibrationParams::paper_minsky()) {}
+
+  svc::ServiceCore make_core(int shards, int shard_threads = 2) {
+    svc::ServiceOptions options;
+    options.config.max_queue = 256;
+    options.config.shard_count = shards;
+    options.config.shard_threads = shard_threads;
+    options.self_audit = true;
+    return svc::ServiceCore(topology_, model_, options);
+  }
+
+  static svc::Request make_request(long long id, std::string verb,
+                                   json::Value params = {}) {
+    svc::Request request;
+    request.id = id;
+    request.verb = std::move(verb);
+    request.params = std::move(params);
+    return request;
+  }
+
+  svc::Response submit(svc::ServiceCore& core, const JobRequest& job,
+                       long long request_id) {
+    json::Value params;
+    params.set("job", jobgraph::to_manifest(job));
+    return core.handle(make_request(request_id, "submit", std::move(params)));
+  }
+
+  JobRequest job(int id, double arrival, int gpus) {
+    return perf::make_profiled_dl(id, arrival, NeuralNet::kAlexNet, 4, gpus,
+                                  gpus > 1 ? 0.5 : 0.3, model_, topology_,
+                                  /*iterations=*/600);
+  }
+
+  topo::TopologyGraph topology_;
+  perf::DlWorkloadModel model_;
+};
+
+TEST_F(ShardedServiceTest, SnapshotRestoreReSnapshotsByteIdentically) {
+  svc::ServiceCore original = make_core(/*shards=*/4);
+  for (int i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(submit(original, job(i, 1.5 * i, 1 + (i % 3)), i).ok);
+  }
+  // Mid-flight: some running across cells, some waiting, some pending.
+  json::Value advance_params;
+  advance_params.set("to", 9.0);
+  ASSERT_TRUE(
+      original.handle(make_request(50, "advance", advance_params)).ok);
+
+  const svc::Response snap = original.handle(make_request(51, "snapshot"));
+  ASSERT_TRUE(snap.ok) << snap.message;
+  const json::Value snapshot = snap.result.at("snapshot");
+  ASSERT_TRUE(svc::validate_snapshot_json(snapshot));
+
+  svc::ServiceCore restored = make_core(/*shards=*/4);
+  const auto status = restored.restore_json(snapshot);
+  ASSERT_TRUE(status) << status.error().message;
+  ASSERT_TRUE(restored.driver().validate());
+  EXPECT_EQ(restored.driver().shard_count(), 4);
+
+  EXPECT_EQ(json::write(restored.snapshot_json(), {.indent = 2}),
+            json::write(snapshot, {.indent = 2}));
+
+  // The continuation matches the uninterrupted run verb-for-verb.
+  for (svc::ServiceCore* core : {&original, &restored}) {
+    ASSERT_TRUE(core->handle(make_request(60, "drain")).ok);
+  }
+  json::Value detail;
+  detail.set("detail", true);
+  EXPECT_EQ(encode(original.handle(make_request(61, "list", detail))),
+            encode(restored.handle(make_request(61, "list", detail))));
+  for (int i = 1; i <= 12; ++i) {
+    json::Value params;
+    params.set("id", i);
+    EXPECT_EQ(encode(original.handle(make_request(70 + i, "status", params))),
+              encode(restored.handle(make_request(70 + i, "status", params))))
+        << "job " << i << " diverged after restore";
+  }
+}
+
+TEST_F(ShardedServiceTest, ShardsVerbReportsEveryCell) {
+  svc::ServiceCore core = make_core(/*shards=*/4);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(submit(core, job(i, 0.0, 2), i).ok);
+  }
+  json::Value advance_params;
+  advance_params.set("to", 1.0);
+  ASSERT_TRUE(core.handle(make_request(20, "advance", advance_params)).ok);
+
+  const svc::Response response = core.handle(make_request(21, "shards"));
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.result.at("shards").as_int(), 4);
+  const auto& cells = response.result.at("cells").as_array();
+  ASSERT_EQ(cells.size(), 4u);
+  long long machines = 0;
+  long long gpus = 0;
+  long long routed = 0;
+  for (const json::Value& cell : cells) {
+    machines += cell.at("machines").as_int();
+    gpus += cell.at("gpus").as_int();
+    routed += cell.at("routed").as_int();
+  }
+  EXPECT_EQ(machines, 8);
+  EXPECT_EQ(gpus, topology_.gpu_count());
+  EXPECT_EQ(routed, 6);
+  EXPECT_EQ(response.result.at("router").at("routed").as_int(), 6);
+}
+
+}  // namespace
+}  // namespace gts::shard

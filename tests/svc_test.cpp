@@ -274,7 +274,7 @@ TEST_F(ServiceCoreTest, SnapshotRestoreStateIdentity) {
   ASSERT_TRUE(status) << status.error().message;
 
   // Restored cluster state passes the validators directly.
-  ASSERT_TRUE(check::validate(restored.driver().state()));
+  ASSERT_TRUE(restored.driver().validate());
 
   // The restored core re-snapshots byte-identically.
   EXPECT_EQ(json::write(restored.snapshot_json(), {.indent = 2}),
@@ -355,11 +355,10 @@ TEST_F(ServiceCoreTest, ManifestSubmitMatchesPrototypeRuntime) {
 
   // Identical placements and timings, job by job.
   for (const jobgraph::JobRequest& job : jobs) {
-    const cluster::JobRecord* record =
-        core.driver().report().recorder.find(job.id);
+    const auto record = core.driver().job_record(job.id);
     const cluster::JobRecord* expected =
         proto_run->report.recorder.find(job.id);
-    ASSERT_NE(record, nullptr);
+    ASSERT_TRUE(record.has_value());
     ASSERT_NE(expected, nullptr);
     EXPECT_EQ(record->gpus, expected->gpus) << "job " << job.id;
     EXPECT_DOUBLE_EQ(record->start, expected->start) << "job " << job.id;

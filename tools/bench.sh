@@ -45,7 +45,8 @@ Options:
   --build-dir DIR    cmake build tree with bench/ binaries (default: ${BUILD_DIR})
   --scenario NAME    run one scenario (repeatable); default: the full matrix
                      (fig10 fig11 ablation_alpha ablation_threshold
-                      ablation_noise overhead decision_micro service_load)
+                      ablation_noise overhead decision_micro service_load
+                      scale)
   --quick            CI smoke sizes (tiny clusters / job counts)
   --full             paper-scale Fig. 11 (10000 jobs on 1000 machines)
   --no-perf-gate     skip the bench_compare.py baseline comparison
@@ -70,7 +71,7 @@ done
 
 if [[ ${#SCENARIOS[@]} -eq 0 ]]; then
   SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise
-             overhead decision_micro service_load)
+             overhead decision_micro service_load scale)
 fi
 
 FIG10_MACHINES=5
@@ -90,6 +91,11 @@ DECISION_JOBS=200
 SERVICE_CONNECTIONS=4
 SERVICE_JOBS=60
 SERVICE_MACHINES=4
+# The sharded scale sweep (DESIGN.md section 19). Everything but the
+# machine grid stays at the bench_scale defaults so the 500-machine
+# scenario config-matches bench/baselines/BENCH_scale.json in the perf
+# gate even under --quick.
+SCALE_MACHINES="500,1000,2000,5000"
 if [[ "$QUICK" -eq 1 ]]; then
   FIG10_MACHINES=3
   FIG10_JOBS=30
@@ -101,6 +107,7 @@ if [[ "$QUICK" -eq 1 ]]; then
   OVERHEAD_REPEATS=2
   SERVICE_JOBS=24
   SERVICE_MACHINES=2
+  SCALE_MACHINES="500"
 elif [[ "$FULL" -eq 1 ]]; then
   FIG11_MACHINES=1000
   FIG11_JOBS=10000
@@ -180,6 +187,15 @@ run_scenario() {
         --out "$out" --metrics-out "$metrics" --obs-windows \
         --prom-out "${OUT_DIR}/PROM_service_load.prom" \
         --flight-out "${OUT_DIR}/FLIGHT_service_load.jsonl"
+      ;;
+    scale)
+      # Sharded datacenter sweep; replicas stay sequential (--threads 1)
+      # so the flat-latency claim in the timing subtrees is not polluted
+      # by replica-level core contention. --shard-threads keeps its
+      # byte-identical guarantee, so it can follow the machine's cores.
+      bin="$(bench_bin bench_scale)" || return 1
+      "$bin" --machines "$SCALE_MACHINES" --seeds "$SEEDS" --threads 1 \
+        --out "$out" --metrics-out "$metrics"
       ;;
     *)
       echo "unknown scenario: $scenario" >&2

@@ -5,7 +5,7 @@
 //   gts_ctl --socket /tmp/gts.sock submit --job '{"nn":"AlexNet",...}'
 //   gts_ctl --socket /tmp/gts.sock status 7
 //   gts_ctl --socket /tmp/gts.sock cancel 7
-//   gts_ctl --tcp 127.0.0.1:7070 list | topology | metrics
+//   gts_ctl --tcp 127.0.0.1:7070 list | topology | metrics | shards
 //   gts_ctl --socket S list --detail          (per-job lifecycle table)
 //   gts_ctl --socket S metrics --prom         (Prometheus text format)
 //   gts_ctl --socket S dump [--out flight.jsonl]   (flight recorder)
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--socket PATH | --tcp HOST:PORT] <verb> [args]\n"
                  "verbs: ping submit status list cancel topology metrics\n"
-                 "       dump advance snapshot drain shutdown\n"
+                 "       shards dump advance snapshot drain shutdown\n"
                  "       watch <verb> [interval_s]\n%s",
                  argv[0], cli.usage(argv[0]).c_str());
     return 1;
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
         verb == "shutdown") {
       return fail("watch",
                   "only read-only argument-less verbs can be watched "
-                  "(ping, list, metrics, topology)");
+                  "(ping, list, metrics, topology, shards)");
     }
   }
 

@@ -72,6 +72,12 @@ int main(int argc, char** argv) {
   cli.add_option("scoring-threads",
                  "scoring workers with --parallel-scoring (0 = all cores)");
   cli.add_flag("self-audit", "validate state after every simulated event");
+  cli.add_option("shards",
+                 "partition the cluster into this many cells with an "
+                 "inter-shard router (1 = classic single driver)");
+  cli.add_option("shard-threads",
+                 "worker threads advancing cells concurrently (results stay "
+                 "byte-identical; <= 1 = serial)");
   cli.add_option("prom-port",
                  "Prometheus scrape port (HTTP GET /metrics; 0 = ephemeral; "
                  "enables metrics + windows)");
@@ -189,6 +195,20 @@ int main(int argc, char** argv) {
     }
   }
   if (cli.has("prom-host")) service.prom_host = cli.get("prom-host");
+  if (cli.has("shards")) {
+    service.shard_count = static_cast<int>(cli.get_int("shards"));
+    if (service.shard_count < 1) {
+      std::fprintf(stderr, "--shards must be >= 1\n");
+      return 1;
+    }
+  }
+  if (cli.has("shard-threads")) {
+    service.shard_threads = static_cast<int>(cli.get_int("shard-threads"));
+    if (service.shard_threads < 0) {
+      std::fprintf(stderr, "--shard-threads must be >= 0\n");
+      return 1;
+    }
+  }
 
   const auto topology = config::build_topology(system);
   if (!topology) {
@@ -254,10 +274,10 @@ int main(int argc, char** argv) {
   // Readiness line (scripts wait for it before connecting).
   std::printf(
       "gts_schedd ready unix=%s tcp_port=%d prom_port=%d policy=%s "
-      "machines=%d\n",
+      "machines=%d shards=%d\n",
       service.socket.empty() ? "-" : service.socket.c_str(), server.port(),
       server.prom_port(), to_string(options.config.policy).data(),
-      system.machines);
+      system.machines, core.driver().shard_count());
   std::fflush(stdout);
 
   const auto run_status = server.run();

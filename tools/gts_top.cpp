@@ -14,6 +14,7 @@
 // daemon.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -99,7 +100,7 @@ double plain_or(const PromSample& sample, const std::string& name,
   return it == sample.plain.end() ? fallback : it->second;
 }
 
-std::string format_row(const json::Value& job) {
+std::string format_row(const json::Value& job, int id_width) {
   const std::string state = job.at("state").as_string();
   std::string extra;
   if (state == "running") {
@@ -116,13 +117,55 @@ std::string format_row(const json::Value& job) {
                       util::format_double(
                           job.at("jct_slowdown").as_number(-1.0), 2));
   }
-  return util::fmt("  {}  {}  gpus={} postponed={} {}",
-                   std::to_string(job.at("id").as_int()), state,
-                   std::to_string(job.at("num_gpus").as_int(0)),
-                   std::to_string(job.at("postponements").as_int(0)), extra);
+  char head[128];
+  // Dynamic id column: datacenter runs reach 5-digit job ids, so the old
+  // fixed two-space layout stopped lining up past id 999.
+  std::snprintf(head, sizeof(head), "  %*lld  %-15s gpus=%-3lld postponed=%-2lld ",
+                id_width, static_cast<long long>(job.at("id").as_int()),
+                state.c_str(),
+                static_cast<long long>(job.at("num_gpus").as_int(0)),
+                static_cast<long long>(job.at("postponements").as_int(0)));
+  return std::string(head) + extra;
 }
 
-void render(const PromSample& prom, const json::Value& list) {
+int digits(long long value) {
+  int width = 1;
+  while (value >= 10) {
+    value /= 10;
+    ++width;
+  }
+  return width;
+}
+
+void render_shards(const json::Value& shards) {
+  // Per-cell aggregate table: at datacenter scale a per-machine listing
+  // is unreadable, so the dashboard shows one row per shard instead.
+  const long long count = shards.at("shards").as_int(1);
+  if (count <= 1 || !shards.at("cells").is_array()) return;
+  const json::Value& router = shards.at("router");
+  std::printf("shards (%lld):  routed=%lld filtered=%lld exhausted=%lld "
+              "route_mean=%.1fus\n",
+              count, router.at("routed").as_int(0),
+              router.at("filtered").as_int(0),
+              router.at("exhausted").as_int(0),
+              router.at("route_latency_us").at("mean").as_number(0.0));
+  std::printf("  %5s %9s %8s %8s %8s %7s %6s %9s\n", "shard", "machines",
+              "gpus", "free", "running", "queued", "frag", "routed");
+  for (const json::Value& cell : shards.at("cells").as_array()) {
+    std::printf("  %5lld %9lld %8lld %8lld %8lld %7lld %6.2f %9lld\n",
+                static_cast<long long>(cell.at("shard").as_int()),
+                static_cast<long long>(cell.at("machines").as_int()),
+                static_cast<long long>(cell.at("gpus").as_int()),
+                static_cast<long long>(cell.at("free_gpus").as_int()),
+                static_cast<long long>(cell.at("running").as_int()),
+                static_cast<long long>(cell.at("queued").as_int()),
+                cell.at("fragmentation").as_number(0.0),
+                static_cast<long long>(cell.at("routed").as_int()));
+  }
+}
+
+void render(const PromSample& prom, const json::Value& list,
+            const json::Value& shards) {
   std::printf("gts_top  sim_t=%.1fs  queue=%d  running=%d  free_gpus=%d  "
               "frag=%.2f%s\n",
               plain_or(prom, "gts_svc_sim_now_seconds", 0.0),
@@ -167,16 +210,21 @@ void render(const PromSample& prom, const json::Value& list) {
     std::printf("(no windowed metrics: start the daemon with --prom-port "
                 "or --obs-windows)\n");
   }
+  render_shards(shards);
   if (list.at("jobs").is_array()) {
     const auto& jobs = list.at("jobs").as_array();
     std::printf("jobs (%zu):\n", jobs.size());
+    int id_width = 4;
+    for (const json::Value& job : jobs) {
+      id_width = std::max(id_width, digits(job.at("id").as_int(0)));
+    }
     std::size_t shown = 0;
     for (const json::Value& job : jobs) {
       if (shown++ >= 32) {
         std::printf("  ... %zu more\n", jobs.size() - 32);
         break;
       }
-      std::printf("%s\n", format_row(job).c_str());
+      std::printf("%s\n", format_row(job, id_width).c_str());
     }
   }
 }
@@ -235,6 +283,13 @@ int main(int argc, char** argv) {
       return fail("transport", list_response.error().message);
     }
     if (!list_response->ok) return fail("list", list_response->message);
+    // Per-shard aggregates (empty value against a daemon predating the
+    // verb — the dashboard simply omits the table).
+    json::Value shards;
+    if (auto shards_response = client->call("shards");
+        shards_response && shards_response->ok) {
+      shards = shards_response->result;
+    }
 
     const std::string prom_text =
         prom_response->result.at("text").as_string();
@@ -255,12 +310,13 @@ int main(int argc, char** argv) {
       for (const auto& [key, value] : prom.rate) rates.set(key, value);
       sample.set("rates", std::move(rates));
       sample.set("list", list_response->result);
+      if (shards.is_object()) sample.set("shards", shards);
       std::printf("%s\n", json::write(sample, {.indent = 2}).c_str());
     } else {
       if (!once && isatty(STDOUT_FILENO) != 0) {
         std::printf("\033[2J\033[H");
       }
-      render(prom, list_response->result);
+      render(prom, list_response->result, shards);
     }
     std::fflush(stdout);
     if (once) break;

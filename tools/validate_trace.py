@@ -236,6 +236,75 @@ def validate_snapshot(path, doc):
 _STAT_KEYS = ("count", "mean", "stddev", "min", "max", "p50", "p95")
 
 
+def _require_number(path, where, value, minimum=None):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"{where}: expected number, got {value!r}")
+    if minimum is not None and value < minimum:
+        fail(path, f"{where}: expected >= {minimum}, got {value!r}")
+
+
+def _validate_scale_payload(path, where, payload):
+    """BENCH_scale replicas: router counters, per-shard rows and the
+    router timing subtree next to the per-decision histogram."""
+    sharded = payload["sharded"]
+    if not isinstance(sharded, dict):
+        fail(path, f"{where}: 'sharded' must be an object")
+    router = sharded.get("router")
+    if not isinstance(router, dict):
+        fail(path, f"{where}: sharded.router missing")
+    for key in ("routed", "filtered", "exhausted"):
+        _require_number(path, f"{where}: sharded.router.{key}",
+                        router.get(key), minimum=0)
+    per_shard = sharded.get("per_shard")
+    if not isinstance(per_shard, list) or not per_shard:
+        fail(path, f"{where}: sharded.per_shard missing or empty")
+    if isinstance(payload.get("shards"), (int, float)):
+        if len(per_shard) != int(payload["shards"]):
+            fail(path, f"{where}: per_shard has {len(per_shard)} rows for "
+                       f"{payload['shards']} shards")
+    for index, row in enumerate(per_shard):
+        rwhere = f"{where}: sharded.per_shard[{index}]"
+        if not isinstance(row, dict):
+            fail(path, f"{rwhere}: expected object")
+        if row.get("shard") != index:
+            fail(path, f"{rwhere}: shard id {row.get('shard')!r} != {index}")
+        _require_number(path, f"{rwhere}.machines", row.get("machines"),
+                        minimum=1)
+        for key in ("gpus", "decisions", "placements", "routed"):
+            _require_number(path, f"{rwhere}.{key}", row.get(key), minimum=0)
+    cell_routed = sum(row["routed"] for row in per_shard)
+    if cell_routed != router["routed"]:
+        fail(path, f"{where}: per-shard routed sum {cell_routed} != "
+                   f"router.routed {router['routed']}")
+    timing = sharded.get("timing")
+    if not isinstance(timing, dict):
+        fail(path, f"{where}: sharded.timing missing")
+    for name in ("decision_latency_us", "route_latency_us"):
+        if name not in timing:
+            fail(path, f"{where}: sharded.timing.{name} missing")
+        validate_histogram(path, f"{where}: sharded.timing.{name}",
+                           timing[name])
+    # The unsharded oracle only runs up to --oracle-max machines; when it
+    # did, the placement-quality delta must ride along.
+    if "unsharded" in payload:
+        oracle = payload["unsharded"]
+        if not isinstance(oracle, dict):
+            fail(path, f"{where}: 'unsharded' must be an object")
+        oracle_timing = oracle.get("timing")
+        if (not isinstance(oracle_timing, dict) or
+                "decision_latency_us" not in oracle_timing):
+            fail(path, f"{where}: unsharded.timing.decision_latency_us "
+                       f"missing")
+        validate_histogram(
+            path, f"{where}: unsharded.timing.decision_latency_us",
+            oracle_timing["decision_latency_us"])
+        delta = payload.get("delta")
+        if not isinstance(delta, dict):
+            fail(path, f"{where}: oracle ran but 'delta' missing")
+        for key in ("utility_mean", "jct_mean_s", "makespan_s"):
+            _require_number(path, f"{where}: delta.{key}", delta.get(key))
+
+
 def validate_bench(path, doc):
     if not isinstance(doc, dict):
         fail(path, "bench document must be an object")
@@ -302,6 +371,8 @@ def validate_bench(path, doc):
                 fail(path, f"{where}: payload['pipeline'] {value!r} "
                            f"disagrees with metadata "
                            f"{metadata['pipeline']!r}")
+        if "sharded" in payload:
+            _validate_scale_payload(path, where, payload)
     aggregates = doc.get("aggregates")
     if not isinstance(aggregates, dict):
         fail(path, "missing aggregates object")
