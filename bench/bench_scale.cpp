@@ -86,12 +86,19 @@ json::Value quality_payload(const sched::DriverReport& report) {
   quality.set("wait_mean_s",
               placed > 0 ? wait_sum / static_cast<double>(placed) : 0.0);
   quality.set("decisions", report.decision_count);
+  quality.set("advance_events", report.advance_count);
   return quality;
 }
 
 json::Value timing_payload(const sched::DriverReport& report) {
   json::Value timing;
   timing.set("decision_latency_us", report.decision_latency_us.to_json());
+  // The per-decision vs per-advance split (Section 5.5.3): scale
+  // regressions attribute to the decision path (candidate scoring) or the
+  // event path (completion processing + rate updates). The scoped event
+  // path keeps the advance mean flat with machine count; the
+  // full-recompute oracle climbed with resident-job count.
+  timing.set("advance_latency_us", report.advance_latency_us.to_json());
   return timing;
 }
 
@@ -226,6 +233,9 @@ int main(int argc, char** argv) {
         shard::ShardedOptions sharded_options;
         sharded_options.shards = s;
         sharded_options.shard_threads = shard_threads;
+        // Nothing in the payload reads the bandwidth/utility series; at
+        // 5000 machines the per-event series append is pure overhead.
+        sharded_options.driver.record_series = false;
         shard::ShardedDriver sharded(topology, model, sharded_options);
         const sched::DriverReport sharded_report = sharded.run(jobs);
         json::Value sharded_payload = quality_payload(sharded_report);
@@ -259,7 +269,9 @@ int main(int argc, char** argv) {
         if (oracle_max > 0 && m <= oracle_max) {
           const auto scheduler =
               sched::make_scheduler(sched::Policy::kTopoAwareP);
-          sched::Driver oracle(topology, model, *scheduler);
+          sched::DriverOptions oracle_options;
+          oracle_options.record_series = false;
+          sched::Driver oracle(topology, model, *scheduler, oracle_options);
           const sched::DriverReport oracle_report = oracle.run(jobs);
           json::Value oracle_payload = quality_payload(oracle_report);
           oracle_payload.set("timing", timing_payload(oracle_report));
@@ -287,8 +299,9 @@ int main(int argc, char** argv) {
       options.scenarios.size(), seeds->size(), result.wall_seconds,
       result.events_per_second());
   std::printf(
-      "  %-18s %14s %14s %12s %12s %10s\n", "scenario", "sharded us/dec",
-      "oracle us/dec", "route p95 us", "d utility", "d jct s");
+      "  %-18s %14s %14s %13s %13s %12s %12s %10s\n", "scenario",
+      "sharded us/dec", "oracle us/dec", "shard us/adv", "oracle us/adv",
+      "route p95 us", "d utility", "d jct s");
   for (size_t i = 0; i < options.scenarios.size(); ++i) {
     const std::string& scenario = options.scenarios[i];
     const auto mean = [&](const std::string& metric) {
@@ -296,10 +309,16 @@ int main(int argc, char** argv) {
     };
     const metrics::Summary oracle = runner::find_aggregate(
         result, scenario, "unsharded.timing.decision_latency_us.mean");
+    const metrics::Summary oracle_adv = runner::find_aggregate(
+        result, scenario, "unsharded.timing.advance_latency_us.mean");
     std::printf(
-        "  %-18s %14.1f %14s %12.1f %12.4f %10.2f\n", scenario.c_str(),
-        mean("sharded.timing.decision_latency_us.mean"),
+        "  %-18s %14.1f %14s %13.1f %13s %12.1f %12.4f %10.2f\n",
+        scenario.c_str(), mean("sharded.timing.decision_latency_us.mean"),
         oracle.count > 0 ? util::format_double(oracle.mean, 1).c_str() : "-",
+        mean("sharded.timing.advance_latency_us.mean"),
+        oracle_adv.count > 0
+            ? util::format_double(oracle_adv.mean, 1).c_str()
+            : "-",
         mean("sharded.timing.route_latency_us.p95"),
         mean("delta.utility_mean"), mean("delta.jct_mean_s"));
   }

@@ -236,6 +236,116 @@ util::Status validate(const cluster::ClusterState& state) {
           bw_used[static_cast<size_t>(machine)])};
     }
   }
+
+  // Occupancy counters: the fragmented-machine count is maintained
+  // incrementally, so replay it from ownership.
+  {
+    int fragmented = 0;
+    for (int machine = 0; machine < machines; ++machine) {
+      const std::vector<int>& gpus = topology.gpus_of_machine(machine);
+      int machine_free = 0;
+      for (const int gpu : gpus) {
+        if (state.gpu_free(gpu)) ++machine_free;
+      }
+      if (machine_free > 0 && machine_free < static_cast<int>(gpus.size())) {
+        ++fragmented;
+      }
+    }
+    if (state.fragmented_machine_count() != fragmented) {
+      return util::Error{util::fmt(
+          "cluster: fragmented-machine count {} but replay gives {}",
+          state.fragmented_machine_count(), fragmented)};
+    }
+  }
+
+  // Link -> jobs interference index and each job's condensed flow counts
+  // must equal a replay of the flattened flow links.
+  std::vector<std::vector<int>> by_link(
+      static_cast<size_t>(topology.link_count()));
+  for (const auto& [id, job] : state.running_jobs()) {
+    std::vector<topo::LinkId> sorted_links = job.flow_links;
+    std::sort(sorted_links.begin(), sorted_links.end());
+    size_t entry = 0;
+    for (size_t i = 0; i < sorted_links.size();) {
+      size_t j = i;
+      while (j < sorted_links.size() && sorted_links[j] == sorted_links[i]) {
+        ++j;
+      }
+      if (entry >= job.flow_link_counts.size() ||
+          job.flow_link_counts[entry] !=
+              std::pair<topo::LinkId, int>{sorted_links[i],
+                                           static_cast<int>(j - i)}) {
+        return util::Error{util::fmt(
+            "cluster: job {} flow_link_counts out of sync with flow_links "
+            "at link {}",
+            id, sorted_links[i])};
+      }
+      by_link[static_cast<size_t>(sorted_links[i])].push_back(id);
+      ++entry;
+      i = j;
+    }
+    if (entry != job.flow_link_counts.size()) {
+      return util::Error{util::fmt(
+          "cluster: job {} flow_link_counts has {} entries, replay gives {}",
+          id, job.flow_link_counts.size(), entry)};
+    }
+  }
+  for (int link = 0; link < topology.link_count(); ++link) {
+    // Replay lists are sorted already: running_jobs iterates id-ascending.
+    if (state.jobs_of_link(link) != by_link[static_cast<size_t>(link)]) {
+      return util::Error{util::fmt(
+          "cluster: link {} job index out of sync ({} vs {} jobs)", link,
+          state.jobs_of_link(link).size(),
+          by_link[static_cast<size_t>(link)].size())};
+    }
+  }
+
+  // Finish-time heap: exactly the positive-rate jobs, back-pointers and
+  // stored times consistent, and min-heap ordered by (time, id).
+  {
+    const std::span<const cluster::ClusterState::FinishEntry> heap =
+        state.finish_heap();
+    size_t expected_slots = 0;
+    for (const auto& [id, job] : state.running_jobs()) {
+      if (job.rate > 0.0) {
+        ++expected_slots;
+        if (job.heap_pos < 0 ||
+            job.heap_pos >= static_cast<int>(heap.size())) {
+          return util::Error{util::fmt(
+              "cluster: job {} has rate {} but heap_pos {}", id, job.rate,
+              job.heap_pos)};
+        }
+        const cluster::ClusterState::FinishEntry& slot =
+            heap[static_cast<size_t>(job.heap_pos)];
+        if (slot.id != id || slot.time != job.finish_time) {
+          return util::Error{util::fmt(
+              "cluster: job {} heap slot holds (job {}, t={}) but job says "
+              "t={}",
+              id, slot.id, slot.time, job.finish_time)};
+        }
+      } else if (job.heap_pos != -1) {
+        return util::Error{util::fmt(
+            "cluster: zero-rate job {} still holds heap slot {}", id,
+            job.heap_pos)};
+      }
+    }
+    if (heap.size() != expected_slots) {
+      return util::Error{util::fmt(
+          "cluster: finish heap has {} slots for {} positive-rate jobs",
+          heap.size(), expected_slots)};
+    }
+    for (size_t i = 1; i < heap.size(); ++i) {
+      const cluster::ClusterState::FinishEntry& parent = heap[(i - 1) / 2];
+      const cluster::ClusterState::FinishEntry& child = heap[i];
+      if (child.time < parent.time ||
+          (child.time == parent.time && child.id < parent.id)) {
+        return util::Error{util::fmt(
+            "cluster: finish heap violated at slot {}: ({}, {}) under "
+            "({}, {})",
+            i, child.time, child.id, parent.time, parent.id)};
+      }
+    }
+  }
   return util::Status::ok();
 }
 

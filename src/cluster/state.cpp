@@ -17,6 +17,21 @@ std::uint64_t next_instance_id() {
   static std::atomic<std::uint64_t> counter{0};
   return ++counter;
 }
+
+/// Condenses a flattened link list (with multiplicity) into sorted unique
+/// (link, count) pairs — the perf::FlowDelta shape.
+std::vector<std::pair<topo::LinkId, int>> condense_links(
+    std::vector<topo::LinkId> links) {
+  std::sort(links.begin(), links.end());
+  std::vector<std::pair<topo::LinkId, int>> counts;
+  for (size_t i = 0; i < links.size();) {
+    size_t j = i;
+    while (j < links.size() && links[j] == links[i]) ++j;
+    counts.emplace_back(links[i], static_cast<int>(j - i));
+    i = j;
+  }
+  return counts;
+}
 }  // namespace
 
 ClusterState::ClusterState(const topo::TopologyGraph& topology,
@@ -26,8 +41,16 @@ ClusterState::ClusterState(const topo::TopologyGraph& topology,
       owner_(static_cast<size_t>(topology.gpu_count()), -1),
       flows_(static_cast<size_t>(topology.link_count()), 0),
       jobs_by_machine_(static_cast<size_t>(topology.machine_count())),
+      jobs_by_link_(static_cast<size_t>(topology.link_count())),
       host_bw_used_(static_cast<size_t>(topology.machine_count()), 0.0),
-      instance_id_(next_instance_id()) {}
+      machine_free_(static_cast<size_t>(topology.machine_count()), 0),
+      free_gpu_count_(topology.gpu_count()),
+      instance_id_(next_instance_id()) {
+  for (int machine = 0; machine < topology.machine_count(); ++machine) {
+    machine_free_[static_cast<size_t>(machine)] =
+        static_cast<int>(topology.gpus_of_machine(machine).size());
+  }
+}
 
 void ClusterState::set_execution_noise(double sigma, std::uint64_t seed) {
   noise_sigma_ = sigma;
@@ -53,6 +76,19 @@ void ClusterState::index_job(const RunningJob& job, bool insert) {
           std::max(0.0, host_bw_used_[static_cast<size_t>(machine)] - demand);
     }
   }
+  // The link -> jobs interference index: one entry per unique link the
+  // job's comm flows traverse, so a changed placement can find every job
+  // whose foreign-flow inputs it altered without a cluster scan.
+  for (const auto& [link, count] : job.flow_link_counts) {
+    std::vector<int>& list = jobs_by_link_[static_cast<size_t>(link)];
+    if (insert) {
+      list.insert(std::upper_bound(list.begin(), list.end(), job.request.id),
+                  job.request.id);
+    } else {
+      list.erase(std::remove(list.begin(), list.end(), job.request.id),
+                 list.end());
+    }
+  }
 }
 
 std::vector<int> ClusterState::free_gpus() const {
@@ -73,9 +109,31 @@ std::vector<int> ClusterState::free_gpus_of_machine(int machine) const {
   return gpus;
 }
 
-int ClusterState::free_gpu_count() const {
-  return static_cast<int>(
-      std::count(owner_.begin(), owner_.end(), -1));
+void ClusterState::track_gpu(int gpu, bool allocated) {
+  const int machine = topology_->machine_of_gpu(gpu);
+  int& free = machine_free_[static_cast<size_t>(machine)];
+  const int total =
+      static_cast<int>(topology_->gpus_of_machine(machine).size());
+  const bool was_fragmented = free > 0 && free < total;
+  const int delta = allocated ? -1 : 1;
+  free += delta;
+  free_gpu_count_ += delta;
+  GTS_DCHECK(free >= 0 && free <= total, "machine ", machine,
+             " free-GPU counter out of range: ", free);
+  const bool is_fragmented = free > 0 && free < total;
+  fragmented_machines_ +=
+      (is_fragmented ? 1 : 0) - (was_fragmented ? 1 : 0);
+}
+
+void ClusterState::corrupt_gpu_owner_for_test(int gpu, int job_id) {
+  const int old_owner = owner_[static_cast<size_t>(gpu)];
+  owner_[static_cast<size_t>(gpu)] = job_id;
+  // Keep the owner-derived occupancy counters consistent with the
+  // (corrupted) ownership table; see the header comment.
+  if ((old_owner < 0) != (job_id < 0)) {
+    track_gpu(gpu, /*allocated=*/job_id >= 0);
+  }
+  ++version_;
 }
 
 void ClusterState::add_flows(const RunningJob& job, int delta) {
@@ -89,7 +147,6 @@ void ClusterState::place(const jobgraph::JobRequest& request,
                          std::vector<int> gpus, double now,
                          double placement_utility) {
   GTS_CHECK_EQ(static_cast<int>(gpus.size()), request.num_gpus);
-  bank_progress(now);
 
   RunningJob job;
   job.request = request;
@@ -109,21 +166,31 @@ void ClusterState::place(const jobgraph::JobRequest& request,
     job.flow_links.insert(job.flow_links.end(), path.links.begin(),
                           path.links.end());
   }
+  job.flow_link_counts = condense_links(job.flow_links);
   job.solo_iteration_s = solo_iteration_time(job.request);
   for (const int gpu : job.gpus) {
     GTS_CHECK(gpu_free(gpu), "job ", request.id, " placed on busy GPU ",
               gpu, " owned by job ", gpu_owner(gpu));
     owner_[static_cast<size_t>(gpu)] = request.id;
+    track_gpu(gpu, /*allocated=*/true);
   }
   add_flows(job, +1);
   index_job(job, /*insert=*/true);
   const std::vector<int> touched = machines_of(job.gpus);
-  if (touched.size() > 1) any_multi_machine_job_ = true;
   const auto inserted = jobs_.emplace(request.id, std::move(job));
+  RunningJob& placed = inserted.first->second;
   ++version_;
-  recompute_rates(now, &touched);
+  if (full_event_recompute_) {
+    recompute_all(now);
+  } else {
+    // Exactly the jobs whose rate inputs this placement changed: sharers
+    // of a touched machine (interference term) or of a traversed link
+    // (flow sharing) — including the new job itself via the indices.
+    gather_touched(touched, placed.flow_link_counts, touched_ids_);
+    for (const int id : touched_ids_) update_job_rate(jobs_.at(id), now);
+  }
   if (allocation_listener_) {
-    allocation_listener_(inserted.first->second.gpus, /*allocated=*/true);
+    allocation_listener_(placed.gpus, /*allocated=*/true);
   }
   GTS_METRIC_COUNT("cluster.placements", 1);
   GTS_TRACE_INSTANT(obs::kCluster, "cluster.place", "job", request.id);
@@ -150,23 +217,38 @@ void ClusterState::restore_job(const jobgraph::JobRequest& request,
   job.last_update = now;
   ++version_;
   // The noise factor scales the job's rate; recompute with it in effect.
-  recompute_rates(now);
+  recompute_all(now);
+  // The overwritten progress moves the stored finish time even when the
+  // rate itself came out unchanged (noise_factor 1), so refresh it
+  // unconditionally from the restored progress.
+  refresh_finish(job, now);
 }
 
 void ClusterState::remove(int job_id, double now) {
   const auto it = jobs_.find(job_id);
   GTS_CHECK(it != jobs_.end(), "removing unknown job ", job_id);
-  bank_progress(now);
-  add_flows(it->second, -1);
-  index_job(it->second, /*insert=*/false);
-  const std::vector<int> touched = machines_of(it->second.gpus);
-  for (const int gpu : it->second.gpus) {
+  RunningJob& job = it->second;
+  add_flows(job, -1);
+  index_job(job, /*insert=*/false);
+  const std::vector<int> touched = machines_of(job.gpus);
+  for (const int gpu : job.gpus) {
     owner_[static_cast<size_t>(gpu)] = -1;
+    track_gpu(gpu, /*allocated=*/false);
   }
-  const std::vector<int> freed = std::move(it->second.gpus);
+  const std::vector<int> freed = std::move(job.gpus);
+  const std::vector<std::pair<topo::LinkId, int>> links =
+      std::move(job.flow_link_counts);
+  heap_erase(job);
   jobs_.erase(it);
   ++version_;
-  recompute_rates(now, &touched);
+  if (full_event_recompute_) {
+    recompute_all(now);
+  } else {
+    // The removed job is already unindexed, so the gather yields only the
+    // surviving machine/link sharers whose inputs the removal changed.
+    gather_touched(touched, links, touched_ids_);
+    for (const int id : touched_ids_) update_job_rate(jobs_.at(id), now);
+  }
   if (allocation_listener_) {
     allocation_listener_(freed, /*allocated=*/false);
   }
@@ -179,29 +261,20 @@ void ClusterState::publish_occupancy_metrics() const {
   if (!obs::metrics_enabled() && !obs::tracing_enabled(obs::kCluster)) {
     return;
   }
-  const int free = free_gpu_count();
   // Fragmentation: fraction of machines left partially occupied — free
   // GPUs stranded next to co-runners, the condition Eq. 5 penalizes.
-  int fragmented = 0;
+  // Both counters are maintained per allocation delta, so publishing is
+  // O(1) instead of a machines x GPUs rescan.
   const int machine_count = topology_->machine_count();
-  for (int machine = 0; machine < machine_count; ++machine) {
-    const std::vector<int>& gpus = topology_->gpus_of_machine(machine);
-    int machine_free = 0;
-    for (const int gpu : gpus) {
-      if (gpu_free(gpu)) ++machine_free;
-    }
-    if (machine_free > 0 && machine_free < static_cast<int>(gpus.size())) {
-      ++fragmented;
-    }
-  }
   const double fragmentation =
-      machine_count > 0
-          ? static_cast<double>(fragmented) / static_cast<double>(machine_count)
-          : 0.0;
-  GTS_METRIC_GAUGE_SET("cluster.free_gpus", static_cast<double>(free));
+      machine_count > 0 ? static_cast<double>(fragmented_machines_) /
+                              static_cast<double>(machine_count)
+                        : 0.0;
+  GTS_METRIC_GAUGE_SET("cluster.free_gpus",
+                       static_cast<double>(free_gpu_count_));
   GTS_METRIC_GAUGE_SET("cluster.fragmentation", fragmentation);
   GTS_TRACE_COUNTER(obs::kCluster, "cluster.free_gpus",
-                    static_cast<double>(free));
+                    static_cast<double>(free_gpu_count_));
   GTS_TRACE_COUNTER(obs::kCluster, "cluster.fragmentation", fragmentation);
 }
 
@@ -212,14 +285,22 @@ const RunningJob* ClusterState::find(int job_id) const {
 
 void ClusterState::bank_progress(double now) {
   for (auto& [id, job] : jobs_) {
-    const double elapsed = now - job.last_update;
-    if (elapsed > 0.0) {
-      job.progress_iterations += job.rate * elapsed;
-      job.progress_iterations =
-          std::min(job.progress_iterations,
-                   static_cast<double>(job.request.iterations));
-    }
+    job.progress_iterations = job.progress_at(now);
     job.last_update = now;
+    if (job.heap_pos >= 0) {
+      // Rebase the stored finish time on the banked progress — the same
+      // value next_completion used to recompute per query. Snapshot
+      // restore re-derives finish times from (progress, now) too, so
+      // checkpointing here keeps the original and a restored process
+      // bitwise-identical afterwards.
+      job.finish_time =
+          now + std::max(0.0, job.remaining_iterations()) / job.rate;
+      finish_heap_[static_cast<size_t>(job.heap_pos)].time = job.finish_time;
+    }
+  }
+  // Keys moved (by rounding only), so re-establish the heap invariant.
+  for (size_t i = finish_heap_.size() / 2; i-- > 0;) {
+    heap_sift_down(i);
   }
 }
 
@@ -248,12 +329,13 @@ std::vector<int> ClusterState::machines_of(std::span<const int> gpus) const {
   return machines;
 }
 
-std::vector<perf::CoRunner> ClusterState::co_runners(
-    std::span<const int> gpus, int exclude_job_id) const {
+void ClusterState::co_runners_into(std::span<const int> gpus,
+                                   int exclude_job_id,
+                                   CoRunnerScratch& scratch) const {
   // (machine, socket) pairs the placement touches, sorted for binary
   // search; machine list derived from it (same first components).
-  std::vector<std::pair<int, int>> sockets;
-  sockets.reserve(gpus.size());
+  std::vector<std::pair<int, int>>& sockets = scratch.sockets;
+  sockets.clear();
   for (const int gpu : gpus) {
     sockets.emplace_back(topology_->machine_of_gpu(gpu),
                          topology_->socket_of_gpu(gpu));
@@ -262,19 +344,22 @@ std::vector<perf::CoRunner> ClusterState::co_runners(
   sockets.erase(std::unique(sockets.begin(), sockets.end()), sockets.end());
   // Candidate co-runners come from the per-machine index so the scan cost
   // is proportional to the touched machines, not the whole cluster.
-  std::vector<int> candidate_ids;
+  std::vector<int>& candidate_ids = scratch.ids;
+  candidate_ids.clear();
   int last_machine = -1;
   for (const auto& [machine, socket] : sockets) {
     if (machine == last_machine) continue;  // sockets sorted by machine
     last_machine = machine;
-    const std::vector<int>& ids = jobs_by_machine_[static_cast<size_t>(machine)];
+    const std::vector<int>& ids =
+        jobs_by_machine_[static_cast<size_t>(machine)];
     candidate_ids.insert(candidate_ids.end(), ids.begin(), ids.end());
   }
   std::sort(candidate_ids.begin(), candidate_ids.end());
   candidate_ids.erase(
       std::unique(candidate_ids.begin(), candidate_ids.end()),
       candidate_ids.end());
-  std::vector<perf::CoRunner> out;
+  std::vector<perf::CoRunner>& out = scratch.co;
+  out.clear();
   out.reserve(candidate_ids.size());
   for (const int id : candidate_ids) {
     if (id == exclude_job_id) continue;
@@ -291,7 +376,13 @@ std::vector<perf::CoRunner> ClusterState::co_runners(
     }
     out.push_back({job.request.profile.batch, shares_socket});
   }
-  return out;
+}
+
+std::vector<perf::CoRunner> ClusterState::co_runners(
+    std::span<const int> gpus, int exclude_job_id) const {
+  CoRunnerScratch scratch;
+  co_runners_into(gpus, exclude_job_id, scratch);
+  return std::move(scratch.co);
 }
 
 double ClusterState::fragmentation() const {
@@ -359,8 +450,24 @@ double ClusterState::solo_iteration_time(
     return request.profile.solo_time_pack /
            static_cast<double>(request.iterations);
   }
-  const std::vector<int> pack =
-      perf::pack_placement(*topology_, request.num_gpus);
+  // Fallback for unprofiled jobs: evaluate the model on an idle packed
+  // placement. The pack itself depends only on (topology, num_gpus), so it
+  // is memoized per state instead of being rebuilt on every placement.
+  std::vector<int> pack;
+  bool cached = false;
+  {
+    util::MutexLock lock(pack_cache_mutex_);
+    const auto it = pack_cache_.find(request.num_gpus);
+    if (it != pack_cache_.end()) {
+      pack = it->second;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    pack = perf::pack_placement(*topology_, request.num_gpus);
+    util::MutexLock lock(pack_cache_mutex_);
+    pack_cache_.emplace(request.num_gpus, pack);
+  }
   if (static_cast<int>(pack.size()) != request.num_gpus) return 0.0;
   return model_->iteration(request, pack, *topology_).total_s;
 }
@@ -373,50 +480,153 @@ perf::IterationBreakdown ClusterState::predict_iteration(
 
 perf::IterationBreakdown ClusterState::current_iteration(
     const RunningJob& job) const {
-  const perf::LinkFlows foreign = flows_excluding(job.request.id);
   const std::vector<perf::CoRunner> co = co_runners(job.gpus, job.request.id);
-  return model_->iteration(job.request, job.gpus, *topology_, &foreign, co);
+  // The job's own flows are subtracted from the global table on read
+  // (FlowDelta) — bitwise-equal to the flows_excluding copy it replaces:
+  // the subtraction happens in integers before any division.
+  return model_->iteration(job.request, job.gpus, *topology_, &flows_, co,
+                           job.flow_link_counts);
 }
 
-void ClusterState::recompute_rates(double now,
-                                   const std::vector<int>* touched_machines) {
-  const auto update = [&](RunningJob& job) {
-    GTS_DCHECK(job.last_update == now || job.rate == 0.0,
-               "rate recompute without banked progress for job ",
-               job.request.id);
-    (void)now;
-    const perf::IterationBreakdown step = current_iteration(job);
-    const double iter = step.total_s * job.noise_factor;
-    job.rate = iter > 0.0 ? 1.0 / iter : 0.0;
-  };
-  if (touched_machines != nullptr && !any_multi_machine_job_) {
-    std::vector<int> ids;
-    for (const int machine : *touched_machines) {
-      const std::vector<int>& list =
-          jobs_by_machine_[static_cast<size_t>(machine)];
-      ids.insert(ids.end(), list.begin(), list.end());
-    }
-    std::sort(ids.begin(), ids.end());
-    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    for (const int id : ids) update(jobs_.at(id));
+void ClusterState::gather_touched(
+    const std::vector<int>& machines,
+    std::span<const std::pair<topo::LinkId, int>> links,
+    std::vector<int>& ids) const {
+  ids.clear();
+  for (const int machine : machines) {
+    const std::vector<int>& list =
+        jobs_by_machine_[static_cast<size_t>(machine)];
+    ids.insert(ids.end(), list.begin(), list.end());
+  }
+  for (const auto& [link, count] : links) {
+    const std::vector<int>& list = jobs_by_link_[static_cast<size_t>(link)];
+    ids.insert(ids.end(), list.begin(), list.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+void ClusterState::update_job_rate(RunningJob& job, double now) {
+  co_runners_into(job.gpus, job.request.id, scratch_);
+  const perf::IterationBreakdown step =
+      model_->iteration(job.request, job.gpus, *topology_, &flows_,
+                        scratch_.co, job.flow_link_counts);
+  const double iter = step.total_s * job.noise_factor;
+  const double rate = iter > 0.0 ? 1.0 / iter : 0.0;
+  if (rate == job.rate) {
+    // Bitwise-equal rate: the regime is unchanged, so banking now or later
+    // integrates to the same progress. Leaving the anchor alone is what
+    // makes the full recompute (which evaluates every job) and the scoped
+    // one (which only evaluates the touched set) write identical state.
     return;
   }
-  for (auto& [id, job] : jobs_) update(job);
+  // Bank at the old rate before entering the new regime.
+  job.progress_iterations = job.progress_at(now);
+  job.last_update = now;
+  job.rate = rate;
+  refresh_finish(job, now);
+}
+
+void ClusterState::recompute_all(double now) {
+  for (auto& [id, job] : jobs_) update_job_rate(job, now);
+}
+
+void ClusterState::refresh_finish(RunningJob& job, double now) {
+  job.finish_time =
+      job.rate > 0.0
+          ? now + std::max(0.0, job.remaining_iterations()) / job.rate
+          : std::numeric_limits<double>::infinity();
+  heap_update(job);
+}
+
+void ClusterState::heap_place(size_t i, const FinishEntry& entry) {
+  finish_heap_[i] = entry;
+  jobs_.at(entry.id).heap_pos = static_cast<int>(i);
+}
+
+void ClusterState::heap_sift_up(size_t i) {
+  const FinishEntry entry = finish_heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!finish_less(entry, finish_heap_[parent])) break;
+    heap_place(i, finish_heap_[parent]);
+    i = parent;
+  }
+  heap_place(i, entry);
+}
+
+void ClusterState::heap_sift_down(size_t i) {
+  const size_t n = finish_heap_.size();
+  const FinishEntry entry = finish_heap_[i];
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        finish_less(finish_heap_[child + 1], finish_heap_[child])) {
+      ++child;
+    }
+    if (!finish_less(finish_heap_[child], entry)) break;
+    heap_place(i, finish_heap_[child]);
+    i = child;
+  }
+  heap_place(i, entry);
+}
+
+void ClusterState::heap_update(RunningJob& job) {
+  const bool wants_slot = job.rate > 0.0 && std::isfinite(job.finish_time);
+  if (!wants_slot) {
+    heap_erase(job);
+    return;
+  }
+  if (job.heap_pos < 0) {
+    finish_heap_.push_back({job.finish_time, job.request.id});
+    job.heap_pos = static_cast<int>(finish_heap_.size()) - 1;
+    heap_sift_up(static_cast<size_t>(job.heap_pos));
+    return;
+  }
+  const size_t i = static_cast<size_t>(job.heap_pos);
+  finish_heap_[i].time = job.finish_time;
+  heap_sift_up(i);
+  heap_sift_down(static_cast<size_t>(job.heap_pos));
+}
+
+void ClusterState::heap_erase(RunningJob& job) {
+  if (job.heap_pos < 0) return;
+  const size_t i = static_cast<size_t>(job.heap_pos);
+  job.heap_pos = -1;
+  const FinishEntry last = finish_heap_.back();
+  finish_heap_.pop_back();
+  if (i < finish_heap_.size()) {
+    heap_place(i, last);
+    heap_sift_up(i);
+    heap_sift_down(
+        static_cast<size_t>(jobs_.at(last.id).heap_pos));
+  }
 }
 
 std::optional<std::pair<int, double>> ClusterState::next_completion(
-    double now) const {
-  std::optional<std::pair<int, double>> best;
-  for (const auto& [id, job] : jobs_) {
-    if (job.rate <= 0.0) continue;
-    const double pending = now - job.last_update;
-    const double done = job.progress_iterations + job.rate * pending;
-    const double remaining =
-        static_cast<double>(job.request.iterations) - done;
-    const double finish = now + std::max(0.0, remaining) / job.rate;
-    if (!best || finish < best->second) best = {id, finish};
+    double /*now*/) const {
+  if (finish_heap_.empty()) return std::nullopt;
+  const FinishEntry& top = finish_heap_.front();
+  return std::make_pair(top.id, top.time);
+}
+
+std::vector<int> ClusterState::due_completions(double now) const {
+  std::vector<int> due;
+  if (finish_heap_.empty() || finish_heap_.front().time > now) return due;
+  // BFS over the heap array, pruning subtrees whose root is beyond `now`
+  // (children can only finish later); O(due) heap slots visited.
+  std::vector<size_t> stack{0};
+  while (!stack.empty()) {
+    const size_t i = stack.back();
+    stack.pop_back();
+    if (i >= finish_heap_.size() || finish_heap_[i].time > now) continue;
+    due.push_back(finish_heap_[i].id);
+    stack.push_back(2 * i + 1);
+    stack.push_back(2 * i + 2);
   }
-  return best;
+  std::sort(due.begin(), due.end());
+  return due;
 }
 
 }  // namespace gts::cluster

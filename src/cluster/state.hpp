@@ -4,21 +4,34 @@
 // Jobs execute at a rate of 1 / iteration_time, where iteration_time comes
 // from the performance model and depends on everything else running (link
 // sharing + machine interference). Whenever the set of running jobs
-// changes, the state first banks each job's progress at the old rate, then
-// recomputes rates; completion estimates are therefore exact piecewise
-// integration, not approximations.
+// changes, the state banks the progress of every job whose rate changes at
+// its old rate, then enters the new rate regime; completion estimates are
+// therefore exact piecewise integration, not approximations.
+//
+// The event path (place/remove) costs O(touched state), not O(cluster):
+// only jobs sharing a machine or a link with the changed placement are
+// re-rated (their inputs are the only ones that changed — DESIGN.md
+// section 20 gives the FP-exactness argument), "what a job sees as foreign
+// flows" is the global flow table minus the job's own contribution
+// subtracted on read (perf::FlowDelta, no per-query copy), and the next
+// completion comes from an indexed finish-time min-heap maintained at rate
+// changes instead of a scan over every running job.
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "jobgraph/jobgraph.hpp"
 #include "perf/model.hpp"
 #include "topo/topology.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace gts::cluster {
 
@@ -35,7 +48,7 @@ struct RunningJob {
   /// (cloud variability, Section 4.2); 1.0 = deterministic.
   double noise_factor = 1.0;
 
-  // Placement-time caches for the Eq. 4 hot path. Both are constants for
+  // Placement-time caches for the Eq. 4 hot path. All are constants for
   // the job's lifetime (the solo anchor ignores cluster load and the flow
   // links depend only on the fixed placement + topology), so no
   // invalidation beyond the job's removal is needed.
@@ -45,9 +58,32 @@ struct RunningJob {
   /// multiplicity — add_flows / flows_excluding / interference walk this
   /// instead of re-running edges x gpu_path.
   std::vector<topo::LinkId> flow_links;
+  /// flow_links condensed to sorted unique (link, multiplicity) pairs —
+  /// the perf::FlowDelta the model subtracts on read when evaluating this
+  /// job against the global flow table, and the key set of the cluster's
+  /// link -> jobs interference index.
+  std::vector<std::pair<topo::LinkId, int>> flow_link_counts;
+
+  /// Absolute completion time under the current rate regime, recorded when
+  /// the rate last changed (+inf while the rate is zero); the key of the
+  /// cluster's finish-time min-heap.
+  double finish_time = std::numeric_limits<double>::infinity();
+  /// Index into the cluster's finish-time heap, -1 while absent (rate 0).
+  int heap_pos = -1;
 
   double remaining_iterations() const {
     return static_cast<double>(request.iterations) - progress_iterations;
+  }
+
+  /// Progress extrapolated to `now` at the current rate — the exact
+  /// piecewise-integration value. (progress_iterations, last_update) is
+  /// only rewritten when the rate changes, so this is a pure function of
+  /// the current rate regime: it does not depend on how many intermediate
+  /// events banked *other* jobs, which is what makes scoped (O(touched))
+  /// event updates byte-identical to full-cluster ones.
+  double progress_at(double now) const {
+    return std::min(progress_iterations + rate * (now - last_update),
+                    static_cast<double>(request.iterations));
   }
 };
 
@@ -72,7 +108,8 @@ class ClusterState {
   int gpu_owner(int gpu) const { return owner_[static_cast<size_t>(gpu)]; }
   std::vector<int> free_gpus() const;
   std::vector<int> free_gpus_of_machine(int machine) const;
-  int free_gpu_count() const;
+  /// O(1): maintained incrementally from allocation deltas.
+  int free_gpu_count() const noexcept { return free_gpu_count_; }
   int running_job_count() const { return static_cast<int>(jobs_.size()); }
 
   /// Monotonic counter bumped by every allocation-relevant mutation
@@ -122,13 +159,39 @@ class ClusterState {
   const RunningJob* find(int job_id) const;
   const std::map<int, RunningJob>& running_jobs() const { return jobs_; }
 
+  /// Oracle switch for differential tests: when true, every place/remove
+  /// re-rates ALL running jobs (the pre-scoping full recompute) instead of
+  /// the machine/link-scoped touched set. State writes are identical
+  /// either way — an untouched job's rate inputs are unchanged, so its
+  /// recomputed rate is bitwise-equal and the skip-on-equal-rate update
+  /// leaves it alone — the flag only changes how much redundant model work
+  /// is done. tests/event_path_test.cpp asserts byte-equality of the two
+  /// modes; bench_advance_micro quantifies the gap.
+  void set_full_event_recompute(bool on) noexcept {
+    full_event_recompute_ = on;
+  }
+  bool full_event_recompute() const noexcept { return full_event_recompute_; }
+
   // --- execution model -----------------------------------------------------
-  /// Advances every job's progress to `now` at its current rate.
+  /// Checkpoints every job at `now`: banks progress, rebases last_update,
+  /// and refreshes the stored finish times from the banked values. Called
+  /// by the driver before snapshots so the snapshotting process and a
+  /// process restored from the snapshot continue with bitwise-identical
+  /// progress arithmetic. O(jobs) by design — per-event updates go through
+  /// the scoped rate recompute instead.
   void bank_progress(double now);
 
   /// (job id, absolute completion time) of the job finishing next, given
-  /// current rates; nullopt when nothing runs.
+  /// current rates; nullopt when nothing runs. O(1): the heap top. The
+  /// returned time is the finish time stored when the job's rate last
+  /// changed — the same piecewise-exact value the pre-heap scan
+  /// recomputed per query, modulo query-point rounding.
   std::optional<std::pair<int, double>> next_completion(double now) const;
+
+  /// Job ids whose stored finish time has been reached at `now`
+  /// (ascending). The driver's completion event consumes this instead of
+  /// banking and scanning every running job; cost is O(due · log jobs).
+  std::vector<int> due_completions(double now) const;
 
   /// Link flow counts from all running jobs (index = LinkId).
   const perf::LinkFlows& link_flows() const noexcept { return flows_; }
@@ -172,6 +235,31 @@ class ClusterState {
     return jobs_by_machine_[static_cast<size_t>(machine)];
   }
 
+  /// Job ids with at least one comm flow routed over `link` (ascending) —
+  /// the interference index the scoped rate recompute and the check
+  /// subsystem's audit read.
+  const std::vector<int>& jobs_of_link(topo::LinkId link) const {
+    return jobs_by_link_[static_cast<size_t>(link)];
+  }
+
+  /// One finish-time heap slot: (stored finish time, job id), min-heap on
+  /// (time, id) so ties resolve to the smallest id like the pre-heap
+  /// ordered-map scan did. Exposed for the check subsystem's audit.
+  struct FinishEntry {
+    double time = 0.0;
+    int id = -1;
+  };
+  std::span<const FinishEntry> finish_heap() const noexcept {
+    return finish_heap_;
+  }
+
+  /// Machines currently holding a strict subset of their GPUs free —
+  /// maintained incrementally per allocation delta (the numerator of the
+  /// occupancy gauge published to obs).
+  int fragmented_machine_count() const noexcept {
+    return fragmented_machines_;
+  }
+
   /// Host-bandwidth demand (GB/s) of the jobs on `machine` (Section 4.3's
   /// t_bw accounting; capacity is model().params().host_bw_capacity_gbps).
   double host_bw_used(int machine) const {
@@ -184,26 +272,70 @@ class ClusterState {
   }
 
   /// Fault injection for the check subsystem's tests: overwrites the owner
-  /// of `gpu` with `job_id` (or -1) without any of the bookkeeping place()
-  /// performs, deliberately desynchronizing the ownership table from the
-  /// job table so check::validate / check::audit_placement can be shown to
-  /// catch corruption. Never call outside tests.
-  void corrupt_gpu_owner_for_test(int gpu, int job_id) {
-    owner_[static_cast<size_t>(gpu)] = job_id;
-    ++version_;
-  }
+  /// of `gpu` with `job_id` (or -1) without any of the job-table
+  /// bookkeeping place() performs, deliberately desynchronizing the
+  /// ownership table from the job table so check::validate /
+  /// check::audit_placement can be shown to catch corruption. The
+  /// owner-derived occupancy counters ARE kept in sync with the corrupted
+  /// table — they are a projection of owner_, and keeping them consistent
+  /// preserves the audit's ability to pinpoint the job/owner mismatch
+  /// itself. Never call outside tests.
+  void corrupt_gpu_owner_for_test(int gpu, int job_id);
 
  private:
-  /// Recomputes rates for every job, or — when `touched_machines` is given
-  /// and no multi-machine job is involved — only for jobs on those
-  /// machines (interference and link sharing are machine-local for
-  /// single-node jobs, which keeps large-cluster updates O(1 machine)).
-  void recompute_rates(double now,
-                       const std::vector<int>* touched_machines = nullptr);
+  /// Scratch for co-runner gathering on the serial mutation path (the
+  /// public co_runners() allocates instead, staying safe under the
+  /// schedulers' parallel candidate scoring).
+  struct CoRunnerScratch {
+    std::vector<std::pair<int, int>> sockets;  // (machine, socket), sorted
+    std::vector<int> ids;
+    std::vector<perf::CoRunner> co;
+  };
+
+  /// Fills `scratch.co` with the co-runners of `gpus` (excluding
+  /// `exclude_job_id`); shared core of the public co_runners().
+  void co_runners_into(std::span<const int> gpus, int exclude_job_id,
+                       CoRunnerScratch& scratch) const;
+
+  /// Re-rates one job at `now`: recomputes its iteration time from current
+  /// flows and co-runners, and — only when the rate value actually changed
+  /// bitwise — banks progress at the old rate, rebases last_update, and
+  /// refreshes the stored finish time + heap slot. The bitwise
+  /// skip-on-equal-rate is what makes full and scoped recomputes write
+  /// identical state (DESIGN.md section 20).
+  void update_job_rate(RunningJob& job, double now);
+  /// update_job_rate over every running job (oracle mode, restore path).
+  void recompute_all(double now);
+  /// Job ids sharing a machine in `machines` or a link in `links` with a
+  /// changed placement (sorted, unique) — the exact set whose rate inputs
+  /// the change can have altered.
+  void gather_touched(const std::vector<int>& machines,
+                      std::span<const std::pair<topo::LinkId, int>> links,
+                      std::vector<int>& ids) const;
+  /// Recomputes `job`'s stored finish time from its banked progress and
+  /// current rate at `now`, and re-seats its heap slot.
+  void refresh_finish(RunningJob& job, double now);
+
+  // Finish-time min-heap plumbing; entries order by (time, id).
+  static bool finish_less(const FinishEntry& a, const FinishEntry& b) {
+    return a.time < b.time || (a.time == b.time && a.id < b.id);
+  }
+  void heap_place(size_t i, const FinishEntry& entry);
+  void heap_sift_up(size_t i);
+  void heap_sift_down(size_t i);
+  /// Inserts/moves/erases `job`'s heap slot to match its rate and stored
+  /// finish time.
+  void heap_update(RunningJob& job);
+  void heap_erase(RunningJob& job);
+
   void add_flows(const RunningJob& job, int delta);
   void index_job(const RunningJob& job, bool insert);
-  /// Updates the obs gauges / trace counters that track occupancy; a
-  /// single branch when neither metrics nor cluster tracing is enabled.
+  /// Maintains the O(1) occupancy counters across one GPU's
+  /// allocation-state flip.
+  void track_gpu(int gpu, bool allocated);
+  /// Updates the obs gauges / trace counters that track occupancy from the
+  /// incrementally maintained counters; a single branch (and O(1) work)
+  /// when neither metrics nor cluster tracing is enabled.
   void publish_occupancy_metrics() const;
 
   const topo::TopologyGraph* topology_;
@@ -212,13 +344,31 @@ class ClusterState {
   perf::LinkFlows flows_;     // per link: number of comm flows
   std::map<int, RunningJob> jobs_;  // ordered for deterministic iteration
   std::vector<std::vector<int>> jobs_by_machine_;
+  std::vector<std::vector<int>> jobs_by_link_;  // link -> job ids, ascending
   std::vector<double> host_bw_used_;  // per machine, GB/s
-  bool any_multi_machine_job_ = false;
+  std::vector<FinishEntry> finish_heap_;  // jobs with rate > 0
+  // Occupancy counters, updated per GPU flip (publish_occupancy_metrics
+  // and free_gpu_count read them in O(1)).
+  std::vector<int> machine_free_;  // free GPUs per machine
+  int free_gpu_count_ = 0;
+  int fragmented_machines_ = 0;
+  bool full_event_recompute_ = false;
   std::uint64_t version_ = 0;
   std::uint64_t instance_id_ = 0;
   double noise_sigma_ = 0.0;
   util::Rng noise_rng_{1234};
   AllocationListener allocation_listener_;
+  // Mutation-path scratch (serial by the state's confinement contract;
+  // const readers never touch these).
+  CoRunnerScratch scratch_;
+  std::vector<int> touched_ids_;
+  /// solo_iteration_time's pack-placement fallback, keyed by num_gpus (the
+  /// topology is fixed for the state's lifetime, so no epoch in the key).
+  /// Mutex-guarded because const prediction paths run under the
+  /// schedulers' parallel candidate scoring.
+  mutable util::Mutex pack_cache_mutex_;
+  mutable std::map<int, std::vector<int>> pack_cache_
+      GTS_GUARDED_BY(pack_cache_mutex_);
 };
 
 }  // namespace gts::cluster

@@ -15,6 +15,16 @@ const NnParams& nn_params(const CalibrationParams& params,
   return params.nn[static_cast<size_t>(nn)];
 }
 
+/// Multiplicity of `link` in a sorted FlowDelta, 0 when absent.
+int excluded_count(FlowDelta exclude_flows, topo::LinkId link) {
+  const auto it = std::lower_bound(
+      exclude_flows.begin(), exclude_flows.end(), link,
+      [](const std::pair<topo::LinkId, int>& entry, topo::LinkId key) {
+        return entry.first < key;
+      });
+  return (it != exclude_flows.end() && it->first == link) ? it->second : 0;
+}
+
 }  // namespace
 
 double DlWorkloadModel::compute_time(jobgraph::NeuralNet nn,
@@ -48,7 +58,7 @@ PathClass DlWorkloadModel::classify_path(const topo::TopologyGraph& topology,
 
 double DlWorkloadModel::effective_bandwidth(
     const topo::TopologyGraph& topology, int gpu_a, int gpu_b,
-    const LinkFlows* extra_flows) const {
+    const LinkFlows* extra_flows, FlowDelta exclude_flows) const {
   const topo::GpuPath& path = topology.gpu_path(gpu_a, gpu_b);
   if (path.links.empty()) return 0.0;
 
@@ -57,10 +67,13 @@ double DlWorkloadModel::effective_bandwidth(
   if (extra_flows != nullptr) {
     bottleneck = std::numeric_limits<double>::infinity();
     for (const topo::LinkId link_id : path.links) {
-      const int foreign =
+      int foreign =
           link_id < static_cast<int>(extra_flows->size())
               ? (*extra_flows)[static_cast<size_t>(link_id)]
               : 0;
+      if (!exclude_flows.empty()) {
+        foreign -= excluded_count(exclude_flows, link_id);
+      }
       const double share = topology.link(link_id).bandwidth_gbps /
                            static_cast<double>(foreign + 1);
       bottleneck = std::min(bottleneck, share);
@@ -103,7 +116,7 @@ double DlWorkloadModel::interference_factor(
 IterationBreakdown DlWorkloadModel::iteration(
     const jobgraph::JobRequest& job, std::span<const int> gpus,
     const topo::TopologyGraph& topology, const LinkFlows* extra_flows,
-    std::span<const CoRunner> co_runners) const {
+    std::span<const CoRunner> co_runners, FlowDelta exclude_flows) const {
   GTS_DCHECK_EQ(static_cast<int>(gpus.size()), job.comm_graph.task_count());
 
   IterationBreakdown out;
@@ -123,7 +136,8 @@ IterationBreakdown DlWorkloadModel::iteration(
   for (const jobgraph::CommEdge& edge : job.comm_graph.edges()) {
     const int gpu_a = gpus[static_cast<size_t>(edge.a)];
     const int gpu_b = gpus[static_cast<size_t>(edge.b)];
-    const double bw = effective_bandwidth(topology, gpu_a, gpu_b, extra_flows);
+    const double bw =
+        effective_bandwidth(topology, gpu_a, gpu_b, extra_flows, exclude_flows);
     if (bw <= 0.0) continue;
     const double volume_gb =
         nn.grad_volume_gb * (edge.weight / reference_weight);

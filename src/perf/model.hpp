@@ -12,6 +12,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "jobgraph/jobgraph.hpp"
@@ -23,6 +24,14 @@ namespace gts::perf {
 /// Number of foreign traffic flows per link id; used to split link
 /// bandwidth fairly between jobs. Empty means "no contention".
 using LinkFlows = std::vector<int>;
+
+/// Per-link flow counts to subtract from a LinkFlows table on read:
+/// sorted-by-link (link, multiplicity) pairs, typically one running job's
+/// own contribution (RunningJob::flow_link_counts). Passing the global
+/// flow table plus this delta is bitwise-equivalent to materializing a
+/// "flows excluding me" copy — the subtraction happens in integers before
+/// any division — without the O(links) copy per query.
+using FlowDelta = std::span<const std::pair<topo::LinkId, int>>;
 
 /// A job sharing machine resources with the one under evaluation.
 struct CoRunner {
@@ -60,18 +69,24 @@ class DlWorkloadModel {
   /// Effective bandwidth of the pair path: bottleneck x efficiency class,
   /// divided further when links on the path carry `extra_flows` foreign
   /// flows (fair sharing: a link with f foreign flows gives 1/(f+1)).
+  /// `exclude_flows` is subtracted from `extra_flows` on read (see
+  /// FlowDelta) so callers can pass a total-flows table together with the
+  /// evaluated job's own contribution instead of copying the table.
   double effective_bandwidth(const topo::TopologyGraph& topology, int gpu_a,
-                             int gpu_b, const LinkFlows* extra_flows) const;
+                             int gpu_b, const LinkFlows* extra_flows,
+                             FlowDelta exclude_flows = {}) const;
 
   /// Full per-iteration breakdown for `job` on `gpus` (global GPU ids, one
   /// per task). `co_runner_batches` lists the batch classes of other jobs
   /// sharing any machine with this placement. `extra_flows` carries
-  /// foreign per-link flow counts, or nullptr for a solo machine.
+  /// foreign per-link flow counts, or nullptr for a solo machine;
+  /// `exclude_flows` is subtracted from it on read (FlowDelta).
   IterationBreakdown iteration(const jobgraph::JobRequest& job,
                                std::span<const int> gpus,
                                const topo::TopologyGraph& topology,
                                const LinkFlows* extra_flows = nullptr,
-                               std::span<const CoRunner> co_runners = {}) const;
+                               std::span<const CoRunner> co_runners = {},
+                               FlowDelta exclude_flows = {}) const;
 
   /// Completion time for the job's full iteration count under fixed
   /// conditions (the simulator integrates piecewise when conditions vary).

@@ -27,6 +27,7 @@ Driver::Driver(const topo::TopologyGraph& topology,
   if (options_.allocation_listener) {
     state_.set_allocation_listener(std::move(options_.allocation_listener));
   }
+  state_.set_full_event_recompute(options_.full_event_recompute);
   if (options_.noise_sigma > 0.0) {
     state_.set_execution_noise(options_.noise_sigma, options_.noise_seed);
   }
@@ -318,16 +319,23 @@ void Driver::on_arrival(const jobgraph::JobRequest& request) {
 void Driver::on_completion_event() {
   completion_event_ = sim::kInvalidEvent;
   const double now = engine_.now();
-  state_.bank_progress(now);
-  // Finish every job whose remaining work reached zero (ties possible).
-  std::vector<int> done;
-  for (const auto& [id, job] : state_.running_jobs()) {
-    if (job.remaining_iterations() <= 1e-6) done.push_back(id);
-  }
+  const std::int64_t t0_us = obs::wall_now_us();
+  // Jobs whose stored finish time has been reached (ties arrive together:
+  // identical rate regimes store bitwise-equal finish times). No
+  // cluster-wide banking — every untouched job's progress extrapolates
+  // exactly from its regime anchor, and remove() re-rates only the
+  // machine/link sharers of each finished job.
+  const std::vector<int> done = state_.due_completions(now);
   for (const int id : done) {
     state_.remove(id, now);
     report_.recorder.on_finish(id, now);
   }
+  const double advance_us = static_cast<double>(obs::wall_now_us() - t0_us);
+  report_.advance_seconds += advance_us * 1e-6;
+  ++report_.advance_count;
+  report_.advance_latency_us.record(advance_us);
+  GTS_METRIC_HISTOGRAM("sched.advance_latency_us", advance_us,
+                       obs::latency_bounds_us());
   if (!done.empty()) ++capacity_version_;
   scheduling_pass();
 }

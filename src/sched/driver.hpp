@@ -59,6 +59,12 @@ struct DriverOptions {
   /// Installed on the ClusterState before any traffic; the sharded
   /// scheduler's per-cell routing summaries subscribe here.
   cluster::ClusterState::AllocationListener allocation_listener;
+  /// Differential-test oracle: re-rate every running job on each
+  /// place/remove (the pre-scoping full recompute) instead of only the
+  /// machine/link-scoped touched set. Outcomes are byte-identical either
+  /// way (cluster::ClusterState::set_full_event_recompute); the flag only
+  /// changes how much redundant model work each event performs.
+  bool full_event_recompute = false;
 };
 
 struct DriverReport {
@@ -76,6 +82,19 @@ struct DriverReport {
     return decision_count == 0 ? 0.0
                                : decision_seconds /
                                      static_cast<double>(decision_count);
+  }
+  /// Wall-clock seconds spent on the advance path — processing completion
+  /// events (due-completion collection + removal rate updates) — and the
+  /// number of completion events. The other half of the Section 5.5.3
+  /// overhead split: together with decision_* it attributes scale
+  /// regressions to the decision path or the event path.
+  double advance_seconds = 0.0;
+  long long advance_count = 0;
+  obs::HistogramData advance_latency_us;
+  double mean_advance_seconds() const {
+    return advance_count == 0 ? 0.0
+                              : advance_seconds /
+                                    static_cast<double>(advance_count);
   }
   /// Simulated time when the last job finished.
   double end_time = 0.0;

@@ -104,16 +104,11 @@ double UtilityModel::interference(const jobgraph::JobRequest& request,
                      affected_ids.end());
   for (const int id : affected_ids) {
     const cluster::RunningJob& job = state.running_jobs().at(id);
-    // Foreign flows for this job = all flows + candidate - its own; the
-    // subtraction is applied in place and undone afterwards to avoid a
-    // vector copy per co-runner. The job's links were flattened at
-    // placement time (RunningJob::flow_links).
-    const auto adjust_own = [&](int delta) {
-      for (const topo::LinkId link : job.flow_links) {
-        adjusted[static_cast<size_t>(link)] += delta;
-      }
-    };
-    adjust_own(-1);
+    // Foreign flows for this job = all flows + candidate - its own. Its
+    // own contribution (condensed at placement into flow_link_counts) is
+    // subtracted on read inside the model (perf::FlowDelta) — the same
+    // integer counts the previous in-place twiddling produced, without
+    // mutating the shared vector per co-runner.
     // Its co-runners now include the candidate.
     std::vector<perf::CoRunner> co = state.co_runners(job.gpus, id);
     const bool candidate_shares_socket = std::any_of(
@@ -128,9 +123,9 @@ double UtilityModel::interference(const jobgraph::JobRequest& request,
     const double solo = job.solo_iteration_s;
     const double colloc =
         state.model()
-            .iteration(job.request, job.gpus, topology, &adjusted, co)
+            .iteration(job.request, job.gpus, topology, &adjusted, co,
+                       job.flow_link_counts)
             .total_s;
-    adjust_own(+1);
     ratio_sum += (solo > 0.0 && colloc > 0.0)
                      ? std::min(1.0, solo / colloc)
                      : 1.0;

@@ -715,6 +715,9 @@ sched::DriverReport ShardedDriver::merged_report() const {
     report.decision_seconds += r.decision_seconds;
     report.decision_count += r.decision_count;
     report.decision_latency_us.merge(r.decision_latency_us);
+    report.advance_seconds += r.advance_seconds;
+    report.advance_count += r.advance_count;
+    report.advance_latency_us.merge(r.advance_latency_us);
     report.events += r.events;
     report.rejected_jobs += r.rejected_jobs;
   }

@@ -227,10 +227,12 @@ TEST_F(ObsTest, RegistrySnapshotIsIdenticalAcrossResetReplicas) {
     exp::run_policy(sched::Policy::kTopoAwareP, jobs, topology, model, {},
                     /*record_series=*/false);
     json::Value snapshot = Registry::instance().snapshot_json();
-    // The latency histogram is wall-clock-derived; everything else is a
+    // The latency histograms are wall-clock-derived; everything else is a
     // pure function of the (deterministic) decision sequence.
     snapshot.mutable_object()["histograms"].mutable_object().erase(
         "sched.decision_latency_us");
+    snapshot.mutable_object()["histograms"].mutable_object().erase(
+        "sched.advance_latency_us");
     return snapshot;
   };
 

@@ -45,8 +45,8 @@ Options:
   --build-dir DIR    cmake build tree with bench/ binaries (default: ${BUILD_DIR})
   --scenario NAME    run one scenario (repeatable); default: the full matrix
                      (fig10 fig11 ablation_alpha ablation_threshold
-                      ablation_noise overhead decision_micro service_load
-                      scale)
+                      ablation_noise overhead decision_micro advance_micro
+                      service_load scale)
   --quick            CI smoke sizes (tiny clusters / job counts)
   --full             paper-scale Fig. 11 (10000 jobs on 1000 machines)
   --no-perf-gate     skip the bench_compare.py baseline comparison
@@ -71,7 +71,7 @@ done
 
 if [[ ${#SCENARIOS[@]} -eq 0 ]]; then
   SCENARIOS=(fig10 fig11 ablation_alpha ablation_threshold ablation_noise
-             overhead decision_micro service_load scale)
+             overhead decision_micro advance_micro service_load scale)
 fi
 
 FIG10_MACHINES=5
@@ -88,6 +88,12 @@ OVERHEAD_REPEATS=5
 DECISION_MACHINES="5,20,50"
 DECISION_TASKS="8"
 DECISION_JOBS=200
+# advance_micro keeps the baseline grid under --quick for the same
+# reason; the event-path sweep is sub-second too.
+ADVANCE_MACHINES="5,20,50"
+ADVANCE_MULTI="0,25,50"
+ADVANCE_JOBS=300
+ADVANCE_REPEATS=3
 SERVICE_CONNECTIONS=4
 SERVICE_JOBS=60
 SERVICE_MACHINES=4
@@ -173,6 +179,16 @@ run_scenario() {
       bin="$(bench_bin bench_decision_micro)" || return 1
       "$bin" --machines "$DECISION_MACHINES" --tasks "$DECISION_TASKS" \
         --jobs "$DECISION_JOBS" --seeds "$SEEDS" --threads 1 \
+        --out "$out" --metrics-out "$metrics"
+      ;;
+    advance_micro)
+      # Event-path twin of decision_micro: ClusterState place/remove/query
+      # stage timers, scoped vs full-recompute oracle. Sequential replicas
+      # (--threads 1) for the same timer-hygiene reason.
+      bin="$(bench_bin bench_advance_micro)" || return 1
+      "$bin" --machines "$ADVANCE_MACHINES" --multi "$ADVANCE_MULTI" \
+        --jobs "$ADVANCE_JOBS" --repeats "$ADVANCE_REPEATS" \
+        --seeds "$SEEDS" --threads 1 \
         --out "$out" --metrics-out "$metrics"
       ;;
     service_load)

@@ -284,6 +284,11 @@ def _validate_scale_payload(path, where, payload):
             fail(path, f"{where}: sharded.timing.{name} missing")
         validate_histogram(path, f"{where}: sharded.timing.{name}",
                            timing[name])
+    # Per-advance split (event-path overhaul): optional so baselines that
+    # predate it still validate, but when present it must be a histogram.
+    if "advance_latency_us" in timing:
+        validate_histogram(path, f"{where}: sharded.timing.advance_latency_us",
+                           timing["advance_latency_us"])
     # The unsharded oracle only runs up to --oracle-max machines; when it
     # did, the placement-quality delta must ride along.
     if "unsharded" in payload:
@@ -303,6 +308,38 @@ def _validate_scale_payload(path, where, payload):
             fail(path, f"{where}: oracle ran but 'delta' missing")
         for key in ("utility_mean", "jct_mean_s", "makespan_s"):
             _require_number(path, f"{where}: delta.{key}", delta.get(key))
+        if isinstance(oracle_timing, dict) and \
+                "advance_latency_us" in oracle_timing:
+            validate_histogram(
+                path, f"{where}: unsharded.timing.advance_latency_us",
+                oracle_timing["advance_latency_us"])
+
+
+def _validate_advance_micro_payload(path, where, payload):
+    """BENCH_advance_micro replicas: event counts plus the scoped and
+    full-recompute stage histograms and the throughput scalars."""
+    _require_number(path, f"{where}: machines", payload.get("machines"),
+                    minimum=1)
+    multi_pct = payload.get("multi_pct")
+    _require_number(path, f"{where}: multi_pct", multi_pct, minimum=0)
+    if multi_pct > 100:
+        fail(path, f"{where}: multi_pct {multi_pct!r} is not a percentage")
+    for key in ("places", "removes", "queries", "events"):
+        _require_number(path, f"{where}: {key}", payload.get(key), minimum=0)
+    if payload["events"] != payload["places"] + payload["removes"]:
+        fail(path, f"{where}: events {payload['events']!r} != places + "
+                   f"removes")
+    timing = payload.get("timing")
+    if not isinstance(timing, dict):
+        fail(path, f"{where}: timing subtree missing")
+    for name in ("place_us", "remove_us", "query_us",
+                 "full_place_us", "full_remove_us", "full_query_us"):
+        if name not in timing:
+            fail(path, f"{where}: timing.{name} missing")
+        validate_histogram(path, f"{where}: timing.{name}", timing[name])
+    for name in ("events_per_sec", "full_events_per_sec", "speedup"):
+        _require_number(path, f"{where}: timing.{name}", timing.get(name),
+                        minimum=0)
 
 
 def validate_bench(path, doc):
@@ -373,6 +410,8 @@ def validate_bench(path, doc):
                            f"{metadata['pipeline']!r}")
         if "sharded" in payload:
             _validate_scale_payload(path, where, payload)
+        if metadata.get("experiment") == "advance_micro":
+            _validate_advance_micro_payload(path, where, payload)
     aggregates = doc.get("aggregates")
     if not isinstance(aggregates, dict):
         fail(path, "missing aggregates object")
